@@ -1,0 +1,123 @@
+// Command redoop-bench regenerates the paper's evaluation figures
+// (Figures 6–9 of "Redoop: Supporting Recurring Queries in Hadoop",
+// EDBT 2014) on the simulated cluster and prints the measured series
+// as text tables.
+//
+// Usage:
+//
+//	redoop-bench [-fig 6|7|8|9|all] [-windows N] [-records N]
+//	             [-workers N] [-reducers N] [-seed N]
+//
+// See EXPERIMENTS.md for how the printed numbers map onto the paper's
+// plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redoop/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, ablation-caching, ablation-scheduling, sweep, or all (= the paper's four figures)")
+		windows  = flag.Int("windows", 0, "windows per series (default 10)")
+		recs     = flag.Int("records", 0, "records per window (default 120000)")
+		workers  = flag.Int("workers", 0, "cluster worker nodes (default 10)")
+		reducers = flag.Int("reducers", 0, "reduce partitions (default 20)")
+		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+		csvPath  = flag.String("csv", "", "also append every series as tidy CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *windows > 0 {
+		cfg.Windows = *windows
+	}
+	if *recs > 0 {
+		cfg.RecordsPerWindow = *recs
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *reducers > 0 {
+		cfg.Reducers = *reducers
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	type figure struct {
+		id  string
+		run func(experiments.Config) (*experiments.FigResult, error)
+		cum bool
+	}
+	figures := []figure{
+		{"6", experiments.Fig6, false},
+		{"7", experiments.Fig7, false},
+		{"8", experiments.Fig8, false},
+		{"9", experiments.Fig9, true},
+		{"ablation-caching", experiments.AblationCaching, false},
+		{"ablation-scheduling", experiments.AblationScheduling, false},
+		{"ablation-speculation", experiments.AblationSpeculation, false},
+		{"sweep", experiments.OverlapSweep, false},
+		{"multiquery", experiments.MultiQuerySharing, false},
+	}
+
+	var fig6, fig7 *experiments.FigResult
+	ran := false
+	paperFigures := map[string]bool{"6": true, "7": true, "8": true, "9": true}
+	for _, f := range figures {
+		if *fig == "all" && !paperFigures[f.id] {
+			continue
+		}
+		if *fig != "all" && *fig != f.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		res, err := f.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoop-bench: figure %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[figure %s regenerated in %v]\n", f.id, time.Since(start).Round(time.Millisecond))
+		}
+		if f.cum {
+			res.FormatCumulative(os.Stdout)
+		} else {
+			res.Format(os.Stdout)
+		}
+		if *csvPath != "" {
+			out, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := res.FormatCSV(out); err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: csv: %v\n", err)
+				os.Exit(1)
+			}
+			out.Close()
+		}
+		switch f.id {
+		case "6":
+			fig6 = res
+		case "7":
+			fig7 = res
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "redoop-bench: unknown figure %q (want 6, 7, 8, 9, ablation-caching, ablation-scheduling, sweep or all)\n", *fig)
+		os.Exit(2)
+	}
+	if fig6 != nil && fig7 != nil {
+		fmt.Printf("headline: best steady-state speedup over plain Hadoop = %.1fx (paper: up to 9x)\n",
+			experiments.Headline(fig6, fig7))
+	}
+}

@@ -1,0 +1,191 @@
+// Command redoopctl runs a recurring query over generated data on the
+// simulated cluster and reports per-window results — a workbench for
+// exploring Redoop's behaviour without writing code.
+//
+// Usage:
+//
+//	redoopctl [-query agg|join] [-overlap 0.9] [-windows 10]
+//	          [-records 120000] [-adaptive] [-baseline]
+//	          [-failnode N] [-dropcaches] [-top K] [-seed N]
+//
+// -query agg runs the WCC click-ranking aggregation (the paper's Q1);
+// -query join runs the FFG sensor join (Q2). -baseline executes the
+// same query with the plain-Hadoop driver instead of Redoop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redoop/internal/baseline"
+	"redoop/internal/core"
+	"redoop/internal/experiments"
+	"redoop/internal/mapreduce"
+	"redoop/internal/queries"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/workload"
+)
+
+func main() {
+	var (
+		queryKind = flag.String("query", "agg", "query to run: agg (Q1, WCC) or join (Q2, FFG)")
+		overlap   = flag.Float64("overlap", 0.9, "window overlap factor (win-slide)/win")
+		windows   = flag.Int("windows", 10, "number of recurrences")
+		recs      = flag.Int("records", 120000, "records per window")
+		adaptive  = flag.Bool("adaptive", false, "enable adaptive input partitioning")
+		useBase   = flag.Bool("baseline", false, "run the plain-Hadoop baseline instead of Redoop")
+		failNode  = flag.Int("failnode", -1, "kill this node before window 3")
+		dropCache = flag.Bool("dropcaches", false, "drop one node's caches before every window")
+		topK      = flag.Int("top", 5, "print the top-K results of the final window")
+		seed      = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	cfg.Windows = *windows
+	cfg.RecordsPerWindow = *recs
+	cfg.Seed = *seed
+	if err := run(cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK); err != nil {
+		fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK int) error {
+	mr := cfg.NewRuntime(7)
+	slide := cfg.SlideFor(overlap)
+
+	var q *core.Query
+	var gen func(src int, start, end int64, n int) []records.Record
+	sources := 1
+	switch kind {
+	case "agg":
+		q = queries.WCCAggregation("q1", cfg.WindowDur, slide, cfg.Reducers)
+		wcc := workload.DefaultWCC(cfg.Seed)
+		gen = func(_ int, start, end int64, n int) []records.Record {
+			return workload.WCC(wcc, start, end, n)
+		}
+	case "join":
+		q = queries.FFGJoin("q2", cfg.WindowDur, slide, cfg.Reducers)
+		ffg := workload.DefaultFFG(cfg.Seed)
+		sources = 2
+		gen = func(src int, start, end int64, n int) []records.Record {
+			if src == 0 {
+				return workload.FFGReadings(ffg, start, end, n)
+			}
+			return workload.FFGEvents(ffg, start, end, n/4)
+		}
+	default:
+		return fmt.Errorf("unknown query %q (want agg or join)", kind)
+	}
+
+	spec := q.Spec()
+	pane := spec.PaneUnit()
+	perPane := int(float64(cfg.RecordsPerWindow) / float64(spec.PanesPerWindow()))
+	fmt.Printf("query=%s overlap=%.2f win=%v slide=%v pane=%v records/window=%d system=%s adaptive=%v\n\n",
+		kind, overlap, time.Duration(spec.Win), time.Duration(spec.Slide),
+		time.Duration(pane), cfg.RecordsPerWindow, systemName(useBase), adaptive)
+
+	var eng *core.Engine
+	var drv *baseline.Driver
+	var err error
+	if useBase {
+		drv, err = baseline.NewDriver(mr, q)
+	} else {
+		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive})
+	}
+	if err != nil {
+		return err
+	}
+
+	ingest := func(src int, rs []records.Record) error {
+		if useBase {
+			return drv.Ingest(src, rs)
+		}
+		return eng.Ingest(src, rs)
+	}
+
+	fmt.Printf("%-7s %14s %12s %12s %12s %s\n", "window", "response", "shuffle", "reduce", "read(B)", "notes")
+	fed := 0
+	var lastOut []records.Pair
+	for r := 0; r < cfg.Windows; r++ {
+		close := spec.WindowClose(r)
+		for ; int64(fed)*pane < close; fed++ {
+			start := int64(fed) * pane
+			for src := 0; src < sources; src++ {
+				if err := ingest(src, gen(src, start, start+pane, perPane)); err != nil {
+					return err
+				}
+			}
+		}
+		if failNode >= 0 && r == 2 {
+			mr.DFS.FailNode(failNode)
+			mr.Cluster.FailNode(failNode)
+		}
+		if dropCache && r > 0 && !useBase {
+			mr.Cluster.DropLocal(r%mr.Cluster.Config().Workers, "cache/")
+		}
+
+		var resp, shuffle, reduce simtime.Duration
+		var read int64
+		notes := ""
+		if useBase {
+			res, err := drv.RunNext()
+			if err != nil {
+				return err
+			}
+			resp, shuffle, reduce, read = res.ResponseTime, res.Stats.ShuffleTime, res.Stats.ReduceTime, res.Stats.BytesRead
+			lastOut = res.Output
+		} else {
+			res, err := eng.RunNext()
+			if err != nil {
+				return err
+			}
+			resp, shuffle, reduce, read = res.ResponseTime, res.Stats.ShuffleTime, res.Stats.ReduceTime, res.Stats.BytesRead
+			lastOut = res.Output
+			notes = fmt.Sprintf("panes %d/%d", res.NewPanes, res.ReusedPanes)
+			if sources == 2 {
+				notes += fmt.Sprintf(" pairs %d/%d", res.NewPairs, res.ReusedPairs)
+			}
+			if res.CacheRecoveries > 0 {
+				notes += fmt.Sprintf(" recovered=%d", res.CacheRecoveries)
+			}
+			if res.Proactive {
+				notes += fmt.Sprintf(" proactive(sub=%d)", res.SubPanes)
+			}
+		}
+		fmt.Printf("%-7d %14s %12s %12s %12d %s\n", r+1,
+			fmtMS(resp), fmtMS(shuffle), fmtMS(reduce), read, notes)
+	}
+
+	if topK > 0 && len(lastOut) > 0 {
+		fmt.Printf("\nfinal window: %d output pairs", len(lastOut))
+		if kind == "agg" {
+			fmt.Printf("; top %d by count:\n", topK)
+			for _, r := range queries.RankTopK(lastOut, topK) {
+				fmt.Printf("  %-12s %d\n", r.Key, r.Count)
+			}
+		} else {
+			fmt.Printf("; a sample:\n")
+			mapreduce.SortPairs(lastOut)
+			for i := 0; i < topK && i < len(lastOut); i++ {
+				fmt.Printf("  %s = %s\n", lastOut[i].Key, lastOut[i].Value)
+			}
+		}
+	}
+	return nil
+}
+
+func fmtMS(d simtime.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/1e6)
+}
+
+func systemName(useBase bool) string {
+	if useBase {
+		return "hadoop-baseline"
+	}
+	return "redoop"
+}

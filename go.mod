@@ -1,0 +1,3 @@
+module redoop
+
+go 1.22

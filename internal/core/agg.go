@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+// runAggregation executes recurrence r of a single-source query: every
+// pane is mapped, shuffled and reduced exactly once (its partial output
+// cached per partition), and the window's answer is the finalization
+// merge over the pane outputs in range — pane-based, not tuple-based
+// (paper §6.2.1).
+func (e *Engine) runAggregation(r int, trigger simtime.Time) (*RecurrenceResult, error) {
+	lo, hi := e.frames[0].WindowRange(r)
+	res := &RecurrenceResult{Recurrence: r, WindowLo: lo, WindowHi: hi, TriggerAt: trigger}
+	res.Stats.Start = trigger
+	res.Stats.End = trigger
+
+	routRefs := make(map[window.PaneID][]cacheRef, int(hi-lo)+1)
+	for p := lo; p <= hi; p++ {
+		refs, reused, recovered, err := e.ensureAggPane(p, trigger, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		routRefs[p] = refs
+		if reused {
+			res.ReusedPanes++
+		} else {
+			res.NewPanes++
+		}
+		if recovered {
+			res.CacheRecoveries++
+		}
+	}
+
+	out, endMax, err := e.finalizeAggWindow(lo, hi, trigger, routRefs, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = out
+	if endMax > res.Stats.End {
+		res.Stats.End = endMax
+	}
+	res.CompletedAt = res.Stats.End
+	res.ResponseTime = res.Stats.End.Sub(trigger)
+	return res, nil
+}
+
+// ensureAggPane guarantees pane p's per-partition reduce-output caches
+// exist, reusing them when present, rebuilding the reduce outputs from
+// surviving reduce-input caches when only the outputs were lost, and
+// re-running the pane's full map+shuffle+reduce when the inputs are
+// gone too (the recovery ladder of §5).
+func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *mapreduce.Stats) (refs []cacheRef, reused, recovered bool, err error) {
+	q := e.query
+	R := q.NumReducers
+
+	paneDone, _ := e.matrix.Done(p)
+	if e.noReuse {
+		paneDone = false
+	}
+	if paneDone {
+		refs = make([]cacheRef, R)
+		allOut := true
+		for part := 0; part < R; part++ {
+			ref, ok := e.lookupCache(q.routPanePID(p, part), ReduceOutput)
+			if !ok {
+				allOut = false
+				break
+			}
+			refs[part] = ref
+		}
+		if allOut {
+			return refs, true, false, nil
+		}
+		recovered = true
+	}
+	// Before re-mapping, try building the outputs from reduce-input
+	// caches: they survive output-cache loss (§5's cheap recovery
+	// rung) and may have been created by a sibling query sharing this
+	// source's CacheKey.
+	rins := make([]cacheRef, R)
+	allIn := !e.noReuse
+	for part := 0; allIn && part < R; part++ {
+		ref, ok := e.lookupCache(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput)
+		if !ok {
+			allIn = false
+			break
+		}
+		rins[part] = ref
+	}
+	if allIn {
+		refs, err = e.rebuildAggOutputs(p, trigger, rins, stats)
+		if err != nil {
+			return nil, false, recovered, err
+		}
+		return refs, false, recovered, nil
+	}
+
+	// New (or fully lost) pane: map + shuffle + per-pane reduce.
+	id := fmt.Sprintf("%sP%d", q.Sources[0].Name, int64(p))
+	e.sched.MapTasks.Push(id, nil)
+	defer e.sched.MapTasks.Remove(id)
+
+	if segs, ok := e.srcs[0].PaneInputs(p); ok && e.proactive && len(segs) > 1 {
+		refs, err = e.processAggPaneProactive(p, trigger, segs, stats)
+		if err != nil {
+			return nil, false, recovered, err
+		}
+		return refs, false, recovered, nil
+	}
+
+	mp, err := e.runPaneMapPhase(0, p, trigger, stats)
+	if err != nil {
+		return nil, false, recovered, err
+	}
+	job := e.paneJob(0)
+	rres, rstats, err := e.mr.RunReducePhase(job, mp, mp.FirstMapEnd)
+	if err != nil {
+		return nil, false, recovered, err
+	}
+	stats.Accumulate(rstats)
+
+	byPart := make(map[int]mapreduce.ReducerResult, len(rres))
+	for _, rr := range rres {
+		byPart[rr.Part] = rr
+	}
+	refs = make([]cacheRef, R)
+	for part := 0; part < R; part++ {
+		home := e.sched.HomeNode(part)
+		if home == nil {
+			return nil, false, recovered, fmt.Errorf("core: no alive node to home partition %d", part)
+		}
+		node := home.ID
+		readyAt := simtime.Max(mp.LastMapEnd, trigger)
+		var rinData, routData []byte
+		if rr, ok := byPart[part]; ok {
+			rinData = records.EncodePairs(rr.Input)
+			routData = records.EncodePairs(rr.Output)
+			node = rr.Node
+			readyAt = rr.End
+		}
+		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, readyAt, rinData, e.rinUsers(0))
+		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, readyAt, routData)
+	}
+	if err := e.matrix.Update(p); err != nil {
+		return nil, false, recovered, err
+	}
+	return refs, false, recovered, nil
+}
+
+// processAggPaneProactive executes one pane at sub-pane granularity
+// (§3.3): each sub-pane is mapped, shuffled and reduced independently
+// as soon as its data arrives, so only the last sub-pane's (smaller)
+// work remains after the window closes; a cheap pane-level combine of
+// the sub-pane partials then forms the pane's caches at the usual
+// pane granularity, keeping reuse and expiry unchanged.
+func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, segs []PaneInput, stats *mapreduce.Stats) ([]cacheRef, error) {
+	q := e.query
+	R := q.NumReducers
+	job := e.paneJob(0)
+
+	subIn := make([][]records.Pair, R)
+	subOut := make([][]records.Pair, R)
+	readyAt := make([]simtime.Time, R)
+	for _, seg := range segs {
+		ready := simtime.Max(seg.AvailableAt, 0)
+		mp, err := e.mr.RunMapPhase(job, []mapreduce.Input{seg.Input}, ready)
+		if err != nil {
+			return nil, err
+		}
+		mp.Stats.BytesRead += seg.HeaderBytes
+		stats.Accumulate(mp.Stats)
+		rres, rstats, err := e.mr.RunReducePhase(job, mp, mp.FirstMapEnd)
+		if err != nil {
+			return nil, err
+		}
+		stats.Accumulate(rstats)
+		for _, rr := range rres {
+			subIn[rr.Part] = append(subIn[rr.Part], rr.Input...)
+			subOut[rr.Part] = append(subOut[rr.Part], rr.Output...)
+			if rr.End > readyAt[rr.Part] {
+				readyAt[rr.Part] = rr.End
+			}
+		}
+	}
+
+	refs := make([]cacheRef, R)
+	for part := 0; part < R; part++ {
+		home := e.sched.HomeNode(part)
+		if home == nil {
+			return nil, fmt.Errorf("core: no alive node to home partition %d", part)
+		}
+		if len(subOut[part]) == 0 {
+			e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, home.ID, trigger, nil, e.rinUsers(0))
+			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, home.ID, trigger, nil)
+			continue
+		}
+		// Pane-level combine of the sub-pane partials.
+		combined := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(subOut[part]))
+		routData := records.EncodePairs(combined)
+		inBytes := records.PairsSize(subOut[part])
+		node, _, end, dur := e.runCacheTask(readyAt[part],
+			[]cacheRef{{node: home.ID, bytes: inBytes, readyAt: readyAt[part]}},
+			e.mr.Cost.MergeTask(inBytes, int64(len(routData))))
+		stats.ReduceTime += dur
+		stats.BytesCacheRead += inBytes
+		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, end, records.EncodePairs(subIn[part]), e.rinUsers(0))
+		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, end, routData)
+		if end > stats.End {
+			stats.End = end
+		}
+	}
+	if err := e.matrix.Update(p); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// rebuildAggOutputs re-runs only the per-pane reduce over cached
+// reduce inputs (no re-load, no re-shuffle), restoring lost output
+// caches.
+func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins []cacheRef, stats *mapreduce.Stats) ([]cacheRef, error) {
+	q := e.query
+	refs := make([]cacheRef, q.NumReducers)
+	for part := range rins {
+		rin := rins[part]
+		if rin.bytes == 0 {
+			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil)
+			continue
+		}
+		pairs, err := e.readCache(rin)
+		if err != nil {
+			return nil, err
+		}
+		out := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
+		outData := records.EncodePairs(out)
+		node, _, end, dur := e.runCacheTask(trigger, []cacheRef{rin},
+			e.mr.Cost.ReduceTask(rin.bytes, int64(len(outData))))
+		stats.ReduceTime += dur
+		stats.ReduceTasks++
+		stats.BytesCacheRead += rin.bytes
+		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, end, outData)
+		if end > stats.End {
+			stats.End = end
+		}
+	}
+	if err := e.matrix.Update(p); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// finalizeAggWindow runs the per-partition finalization merge over the
+// window's cached pane outputs. The merge is scheduled by Equation 4
+// (it usually lands on the partition's home node, where every pane
+// output is local) and cannot complete before the window closes.
+func (e *Engine) finalizeAggWindow(lo, hi window.PaneID, trigger simtime.Time, routRefs map[window.PaneID][]cacheRef, stats *mapreduce.Stats) ([]records.Pair, simtime.Time, error) {
+	q := e.query
+	endMax := trigger
+	var output []records.Pair
+	for part := 0; part < q.NumReducers; part++ {
+		var caches []cacheRef
+		var pairs []records.Pair
+		for p := lo; p <= hi; p++ {
+			ref := routRefs[p][part]
+			if ref.bytes == 0 {
+				continue
+			}
+			caches = append(caches, ref)
+			ps, err := e.readCache(ref)
+			if err != nil {
+				return nil, endMax, err
+			}
+			pairs = append(pairs, ps...)
+		}
+		if len(caches) == 0 {
+			continue
+		}
+		out := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
+		inBytes := records.PairsSize(pairs)
+		outBytes := records.PairsSize(out)
+		_, _, end, dur := e.runCacheTask(trigger, caches, e.mr.Cost.MergeTask(inBytes, outBytes))
+		stats.ReduceTime += dur
+		stats.ReduceTasks++
+		stats.BytesCacheRead += inBytes
+		stats.BytesOutput += outBytes
+		if end > endMax {
+			endMax = end
+		}
+		output = append(output, out...)
+	}
+	return output, endMax, nil
+}

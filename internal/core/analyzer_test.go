@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+func TestNewAnalyzerValidation(t *testing.T) {
+	if _, err := NewAnalyzer(0); err == nil {
+		t.Error("zero block size should be rejected")
+	}
+	if _, err := NewAnalyzer(-5); err == nil {
+		t.Error("negative block size should be rejected")
+	}
+}
+
+// Paper §3.1's worked example: win = 60 min, slide = 20 min ⇒ pane =
+// 20 min; with News arriving at 16 MB/min and 64 MB blocks, one pane is
+// 320 MB ≥ 64 MB, the oversize case: one file per pane.
+func TestPlanPaperOversizeExample(t *testing.T) {
+	a, err := NewAnalyzer(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := window.NewTimeSpec(60*time.Minute, 20*time.Minute)
+	ratePerNs := 16.0 * (1 << 20) / float64(time.Minute) // 16 MB/min in bytes/ns
+	plan, err := a.Plan(spec, ratePerNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PaneUnit != int64(20*time.Minute) {
+		t.Errorf("pane unit = %v, want 20m", time.Duration(plan.PaneUnit))
+	}
+	if plan.PanesPerFile != 1 || plan.FilesPerPane != 1 {
+		t.Errorf("oversize case should be (pane,1,1), got %s", plan)
+	}
+	wantBytes := int64(320 << 20)
+	if diff := plan.ExpectedFileBytes - wantBytes; diff > 1<<20 || diff < -(1<<20) {
+		t.Errorf("expected file bytes ≈ 320MB, got %d", plan.ExpectedFileBytes)
+	}
+}
+
+// Undersized case: a slow source packs multiple panes per file,
+// panenum = floor(blocksize/filesize) (Algorithm 1, lines 6-7).
+func TestPlanUndersizedCase(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	spec := window.NewTimeSpec(60*time.Minute, 20*time.Minute)
+	ratePerNs := 0.5 * (1 << 20) / float64(time.Minute) // 0.5 MB/min → 10 MB/pane
+	plan, err := a.Plan(spec, ratePerNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanesPerFile < 6 || plan.PanesPerFile > 7 {
+		t.Errorf("panes per file = %d, want floor(64/10) ≈ 6", plan.PanesPerFile)
+	}
+}
+
+func TestPlanRejectsNegativeRate(t *testing.T) {
+	a, _ := NewAnalyzer(64)
+	if _, err := a.Plan(window.NewCountSpec(30, 20), -1); err == nil {
+		t.Error("negative rate should be rejected")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []PartitionPlan{
+		{PaneUnit: 0, FilesPerPane: 1, PanesPerFile: 1, SubPanes: 1},
+		{PaneUnit: 10, FilesPerPane: 2, PanesPerFile: 1, SubPanes: 1},
+		{PaneUnit: 10, FilesPerPane: 1, PanesPerFile: 0, SubPanes: 1},
+		{PaneUnit: 10, FilesPerPane: 1, PanesPerFile: 1, SubPanes: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted: %s", i, p)
+		}
+	}
+}
+
+func TestReplanSubdividesOnForecastOverrun(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	plan := PartitionPlan{PaneUnit: 100, FilesPerPane: 1, PanesPerFile: 1, SubPanes: 1}
+	// Forecast 2.5× the deadline ⇒ subdivide into ~3 sub-panes and go
+	// proactive.
+	got, proactive := a.Replan(plan, 25*simtime.Second, 10*simtime.Second)
+	if !proactive {
+		t.Error("overrun forecast should switch to proactive mode")
+	}
+	if got.SubPanes != 3 {
+		t.Errorf("SubPanes = %d, want 3 (ceil 2.5)", got.SubPanes)
+	}
+}
+
+func TestReplanCapsSubdivision(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	a.MaxSubPanes = 4
+	plan := PartitionPlan{PaneUnit: 100, FilesPerPane: 1, PanesPerFile: 1, SubPanes: 1}
+	got, _ := a.Replan(plan, 100*simtime.Second, 1*simtime.Second)
+	if got.SubPanes != 4 {
+		t.Errorf("SubPanes = %d, want cap 4", got.SubPanes)
+	}
+}
+
+func TestReplanRevertsWithHysteresis(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	plan := PartitionPlan{PaneUnit: 100, FilesPerPane: 1, PanesPerFile: 1, SubPanes: 4}
+	// Forecast at 70% of deadline: inside the hysteresis band, keep
+	// sub-panes and stay proactive.
+	got, proactive := a.Replan(plan, 7*simtime.Second, 10*simtime.Second)
+	if got.SubPanes != 4 || !proactive {
+		t.Errorf("forecast in hysteresis band should keep plan, got %s proactive=%v", got, proactive)
+	}
+	// Forecast at 30%: revert to whole panes.
+	got, proactive = a.Replan(plan, 3*simtime.Second, 10*simtime.Second)
+	if got.SubPanes != 1 || proactive {
+		t.Errorf("low forecast should revert, got %s proactive=%v", got, proactive)
+	}
+}
+
+func TestProfilerForecastAndHistory(t *testing.T) {
+	p, err := NewProfiler(DefaultAlpha, DefaultBeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ready() {
+		t.Error("fresh profiler should not be ready")
+	}
+	for i := 0; i < 5; i++ {
+		p.Observe(i, simtime.Duration(10+i)*simtime.Second, int64(1000*(i+1)))
+	}
+	if !p.Ready() {
+		t.Error("profiler should be ready after 5 observations")
+	}
+	f := p.Forecast(1)
+	// The series grows 1s per recurrence; the forecast should land
+	// near 15s.
+	if f < 14*simtime.Second || f > 16*simtime.Second {
+		t.Errorf("forecast = %v, want ≈15s", f)
+	}
+	h := p.History()
+	if len(h) != 5 || h[0].Recurrence != 0 || h[4].InputBytes != 5000 {
+		t.Errorf("history wrong: %+v", h)
+	}
+	p.Reset()
+	if p.Ready() || len(p.History()) != 0 {
+		t.Error("Reset should clear the profiler")
+	}
+}
+
+func TestNewProfilerValidation(t *testing.T) {
+	if _, err := NewProfiler(0, 0.3); err == nil {
+		t.Error("invalid alpha should be rejected")
+	}
+}
+
+// PlanMulti: the shared pane unit across queries is the GCD of all
+// window constraints (§3.1's multi-query analyzer).
+func TestPlanMultiSharedPane(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	specs := []window.Spec{
+		window.NewCountSpec(60, 20), // pane 20
+		window.NewCountSpec(30, 15), // pane 15
+	}
+	plan, err := a.PlanMulti(specs, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PaneUnit != 5 { // GCD(20, 15)
+		t.Errorf("shared pane = %d, want 5", plan.PaneUnit)
+	}
+	// A single query degenerates to Plan.
+	single, err := a.PlanMulti(specs[:1], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.PaneUnit != 20 {
+		t.Errorf("single-query pane = %d, want 20", single.PaneUnit)
+	}
+}
+
+func TestPlanMultiValidation(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	if _, err := a.PlanMulti(nil, 100); err == nil {
+		t.Error("empty query list should fail")
+	}
+	if _, err := a.PlanMulti([]window.Spec{window.NewCountSpec(30, 20)}, -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	mixed := []window.Spec{
+		window.NewCountSpec(30, 20),
+		window.NewTimeSpec(time.Hour, time.Minute),
+	}
+	if _, err := a.PlanMulti(mixed, 100); err == nil {
+		t.Error("mixed window kinds should fail")
+	}
+	bad := []window.Spec{{Kind: window.CountBased, Win: 0, Slide: 1}}
+	if _, err := a.PlanMulti(bad, 100); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+func TestPlanMultiFilePacking(t *testing.T) {
+	a, _ := NewAnalyzer(1000)
+	specs := []window.Spec{window.NewCountSpec(40, 10)} // pane 10
+	// 10 units × 20 B/unit = 200 B/pane < 1000 B block → 5 panes/file.
+	plan, err := a.PlanMulti(specs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PanesPerFile != 5 {
+		t.Errorf("panes per file = %d, want 5", plan.PanesPerFile)
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"redoop/internal/simtime"
+)
+
+// Ready is the availability state of a data partition in the
+// window-aware cache controller (paper §4.2): 0 not available, 1
+// available in HDFS (raw pane file only), 2 cached on a task node's
+// local file system.
+type Ready int
+
+const (
+	NotAvailable   Ready = 0
+	HDFSAvailable  Ready = 1
+	CacheAvailable Ready = 2
+)
+
+// String names the ready state.
+func (r Ready) String() string {
+	switch r {
+	case NotAvailable:
+		return "not-available"
+	case HDFSAvailable:
+		return "hdfs-available"
+	case CacheAvailable:
+		return "cache-available"
+	default:
+		return fmt.Sprintf("Ready(%d)", int(r))
+	}
+}
+
+// Signature is one cache signature row of the window-aware cache
+// controller (paper Table 2): the consolidated master-side view of one
+// cache on one task node, with the per-query done mask that drives
+// purge notifications.
+type Signature struct {
+	PID   string
+	NID   int
+	Type  CacheType
+	Ready Ready
+	// ReadyAt is the virtual instant the cache became usable; reduce
+	// tasks consuming it cannot start earlier.
+	ReadyAt simtime.Time
+	// Bytes is the cache's size, used by the cache-aware scheduler's
+	// C_task cost term.
+	Bytes int64
+	// doneQueryMask has one bit per registered query; a set bit means
+	// that query no longer needs this cache.
+	doneQueryMask []bool
+}
+
+// DoneMask returns a copy of the signature's per-query done bits.
+func (s *Signature) DoneMask() []bool {
+	return append([]bool(nil), s.doneQueryMask...)
+}
+
+// allDone reports whether every query is finished with the cache.
+func (s *Signature) allDone() bool {
+	for _, d := range s.doneQueryMask {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Controller is the window-aware cache controller housed on the master
+// node (paper §4.2): it consolidates all task nodes' local cache
+// registries, maintains cache signatures, and sends purge notifications
+// when a cache's doneQueryMask fills.
+type Controller struct {
+	mu         sync.Mutex
+	queries    []string
+	groups     map[string][]int      // cache-sharing groups: scope -> query indices
+	sigs       map[string]*Signature // keyed by pid|type
+	registries map[int]*Registry
+}
+
+// NewController builds an empty controller.
+func NewController() *Controller {
+	return &Controller{
+		groups:     make(map[string][]int),
+		sigs:       make(map[string]*Signature),
+		registries: make(map[int]*Registry),
+	}
+}
+
+// AttachRegistry registers a task node's local cache registry with the
+// controller; this models the heartbeat synchronization channel between
+// Local Cache Managers and the master.
+func (c *Controller) AttachRegistry(r *Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.registries[r.NodeID()] = r
+}
+
+// Registry returns the attached registry of a node, or nil.
+func (c *Controller) Registry(node int) *Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.registries[node]
+}
+
+// RegisterQuery adds a query to the controller and returns its bit
+// index in every signature's doneQueryMask. Existing signatures grow a
+// bit initialized per usedBy semantics at Register time; registering
+// queries after caches exist marks the new bit done (the cache predates
+// the query and is not owed to it).
+func (c *Controller) RegisterQuery(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queries = append(c.queries, name)
+	idx := len(c.queries) - 1
+	for _, s := range c.sigs {
+		s.doneQueryMask = append(s.doneQueryMask, true)
+	}
+	return idx
+}
+
+// JoinGroup adds query q to a cache-sharing group. Caches registered
+// with the group's full membership as usedBy are purged only when
+// every member releases them (the doneQueryMask semantics of §4.2).
+func (c *Controller) JoinGroup(group string, q int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.groups[group] {
+		if m == q {
+			return
+		}
+	}
+	c.groups[group] = append(c.groups[group], q)
+}
+
+// Group returns a cache-sharing group's member query indices.
+func (c *Controller) Group(group string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.groups[group]...)
+}
+
+// Queries returns the registered query names in bit order.
+func (c *Controller) Queries() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.queries...)
+}
+
+// Register records (or refreshes) a cache signature. usedBy lists the
+// query indices that will consume this cache; all other queries' bits
+// start done, as in the paper's initialization. Re-registering an
+// existing signature (e.g. a shared source cache created by a sibling
+// query, or a cache rebuilt after loss) updates its location and state
+// and clears the usedBy queries' bits without disturbing other
+// queries' claims.
+func (c *Controller) Register(pid string, typ CacheType, nid int, ready Ready, readyAt simtime.Time, bytes int64, usedBy []int) *Signature {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sigs[entryKey(pid, typ)]
+	if !ok {
+		mask := make([]bool, len(c.queries))
+		for i := range mask {
+			mask[i] = true
+		}
+		s = &Signature{PID: pid, Type: typ, doneQueryMask: mask}
+		c.sigs[entryKey(pid, typ)] = s
+	}
+	s.NID = nid
+	s.Ready = ready
+	s.ReadyAt = readyAt
+	s.Bytes = bytes
+	for _, q := range usedBy {
+		if q >= 0 && q < len(s.doneQueryMask) {
+			s.doneQueryMask[q] = false
+		}
+	}
+	return s
+}
+
+// ClaimUser marks query q as an active consumer of a cache (clears its
+// done bit), delaying purge until the query releases it with
+// MarkQueryDone. Claiming an unknown cache is a no-op returning false.
+func (c *Controller) ClaimUser(pid string, typ CacheType, q int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sigs[entryKey(pid, typ)]
+	if !ok {
+		return false
+	}
+	if q >= 0 && q < len(s.doneQueryMask) {
+		s.doneQueryMask[q] = false
+	}
+	return true
+}
+
+// Lookup returns the signature for a cache, if any.
+func (c *Controller) Lookup(pid string, typ CacheType) (*Signature, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sigs[entryKey(pid, typ)]
+	return s, ok
+}
+
+// Signatures returns all signatures sorted by pid then type.
+func (c *Controller) Signatures() []*Signature {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Signature, 0, len(c.sigs))
+	for _, s := range c.sigs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// SetReady transitions a cache's ready state (e.g. 2→1 on cache loss
+// during failure recovery, §5). Unknown caches are ignored.
+func (c *Controller) SetReady(pid string, typ CacheType, ready Ready, at simtime.Time, nid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sigs[entryKey(pid, typ)]; ok {
+		s.Ready = ready
+		s.ReadyAt = at
+		s.NID = nid
+	}
+}
+
+// MarkQueryDone sets query q's bit on a cache's doneQueryMask. When the
+// mask fills, the controller sends a purge notification to the cache's
+// node: the local registry entry is marked expired (the node purges it
+// on its next periodic or on-demand cycle) and the signature is
+// dropped. It reports whether the notification was sent.
+func (c *Controller) MarkQueryDone(pid string, typ CacheType, q int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sigs[entryKey(pid, typ)]
+	if !ok {
+		return false
+	}
+	if q >= 0 && q < len(s.doneQueryMask) {
+		s.doneQueryMask[q] = true
+	}
+	if !s.allDone() {
+		return false
+	}
+	if reg := c.registries[s.NID]; reg != nil {
+		reg.MarkExpired(pid, typ)
+	}
+	delete(c.sigs, entryKey(pid, typ))
+	return true
+}
+
+// Drop removes a signature without notifying anyone — used when the
+// underlying node died and its registry is gone.
+func (c *Controller) Drop(pid string, typ CacheType) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sigs, entryKey(pid, typ))
+}

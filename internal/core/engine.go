@@ -1,0 +1,632 @@
+package core
+
+import (
+	"fmt"
+	"log/slog"
+	"strings"
+
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+// Config assembles a Redoop engine for one recurring query.
+type Config struct {
+	// MR is the underlying MapReduce runtime (required).
+	MR *mapreduce.Engine
+	// Query is the recurring query to execute (required).
+	Query *Query
+	// Controller may be shared between engines so caches and purge
+	// masks span queries; nil creates a private controller.
+	Controller *Controller
+	// DataDir is the DFS directory pane files live under; default
+	// "/redoop/<query name>".
+	DataDir string
+	// Adaptive enables the §3.3 adaptive input partitioning and
+	// proactive execution. Non-adaptive Redoop still caches and
+	// schedules window-aware; it just never subdivides panes or starts
+	// early.
+	Adaptive bool
+	// Analyzer overrides the default analyzer (block size taken from
+	// the DFS, default adaptation thresholds).
+	Analyzer *Analyzer
+	// DisableCacheReuse is an ablation knob: the engine still
+	// partitions into panes and runs pane-granular tasks, but never
+	// reuses a cache from an earlier recurrence — isolating how much
+	// of Redoop's win is the caching itself versus the pane-shaped
+	// execution.
+	DisableCacheReuse bool
+	// CacheObliviousPlacement is an ablation knob: cache-fed tasks
+	// are placed on the earliest-available node regardless of where
+	// their caches live, disabling the C_task term of Equation 4.
+	CacheObliviousPlacement bool
+	// Logger receives the engine's operational events (recurrence
+	// summaries, cache recoveries, adaptive re-planning) at
+	// Debug/Info levels. Nil disables logging.
+	Logger *slog.Logger
+	// Hub optionally provides shared sources: a source whose CacheKey
+	// names a source declared on the hub is packed once hub-side and
+	// ingested through the hub rather than through this engine.
+	Hub *SourceHub
+}
+
+// RecurrenceResult reports one execution of the recurring query.
+type RecurrenceResult struct {
+	Recurrence int
+	// WindowLo and WindowHi are the window's inclusive pane range.
+	WindowLo, WindowHi window.PaneID
+	// Output is the window's final result, deterministic order
+	// (partitions ascending, keys ascending within each merge group).
+	Output []records.Pair
+	// Stats aggregates all MapReduce work of this recurrence.
+	Stats mapreduce.Stats
+	// TriggerAt is the window close instant the recurrence was due.
+	TriggerAt simtime.Time
+	// CompletedAt is when the final output was ready.
+	CompletedAt simtime.Time
+	// ResponseTime is CompletedAt - TriggerAt: the per-window
+	// processing time the paper's Figures 6–9 plot.
+	ResponseTime simtime.Duration
+	// NewPanes / ReusedPanes count pane-level work per source
+	// combined; NewPairs / ReusedPairs count pane pairs for joins.
+	NewPanes, ReusedPanes int
+	NewPairs, ReusedPairs int
+	// CacheRecoveries counts caches found lost and rebuilt (§5).
+	CacheRecoveries int
+	// Proactive reports whether this recurrence ran in proactive mode.
+	Proactive bool
+	// SubPanes is the partition plan's subdivision factor in effect.
+	SubPanes int
+}
+
+// Engine executes one recurring query incrementally over the MapReduce
+// runtime: panes are mapped and shuffled once, reduce-side caches are
+// reused across overlapping windows, and the cache-aware scheduler
+// keeps work near its caches (paper §2.3).
+// paneSource is one source's pane-file supplier: a query-private
+// Packer or a shared view from a SourceHub.
+type paneSource interface {
+	Ingest([]records.Record) error
+	FlushThrough(unit int64) error
+	PaneInputs(p window.PaneID) ([]PaneInput, bool)
+	PaneBytes(p window.PaneID) int64
+	DropPaneFiles(p window.PaneID) error
+	Plan() PartitionPlan
+	SetPlan(PartitionPlan) error
+}
+
+type Engine struct {
+	mr       *mapreduce.Engine
+	query    *Query
+	ctrl     *Controller
+	sched    *Scheduler
+	analyzer *Analyzer
+	profiler *Profiler
+	srcs     []paneSource
+	packers  []*Packer // private packers; nil entries for shared sources
+	shared   []bool
+	plans    []PartitionPlan
+	managers []*CacheManager
+	matrix   *StatusMatrix
+
+	frames []window.Frame // per-source window alignment
+
+	log *slog.Logger
+
+	qIdx      int
+	adaptive  bool
+	proactive bool
+	noReuse   bool
+	next      int // next recurrence to run
+
+	expiredBound []window.PaneID // per source: panes below are retired
+}
+
+// NewEngine validates the query and assembles all Redoop components.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.MR == nil {
+		return nil, fmt.Errorf("core: engine needs a MapReduce runtime")
+	}
+	if cfg.Query == nil {
+		return nil, fmt.Errorf("core: engine needs a query")
+	}
+	if err := cfg.Query.Validate(); err != nil {
+		return nil, err
+	}
+	q := cfg.Query
+	ctrl := cfg.Controller
+	if ctrl == nil {
+		ctrl = NewController()
+	}
+	analyzer := cfg.Analyzer
+	if analyzer == nil {
+		var err error
+		analyzer, err = NewAnalyzer(cfg.MR.DFS.BlockSize())
+		if err != nil {
+			return nil, err
+		}
+	}
+	profiler, err := NewProfiler(DefaultAlpha, DefaultBeta)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := q.Frames()
+	if err != nil {
+		return nil, err
+	}
+	matrix, err := NewStatusMatrixFrames(frames)
+	if err != nil {
+		return nil, err
+	}
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		dataDir = "/redoop/" + q.Name
+	}
+	e := &Engine{
+		mr:       cfg.MR,
+		query:    q,
+		ctrl:     ctrl,
+		sched:    NewScheduler(cfg.MR.Cluster, cfg.MR.Cost),
+		analyzer: analyzer,
+		profiler: profiler,
+		matrix:   matrix,
+		frames:   frames,
+		adaptive: cfg.Adaptive,
+		noReuse:  cfg.DisableCacheReuse,
+	}
+	// Retirement scans start at pane zero: a source whose window is
+	// smaller than the query's largest (positive frame offset) may
+	// receive data before its first window starts; those panes are
+	// vacuously exhausted and retire on the first pass.
+	e.expiredBound = make([]window.PaneID, len(q.Sources))
+	e.sched.CacheOblivious = cfg.CacheObliviousPlacement
+	e.log = cfg.Logger
+	e.qIdx = ctrl.RegisterQuery(q.Name)
+	for i, src := range q.Sources {
+		if src.CacheKey != "" {
+			ctrl.JoinGroup(q.rinScope(i), e.qIdx)
+		}
+	}
+	for _, n := range cfg.MR.Cluster.Nodes() {
+		reg := ctrl.Registry(n.ID)
+		if reg == nil {
+			reg = NewRegistry(n)
+			ctrl.AttachRegistry(reg)
+		}
+		e.managers = append(e.managers, NewCacheManager(reg))
+	}
+	for i, src := range q.Sources {
+		if cfg.Hub != nil && src.CacheKey != "" && cfg.Hub.Has(src.CacheKey) {
+			view, err := cfg.Hub.attach(src.CacheKey, frames[i].Pane)
+			if err != nil {
+				return nil, err
+			}
+			e.srcs = append(e.srcs, view)
+			e.packers = append(e.packers, nil)
+			e.shared = append(e.shared, true)
+			e.plans = append(e.plans, view.Plan())
+			continue
+		}
+		rate := src.RateBytesPerUnit
+		plan, err := analyzer.PlanFrame(frames[i], rate)
+		if err != nil {
+			return nil, err
+		}
+		if rate == 0 {
+			// Unknown rate: Algorithm 1 cannot size files, so default
+			// to one pane per file until the profiler learns better.
+			plan.PanesPerFile = 1
+		}
+		pk, err := NewPacker(cfg.MR.DFS, src.Name, fmt.Sprintf("%s/%s", dataDir, src.Name), frames[i], plan)
+		if err != nil {
+			return nil, err
+		}
+		e.plans = append(e.plans, plan)
+		e.packers = append(e.packers, pk)
+		e.srcs = append(e.srcs, pk)
+		e.shared = append(e.shared, false)
+	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine that panics on error.
+func MustNewEngine(cfg Config) *Engine {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Query returns the engine's query.
+func (e *Engine) Query() *Query { return e.query }
+
+// MR returns the underlying MapReduce runtime.
+func (e *Engine) MR() *mapreduce.Engine { return e.mr }
+
+// ForceProactive overrides the adaptive decision, pinning the engine to
+// proactive mode with the given sub-pane factor (1 restores whole
+// panes and leaves proactive mode). Operators use it to bypass the
+// profiler when a load spike is known ahead of time; subsequent
+// adaptive re-planning may override it again.
+func (e *Engine) ForceProactive(subPanes int) error {
+	if subPanes < 1 {
+		return fmt.Errorf("core: sub-pane factor must be >= 1, got %d", subPanes)
+	}
+	for i := range e.plans {
+		if e.shared[i] {
+			continue // shared sources keep their declared granularity
+		}
+		plan := e.plans[i]
+		plan.SubPanes = subPanes
+		if err := e.srcs[i].SetPlan(plan); err != nil {
+			return err
+		}
+		e.plans[i] = plan
+	}
+	e.proactive = subPanes > 1
+	return nil
+}
+
+// Controller returns the (possibly shared) cache controller.
+func (e *Engine) Controller() *Controller { return e.ctrl }
+
+// Scheduler returns the query's cache-aware scheduler.
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
+
+// Profiler returns the execution profiler.
+func (e *Engine) Profiler() *Profiler { return e.profiler }
+
+// Matrix returns the query's cache status matrix.
+func (e *Engine) Matrix() *StatusMatrix { return e.matrix }
+
+// Packer returns source src's query-private dynamic data packer, or
+// nil when the source is shared through a SourceHub.
+func (e *Engine) Packer(src int) *Packer { return e.packers[src] }
+
+// PaneInputs returns pane p's physical segments for source src,
+// whether private or shared.
+func (e *Engine) PaneInputs(src int, p window.PaneID) ([]PaneInput, bool) {
+	return e.srcs[src].PaneInputs(p)
+}
+
+// Plans returns the current partition plans per source.
+func (e *Engine) Plans() []PartitionPlan { return append([]PartitionPlan(nil), e.plans...) }
+
+// Proactive reports whether the next recurrence will run proactively.
+func (e *Engine) Proactive() bool { return e.proactive }
+
+// NextRecurrence returns the index of the next recurrence RunNext will
+// execute.
+func (e *Engine) NextRecurrence() int { return e.next }
+
+// Ingest feeds a batch of records into source src's packer. Per the
+// data model (§2.1), batches arrive in timestamp order with
+// non-overlapping ranges.
+func (e *Engine) Ingest(src int, recs []records.Record) error {
+	if src < 0 || src >= len(e.srcs) {
+		return fmt.Errorf("core: query %q has no source %d", e.query.Name, src)
+	}
+	return e.srcs[src].Ingest(recs)
+}
+
+// timeOfUnit converts a window-unit offset to a virtual instant:
+// identity for time-based windows; count-based windows have no
+// intrinsic arrival time, so they trigger immediately.
+func (e *Engine) timeOfUnit(u int64) simtime.Time {
+	if e.query.Spec().Kind == window.TimeBased {
+		return simtime.Time(u)
+	}
+	return 0
+}
+
+// RunNext executes the next recurrence of the query and advances the
+// engine. Recurrences must run in order — windows slide monotonically.
+// When several engines share one MapReduce runtime, their recurrences
+// must additionally be driven in global window-close order: the slot
+// timelines advance monotonically, so running a later-closing window
+// first would push an earlier one's tasks behind it.
+func (e *Engine) RunNext() (*RecurrenceResult, error) {
+	r := e.next
+	spec := e.query.Spec()
+	closeUnit := e.frames[0].WindowClose(r) // shared trigger of all sources
+	for _, src := range e.srcs {
+		if err := src.FlushThrough(closeUnit); err != nil {
+			return nil, err
+		}
+	}
+	trigger := e.timeOfUnit(closeUnit)
+
+	var res *RecurrenceResult
+	var err error
+	if len(e.query.Sources) == 1 {
+		res, err = e.runAggregation(r, trigger)
+	} else {
+		res, err = e.runJoin(r, trigger)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Proactive = e.proactive
+	res.SubPanes = e.plans[0].SubPanes
+	if e.log != nil {
+		e.log.Info("recurrence complete",
+			"query", e.query.Name, "recurrence", r,
+			"response", res.ResponseTime,
+			"newPanes", res.NewPanes, "reusedPanes", res.ReusedPanes,
+			"newTuples", res.NewPairs, "reusedTuples", res.ReusedPairs,
+			"recoveries", res.CacheRecoveries, "proactive", res.Proactive)
+		if res.CacheRecoveries > 0 {
+			e.log.Warn("caches lost and rebuilt",
+				"query", e.query.Name, "recurrence", r, "count", res.CacheRecoveries)
+		}
+	}
+
+	e.retireExpired(r)
+	purged := 0
+	for _, m := range e.managers {
+		purged += m.Tick()
+	}
+	if e.log != nil && purged > 0 {
+		e.log.Debug("purged expired caches", "query", e.query.Name, "count", purged)
+	}
+
+	// Profile and adapt for the next recurrence (§3.3).
+	var windowBytes int64
+	for d, src := range e.srcs {
+		lo, hi := e.frames[d].WindowRange(r)
+		for p := lo; p <= hi; p++ {
+			windowBytes += src.PaneBytes(p)
+		}
+	}
+	// The first recurrence is a cold start (every pane processed from
+	// scratch); its execution time does not predict steady-state
+	// recurrences and would poison the Holt trend, so the profiler
+	// starts observing from the second recurrence.
+	if r > 0 {
+		e.profiler.Observe(r, res.ResponseTime, windowBytes)
+	}
+	if e.adaptive && e.profiler.Ready() && spec.Kind == window.TimeBased {
+		deadline := simtime.Duration(spec.Slide)
+		forecast := e.profiler.Forecast(1)
+		for i := range e.plans {
+			if e.shared[i] {
+				continue // shared sources keep their declared granularity
+			}
+			plan, proactive := e.analyzer.Replan(e.plans[i], forecast, deadline)
+			if plan.SubPanes != e.plans[i].SubPanes {
+				if err := e.srcs[i].SetPlan(plan); err != nil {
+					return nil, err
+				}
+				if e.log != nil {
+					e.log.Info("adaptive re-plan",
+						"query", e.query.Name, "source", i,
+						"forecast", forecast, "deadline", deadline,
+						"subPanes", plan.SubPanes, "proactive", proactive)
+				}
+				e.plans[i] = plan
+			}
+			e.proactive = proactive
+		}
+	}
+
+	e.next++
+	return res, nil
+}
+
+// cacheRef locates one registered cache.
+type cacheRef struct {
+	pid     string
+	typ     CacheType
+	node    int
+	readyAt simtime.Time
+	bytes   int64
+}
+
+// loc converts the reference into the scheduler's cost term.
+func (c cacheRef) loc() CacheLoc { return CacheLoc{Node: c.node, Bytes: c.bytes} }
+
+// registerCache persists bytes as a cache on a node and registers its
+// signature, claiming it for this query.
+func (e *Engine) registerCache(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte) cacheRef {
+	return e.registerCacheFor(pid, typ, node, readyAt, data, []int{e.qIdx})
+}
+
+// registerCacheFor is registerCache with an explicit consumer set —
+// reduce-input caches of shared sources are claimed by every query in
+// the sharing group so one query's expiry cannot purge a cache a
+// sibling still needs.
+func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte, usedBy []int) cacheRef {
+	reg := e.ctrl.Registry(node)
+	reg.Add(pid, typ, data)
+	e.ctrl.Register(pid, typ, node, CacheAvailable, readyAt, int64(len(data)), usedBy)
+	return cacheRef{pid: pid, typ: typ, node: node, readyAt: readyAt, bytes: int64(len(data))}
+}
+
+// rinUsers returns the consumer set of source src's reduce-input
+// caches: the full sharing group for shared sources, just this query
+// otherwise.
+func (e *Engine) rinUsers(src int) []int {
+	if e.query.Sources[src].CacheKey == "" {
+		return []int{e.qIdx}
+	}
+	if g := e.ctrl.Group(e.query.rinScope(src)); len(g) > 0 {
+		return g
+	}
+	return []int{e.qIdx}
+}
+
+// lookupCache returns the cache's reference if its signature says it is
+// cache-available AND its bytes are really present on the node (a lost
+// cache is the failure Figure 9 injects). On loss it rolls the
+// controller back to HDFS-available and removes any scheduled tasks
+// that depended on the cache, per §5.
+func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
+	sig, ok := e.ctrl.Lookup(pid, typ)
+	if !ok || sig.Ready != CacheAvailable {
+		return cacheRef{}, false
+	}
+	reg := e.ctrl.Registry(sig.NID)
+	if reg == nil || !reg.Has(pid, typ) {
+		// Cache loss: roll back the ready bit and pull dependent
+		// tasks; the caller re-inserts the rebuild into the map list.
+		e.ctrl.SetReady(pid, typ, HDFSAvailable, sig.ReadyAt, sig.NID)
+		e.sched.ReduceTasks.RemoveMatching(func(id string) bool {
+			return containsPID(id, pid)
+		})
+		return cacheRef{}, false
+	}
+	e.ctrl.ClaimUser(pid, typ, e.qIdx)
+	return cacheRef{pid: pid, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
+}
+
+// readCache loads a cache's pairs from its node.
+func (e *Engine) readCache(ref cacheRef) ([]records.Pair, error) {
+	reg := e.ctrl.Registry(ref.node)
+	data, ok := reg.Get(ref.pid, ref.typ)
+	if !ok {
+		return nil, fmt.Errorf("core: cache %s (%v) lost from node %d mid-recurrence", ref.pid, ref.typ, ref.node)
+	}
+	return records.DecodePairs(data)
+}
+
+// runPaneMapPhase maps one pane's physical segments. In proactive mode
+// each segment becomes schedulable as its data arrives; otherwise the
+// whole pane waits for the trigger. Header lookups for shared
+// multi-pane files are charged as extra read bytes.
+func (e *Engine) runPaneMapPhase(src int, p window.PaneID, trigger simtime.Time, stats *mapreduce.Stats) (*mapreduce.MapPhaseResult, error) {
+	ins, ok := e.srcs[src].PaneInputs(p)
+	if !ok {
+		return nil, fmt.Errorf("core: query %q: pane %d of source %d not flushed", e.query.Name, p, src)
+	}
+	job := e.paneJob(src)
+	var parts []*mapreduce.MapPhaseResult
+	earliest := trigger
+	for i, seg := range ins {
+		ready := trigger
+		if e.proactive {
+			ready = simtime.Max(seg.AvailableAt, 0)
+		}
+		if i == 0 || ready < earliest {
+			earliest = ready
+		}
+		mp, err := e.mr.RunMapPhase(job, []mapreduce.Input{seg.Input}, ready)
+		if err != nil {
+			return nil, err
+		}
+		mp.Stats.BytesRead += seg.HeaderBytes
+		parts = append(parts, mp)
+	}
+	merged := mapreduce.MergeMapPhases(parts, e.query.NumReducers, earliest)
+	stats.Accumulate(merged.Stats)
+	return merged, nil
+}
+
+// paneJob builds the per-pane MapReduce job spec for one source.
+func (e *Engine) paneJob(src int) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name:             fmt.Sprintf("%s/%s", e.query.Name, e.query.Sources[src].Name),
+		Map:              e.query.Maps[src],
+		Reduce:           e.query.Reduce,
+		Combine:          e.query.Combine,
+		NumReducers:      e.query.NumReducers,
+		Partition:        e.query.Partition,
+		CacheReduceInput: true,
+		LocalOutput:      true, // pane outputs are reduce-output caches
+		Place:            e.sched,
+	}
+}
+
+// runCacheTask schedules one cache-fed reduce-style task: the node is
+// chosen by Equation 4, the caches are charged local/remote reads, and
+// work is the supplied extra duration. It returns the chosen node and
+// the task's span.
+func (e *Engine) runCacheTask(ready simtime.Time, caches []cacheRef, work simtime.Duration) (int, simtime.Time, simtime.Time, simtime.Duration) {
+	locs := make([]CacheLoc, len(caches))
+	for i, c := range caches {
+		locs[i] = c.loc()
+		if c.readyAt > ready {
+			ready = c.readyAt
+		}
+	}
+	node := e.sched.PickCacheTaskNode(ready, locs)
+	dur := e.sched.CacheCost(node.ID, locs) + work
+	start, end := node.Reduce.Acquire(ready, dur)
+	node.AddLoad(dur)
+	return node.ID, start, end, dur
+}
+
+// retireExpired marks panes that have slid out of every window (as of
+// the *next* recurrence) and exhausted their lifespans as done for this
+// query, triggering purge notifications, and shifts the status matrix.
+// Each source retires against its own window frame; the per-source
+// bound advances only past the leading run of exhausted panes so a
+// pane with pending partner work is retried next recurrence.
+func (e *Engine) retireExpired(r int) {
+	R := e.query.NumReducers
+	n := len(e.query.Sources)
+	for d := 0; d < n; d++ {
+		nextLo, _ := e.frames[d].WindowRange(r + 1)
+		p := e.expiredBound[d]
+		for ; p < nextLo; p++ {
+			if !e.matrix.Exhausted(d, p) {
+				break
+			}
+			for part := 0; part < R; part++ {
+				e.ctrl.MarkQueryDone(e.query.rinPID(d, e.frames[d].Pane, p, part), ReduceInput, e.qIdx)
+				if n == 1 {
+					e.ctrl.MarkQueryDone(e.query.routPanePID(p, part), ReduceOutput, e.qIdx)
+				}
+			}
+			if n > 1 {
+				// Tuple outputs expire when the tuple can appear in
+				// no future window: once pane p has left every window
+				// of its source, every tuple with p at that
+				// coordinate (partners within p's lifespan) is dead.
+				e.forEachLifespanTuple(d, p, func(t paneTuple) {
+					for part := 0; part < R; part++ {
+						e.ctrl.MarkQueryDone(e.query.routTuplePID(t, part), ReduceOutput, e.qIdx)
+					}
+				})
+			}
+			// The pane's DFS files exist only to (re)build caches; an
+			// expired pane can never be needed again, so its files are
+			// garbage-collected to bound DFS growth ("after the
+			// recurring query finishes, all files storing cached data
+			// are removed", §5 — done incrementally here). Deletion
+			// failures are not fatal; the file lingers.
+			_ = e.srcs[d].DropPaneFiles(p)
+		}
+		if p > e.expiredBound[d] {
+			e.expiredBound[d] = p
+		}
+	}
+	e.matrix.Shift(r + 1)
+}
+
+// forEachLifespanTuple enumerates the tuples with pane p pinned at
+// dimension dim and every other coordinate ranging over p's lifespan
+// in that dimension.
+func (e *Engine) forEachLifespanTuple(dim int, p window.PaneID, fn func(paneTuple)) {
+	n := len(e.query.Sources)
+	los := make([]window.PaneID, n)
+	his := make([]window.PaneID, n)
+	for d := 0; d < n; d++ {
+		if d == dim {
+			los[d], his[d] = p, p
+			continue
+		}
+		lo, hi, ok := e.frames[dim].LifespanIn(p, e.frames[d])
+		if !ok {
+			return // pane precedes window 0: no tuples exist
+		}
+		los[d], his[d] = lo, hi
+	}
+	forEachTupleRanges(los, his, fn)
+}
+
+// containsPID reports whether a task-list entry ID references the pid.
+func containsPID(id, pid string) bool {
+	return pid != "" && strings.Contains(id, pid)
+}

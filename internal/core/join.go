@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+// The join path generalizes the paper's binary joins to n sources: the
+// cache status matrix is n-dimensional (§4.2 notes "the extension to
+// higher dimensions is straightforward"), each source pane is mapped
+// and shuffled once into reduce-input caches, each pane *tuple*
+// (p1,...,pn) within the window is joined exactly once with its result
+// cached, and a window's answer is the union of its tuples' outputs:
+// W1 ⋈ ... ⋈ Wn = ∪ p1 ⋈ ... ⋈ pn for equi-joins over pane unions.
+
+// paneTuple is one coordinate of the n-dimensional pane space.
+type paneTuple []window.PaneID
+
+// key is the map key / identifier form of a tuple.
+func (t paneTuple) key() string {
+	parts := make([]string, len(t))
+	for i, p := range t {
+		parts[i] = fmt.Sprintf("%d", int64(p))
+	}
+	return strings.Join(parts, "_")
+}
+
+// runJoin executes recurrence r of a multi-source query.
+func (e *Engine) runJoin(r int, trigger simtime.Time) (*RecurrenceResult, error) {
+	q := e.query
+	n := len(q.Sources)
+	los := make([]window.PaneID, n)
+	his := make([]window.PaneID, n)
+	for d := 0; d < n; d++ {
+		los[d], his[d] = e.frames[d].WindowRange(r)
+	}
+	res := &RecurrenceResult{Recurrence: r, WindowLo: los[0], WindowHi: his[0], TriggerAt: trigger}
+	res.Stats.Start = trigger
+	res.Stats.End = trigger
+
+	// Phase 1: reduce-input caches for every pane of every source.
+	rins := make([]map[window.PaneID][]cacheRef, n)
+	for src := 0; src < n; src++ {
+		rins[src] = make(map[window.PaneID][]cacheRef, int(his[src]-los[src])+1)
+		for p := los[src]; p <= his[src]; p++ {
+			refs, reused, recovered, err := e.ensureJoinPaneInputs(src, p, trigger, &res.Stats)
+			if err != nil {
+				return nil, err
+			}
+			rins[src][p] = refs
+			if reused {
+				res.ReusedPanes++
+			} else {
+				res.NewPanes++
+			}
+			if recovered {
+				res.CacheRecoveries++
+			}
+		}
+	}
+
+	// Phase 2: join every pane tuple of the window exactly once.
+	// Tuples already computed in earlier windows are reused from their
+	// output caches; the rest are grouped into batched tasks that
+	// share one cached pane per slot occupancy.
+	tupleRefs := make(map[string][]cacheRef)
+	var needed []paneTuple
+	forEachTupleRanges(los, his, func(t paneTuple) {
+		refs, reused, recovered := e.reuseJoinTuple(t)
+		if reused {
+			tupleRefs[t.key()] = refs
+			res.ReusedPairs++
+		} else {
+			needed = append(needed, append(paneTuple(nil), t...))
+			res.NewPairs++
+		}
+		if recovered {
+			res.CacheRecoveries++
+		}
+	})
+	for _, group := range groupTuples(needed) {
+		refsByTuple, err := e.joinTupleGroup(group, trigger, rins, &res.Stats)
+		if err != nil {
+			return nil, err
+		}
+		for key, refs := range refsByTuple {
+			tupleRefs[key] = refs
+		}
+	}
+
+	// Phase 3: combine the window's tuple outputs into the final result.
+	out, endMax, err := e.finalizeJoinWindow(los, his, trigger, tupleRefs, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = out
+	if endMax > res.Stats.End {
+		res.Stats.End = endMax
+	}
+	res.CompletedAt = res.Stats.End
+	res.ResponseTime = res.Stats.End.Sub(trigger)
+	return res, nil
+}
+
+// forEachTupleRanges enumerates the pane tuples of the per-dimension
+// ranges [los[d], his[d]] in lexicographic order.
+func forEachTupleRanges(los, his []window.PaneID, fn func(paneTuple)) {
+	n := len(los)
+	t := make(paneTuple, n)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == n {
+			fn(t)
+			return
+		}
+		for p := los[d]; p <= his[d]; p++ {
+			t[d] = p
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// ensureJoinPaneInputs guarantees the per-partition reduce-input caches
+// of pane p of source src: reused when present, rebuilt by re-running
+// the pane's map and shuffle when lost.
+func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.Time, stats *mapreduce.Stats) (refs []cacheRef, reused, recovered bool, err error) {
+	q := e.query
+	R := q.NumReducers
+
+	refs = make([]cacheRef, R)
+	all := !e.noReuse
+	anyKnown := false
+	for part := 0; all && part < R; part++ {
+		if _, known := e.ctrl.Lookup(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput); known {
+			anyKnown = true
+		}
+		ref, ok := e.lookupCache(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput)
+		if !ok {
+			all = false
+			break
+		}
+		refs[part] = ref
+	}
+	if all {
+		return refs, true, false, nil
+	}
+	recovered = anyKnown // signatures existed but bytes were lost
+
+	id := fmt.Sprintf("%sP%d", q.Sources[src].Name, int64(p))
+	e.sched.MapTasks.Push(id, nil)
+	defer e.sched.MapTasks.Remove(id)
+
+	mp, err := e.runPaneMapPhase(src, p, trigger, stats)
+	if err != nil {
+		return nil, false, recovered, err
+	}
+
+	for part := 0; part < R; part++ {
+		home := e.sched.HomeNode(part)
+		if home == nil {
+			return nil, false, recovered, fmt.Errorf("core: no alive node to home partition %d", part)
+		}
+		input := mp.Parts[part]
+		inBytes := records.PairsSize(input)
+		readyAt := simtime.Max(mp.LastMapEnd, trigger)
+		if e.proactive {
+			readyAt = mp.LastMapEnd
+		}
+		if inBytes == 0 {
+			refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID, readyAt, nil, e.rinUsers(src))
+			continue
+		}
+		// The reducer-side copy: bytes from maps colocated with the
+		// home are disk reads, the rest cross the network; the spill
+		// to the reduce-input cache is a local write.
+		var local, remote int64
+		for srcNode, b := range mp.PartSrcBytes[part] {
+			if srcNode == home.ID {
+				local += b
+			} else {
+				remote += b
+			}
+		}
+		shuffleStart := mp.FirstMapEnd
+		copyDone := shuffleStart.Add(e.mr.Cost.NetTransfer(remote) + e.mr.Cost.DiskRead(local))
+		availAt := simtime.Max(copyDone, mp.LastMapEnd)
+		// The cache is stored sorted so pane-tuple joins later merge
+		// sorted runs instead of re-sorting: the sort is paid once
+		// here, at cache-build time.
+		sorted := append([]records.Pair(nil), input...)
+		mapreduce.SortPairs(sorted)
+		spill := e.mr.Cost.Sort(inBytes) + e.mr.Cost.DiskWrite(inBytes)
+		_, end := home.Reduce.Acquire(availAt, spill)
+		home.AddLoad(spill)
+		stats.ShuffleTime += availAt.Sub(shuffleStart)
+		stats.ReduceTime += spill
+		stats.BytesShuffled += inBytes
+		refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID,
+			end, records.EncodePairs(sorted), e.rinUsers(src))
+		if end > stats.End {
+			stats.End = end
+		}
+	}
+	return refs, false, recovered, nil
+}
+
+// reuseJoinTuple returns pane tuple t's cached per-partition output
+// references when the tuple was computed in an earlier window and
+// every cache survives. recovered reports a detected cache loss.
+func (e *Engine) reuseJoinTuple(t paneTuple) (refs []cacheRef, reused, recovered bool) {
+	q := e.query
+	done, _ := e.matrix.Done(t...)
+	if !done || e.noReuse {
+		return nil, false, false
+	}
+	refs = make([]cacheRef, q.NumReducers)
+	for part := 0; part < q.NumReducers; part++ {
+		ref, ok := e.lookupCache(q.routTuplePID(t, part), ReduceOutput)
+		if !ok {
+			return nil, false, true
+		}
+		refs[part] = ref
+	}
+	return refs, true, false
+}
+
+// tupleGroup is a batch of pane tuples sharing one (dimension, pane)
+// coordinate that one reducer slot occupancy processes.
+type tupleGroup struct {
+	tuples []paneTuple
+}
+
+// groupTuples buckets the needed tuples so that tuples sharing a hot
+// coordinate run in one batched task: each tuple joins the bucket of
+// whichever of its coordinates participates in the most needed tuples,
+// so the hot new pane's cache is read once per partition rather than
+// once per tuple.
+func groupTuples(needed []paneTuple) []tupleGroup {
+	type coord struct {
+		dim  int
+		pane window.PaneID
+	}
+	count := make(map[coord]int)
+	for _, t := range needed {
+		for d, p := range t {
+			count[coord{d, p}]++
+		}
+	}
+	buckets := make(map[coord]*tupleGroup)
+	var order []coord
+	for _, t := range needed {
+		best := coord{0, t[0]}
+		for d, p := range t {
+			if count[coord{d, p}] > count[best] {
+				best = coord{d, p}
+			}
+		}
+		g, ok := buckets[best]
+		if !ok {
+			g = &tupleGroup{}
+			buckets[best] = g
+			order = append(order, best)
+		}
+		g.tuples = append(g.tuples, t)
+	}
+	out := make([]tupleGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *buckets[k])
+	}
+	return out
+}
+
+// joinTupleGroup computes a batch of pane-tuple joins per partition in
+// one slot occupancy: distinct input caches are loaded once, each
+// tuple's output is computed and cached separately (preserving
+// tuple-granular reuse and expiry), and the status matrix is updated.
+func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []map[window.PaneID][]cacheRef, stats *mapreduce.Stats) (map[string][]cacheRef, error) {
+	q := e.query
+	R := q.NumReducers
+	n := len(q.Sources)
+	baseReady := trigger
+	if e.proactive {
+		baseReady = 0 // gated only by the input caches' readiness
+	}
+	id := groupID(q, group)
+	e.sched.ReduceTasks.Push(id, nil)
+	defer e.sched.ReduceTasks.Remove(id)
+
+	out := make(map[string][]cacheRef, len(group.tuples))
+	for _, t := range group.tuples {
+		out[t.key()] = make([]cacheRef, R)
+	}
+	for part := 0; part < R; part++ {
+		// Distinct caches this batch loads for partition part.
+		var caches []cacheRef
+		seen := make(map[string]bool)
+		addCache := func(c cacheRef) {
+			if c.bytes == 0 || seen[c.pid] {
+				return
+			}
+			seen[c.pid] = true
+			caches = append(caches, c)
+		}
+		var inBytes, outBytes int64
+		type tupleOut struct {
+			key  string
+			data []byte
+		}
+		var outs []tupleOut
+		for _, t := range group.tuples {
+			var tupleIn int64
+			var pairs []records.Pair
+			for d := 0; d < n; d++ {
+				c := rins[d][t[d]][part]
+				addCache(c)
+				tupleIn += c.bytes
+				if c.bytes == 0 {
+					continue
+				}
+				ps, err := e.readCache(c)
+				if err != nil {
+					return nil, err
+				}
+				pairs = append(pairs, ps...)
+			}
+			if tupleIn == 0 {
+				outs = append(outs, tupleOut{key: t.key(), data: nil})
+				continue
+			}
+			joined := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
+			data := records.EncodePairs(joined)
+			inBytes += tupleIn
+			outBytes += int64(len(data))
+			outs = append(outs, tupleOut{key: t.key(), data: data})
+		}
+		if len(caches) == 0 {
+			// Entirely empty partition: register empty outputs.
+			home := e.sched.HomeNode(part)
+			for i, to := range outs {
+				out[to.key][part] = e.registerCache(q.routTuplePID(group.tuples[i], part),
+					ReduceOutput, home.ID, baseReady, nil)
+			}
+			continue
+		}
+		node, _, end, dur := e.runCacheTask(baseReady, caches,
+			e.mr.Cost.CachedReduceTask(inBytes, outBytes))
+		stats.ReduceTasks++
+		stats.ReduceTime += dur
+		stats.BytesCacheRead += sumCacheBytes(caches)
+		for i, to := range outs {
+			out[to.key][part] = e.registerCache(q.routTuplePID(group.tuples[i], part),
+				ReduceOutput, node, end, to.data)
+		}
+		if end > stats.End {
+			stats.End = end
+		}
+	}
+	for _, t := range group.tuples {
+		if err := e.matrix.Update(t...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func sumCacheBytes(cs []cacheRef) int64 {
+	var n int64
+	for _, c := range cs {
+		n += c.bytes
+	}
+	return n
+}
+
+// groupID names a batched tuple task for the reduce task list, e.g.
+// "S1P3+S2P4" or "S1P3+8 tuples".
+func groupID(q *Query, g tupleGroup) string {
+	if len(g.tuples) == 1 && len(g.tuples[0]) == 2 {
+		return fmt.Sprintf("%sP%d+%sP%d", q.Sources[0].Name, int64(g.tuples[0][0]),
+			q.Sources[1].Name, int64(g.tuples[0][1]))
+	}
+	return fmt.Sprintf("%sP%d+%d tuples", q.Sources[0].Name, int64(g.tuples[0][0]), len(g.tuples))
+}
+
+// finalizeJoinWindow assembles the window's result from the cached
+// tuple outputs. With no finalization function the result is the union
+// of the already-materialized tuple outputs — the new tuples' results
+// "combined with the cached reducer outputs from last occurrence"
+// (§6.2.2) — so the finalize step publishes a manifest referencing
+// those output files rather than physically rewriting them (Hadoop
+// outputs are directories of part files; a Redoop recurrence's output
+// directory lists its tuples' part files). With a Merge function the
+// partial outputs are genuinely re-read and merged per partition.
+func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Time, tupleRefs map[string][]cacheRef, stats *mapreduce.Stats) ([]records.Pair, simtime.Time, error) {
+	q := e.query
+	endMax := trigger
+	var output []records.Pair
+
+	if q.Merge == nil {
+		// Manifest publication: one metadata task covering the whole
+		// window; the output bytes themselves are already on disk.
+		ready := trigger
+		var manifestBytes int64
+		var ferr error
+		forEachTupleRanges(los, his, func(t paneTuple) {
+			if ferr != nil {
+				return
+			}
+			for part := 0; part < q.NumReducers; part++ {
+				ref := tupleRefs[t.key()][part]
+				if ref.readyAt > ready {
+					ready = ref.readyAt
+				}
+				if ref.bytes == 0 {
+					continue
+				}
+				manifestBytes += int64(len(ref.pid)) + 16
+				ps, err := e.readCache(ref)
+				if err != nil {
+					ferr = err
+					return
+				}
+				output = append(output, ps...)
+				stats.BytesOutput += ref.bytes
+			}
+		})
+		if ferr != nil {
+			return nil, endMax, ferr
+		}
+		node := e.sched.PickCacheTaskNode(ready, nil)
+		dur := e.mr.Cost.ConcatTask(manifestBytes)
+		_, end := node.Reduce.Acquire(ready, dur)
+		node.AddLoad(dur)
+		stats.ReduceTime += dur
+		if end > endMax {
+			endMax = end
+		}
+		return output, endMax, nil
+	}
+
+	for part := 0; part < q.NumReducers; part++ {
+		var caches []cacheRef
+		var pairs []records.Pair
+		var ferr error
+		forEachTupleRanges(los, his, func(t paneTuple) {
+			if ferr != nil {
+				return
+			}
+			ref := tupleRefs[t.key()][part]
+			if ref.bytes == 0 {
+				return
+			}
+			caches = append(caches, ref)
+			ps, err := e.readCache(ref)
+			if err != nil {
+				ferr = err
+				return
+			}
+			pairs = append(pairs, ps...)
+		})
+		if ferr != nil {
+			return nil, endMax, ferr
+		}
+		if len(caches) == 0 {
+			continue
+		}
+		out := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
+		inBytes := records.PairsSize(pairs)
+		outBytes := records.PairsSize(out)
+		_, _, end, dur := e.runCacheTask(trigger, caches, e.mr.Cost.MergeTask(inBytes, outBytes))
+		stats.ReduceTime += dur
+		stats.ReduceTasks++
+		stats.BytesCacheRead += inBytes
+		stats.BytesOutput += outBytes
+		if end > endMax {
+			endMax = end
+		}
+		output = append(output, out...)
+	}
+	return output, endMax, nil
+}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"redoop/internal/dfs"
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+// PaneInput is one physical segment of one logical pane: a byte range
+// of a DFS file plus the instant its data is complete — the earliest
+// moment proactive execution may process it.
+type PaneInput struct {
+	Input mapreduce.Input
+	// Pane is the logical pane the segment belongs to.
+	Pane window.PaneID
+	// SubPane is the segment's index within its pane (0 when the pane
+	// is packed whole).
+	SubPane int
+	// AvailableAt is when the segment's data has fully arrived.
+	AvailableAt simtime.Time
+	// HeaderBytes is the extra read charged to locate this segment
+	// inside a shared multi-pane file via its header (§3.2); zero for
+	// single-pane files.
+	HeaderBytes int64
+}
+
+// Packer is the Dynamic Data Packer of one data source (paper §3.2):
+// it executes the Semantic Analyzer's partition plan at load time,
+// splitting arriving record batches into pane (or sub-pane) units and
+// storing them as DFS files under the paper's naming convention —
+// S#P# when one pane maps to one file (the oversize case) and S#P#_#
+// with a locator header when several undersized panes share a file.
+//
+// Packing piggybacks on loading: the pane files exist by the time the
+// covered data has arrived, so the packer charges no query-time cost
+// beyond the per-pane header lookup for shared files.
+type Packer struct {
+	dfs   *dfs.DFS
+	name  string // source name used in paths, e.g. "S1"
+	dir   string // DFS directory, e.g. "/data/q1"
+	frame window.Frame
+	plan  PartitionPlan
+
+	// timeOfUnit maps a window-unit offset to a virtual instant. For
+	// time-based windows units are virtual nanoseconds (identity); for
+	// count-based windows the caller supplies the arrival mapping.
+	timeOfUnit func(int64) simtime.Time
+
+	pending map[window.PaneID]map[int][]records.Record // pane -> sub -> records
+	paneSub map[window.PaneID]int                      // sub-pane factor bound per pane
+	flushed map[window.PaneID][]PaneInput
+	// group accumulates undersized panes awaiting a shared file.
+	groupPanes []window.PaneID
+	groupRecs  map[window.PaneID][]records.Record
+	// flushedThrough is the unit bound below which all data has been
+	// flushed; late records are rejected.
+	flushedThrough int64
+}
+
+// NewPacker builds a packer for one source. dir is the DFS directory
+// pane files are written under.
+func NewPacker(d *dfs.DFS, sourceName, dir string, frame window.Frame, plan PartitionPlan) (*Packer, error) {
+	if err := frame.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.PaneUnit != frame.Pane {
+		return nil, fmt.Errorf("core: plan pane unit %d does not match the frame's pane unit %d",
+			plan.PaneUnit, frame.Pane)
+	}
+	p := &Packer{
+		dfs:     d,
+		name:    sourceName,
+		dir:     dir,
+		frame:   frame,
+		plan:    plan,
+		pending: make(map[window.PaneID]map[int][]records.Record),
+		paneSub: make(map[window.PaneID]int),
+		flushed: make(map[window.PaneID][]PaneInput),
+	}
+	if frame.Spec.Kind == window.TimeBased {
+		p.timeOfUnit = func(u int64) simtime.Time { return simtime.Time(u) }
+	} else {
+		p.timeOfUnit = func(int64) simtime.Time { return 0 }
+	}
+	p.groupRecs = make(map[window.PaneID][]records.Record)
+	return p, nil
+}
+
+// SetTimeOfUnit overrides the unit→instant mapping (needed for
+// count-based windows where record ordinals are not instants).
+func (p *Packer) SetTimeOfUnit(fn func(int64) simtime.Time) { p.timeOfUnit = fn }
+
+// Plan returns the packer's current partition plan.
+func (p *Packer) Plan() PartitionPlan { return p.plan }
+
+// SetPlan adopts a new plan (adaptive re-planning, §3.3). It affects
+// panes whose data has not started arriving; panes already buffered
+// keep the granularity they were bound to.
+func (p *Packer) SetPlan(plan PartitionPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	if plan.PaneUnit != p.frame.Pane {
+		return fmt.Errorf("core: plan pane unit %d does not match the frame's pane unit %d",
+			plan.PaneUnit, p.frame.Pane)
+	}
+	p.plan = plan
+	return nil
+}
+
+// SourceName returns the source's name.
+func (p *Packer) SourceName() string { return p.name }
+
+// Ingest buffers a batch of records, assigning each to its pane and
+// sub-pane by timestamp. Records at or below the flushed bound are
+// rejected: the data model (paper §2.1) guarantees in-order,
+// non-overlapping batch files.
+func (p *Packer) Ingest(recs []records.Record) error {
+	for _, r := range recs {
+		if r.Ts < p.flushedThrough {
+			return fmt.Errorf("core: packer %s: record at unit %d arrives after flush bound %d",
+				p.name, r.Ts, p.flushedThrough)
+		}
+		pane := p.frame.PaneOf(r.Ts)
+		if pane < 0 {
+			return fmt.Errorf("core: packer %s: record before the unit origin (ts %d)", p.name, r.Ts)
+		}
+		sub, ok := p.paneSub[pane]
+		if !ok {
+			sub = p.plan.SubPanes
+			p.paneSub[pane] = sub
+		}
+		subIdx := 0
+		if sub > 1 {
+			within := r.Ts - p.frame.PaneStart(pane)
+			subIdx = int(within * int64(sub) / p.frame.Pane)
+			if subIdx >= sub {
+				subIdx = sub - 1
+			}
+		}
+		bySub, ok := p.pending[pane]
+		if !ok {
+			bySub = make(map[int][]records.Record)
+			p.pending[pane] = bySub
+		}
+		bySub[subIdx] = append(bySub[subIdx], r)
+	}
+	return nil
+}
+
+// FlushThrough writes pane files for every pane ending at or before the
+// given unit bound (typically the closing window's upper edge) and
+// advances the flush bound. Oversize panes (and all sub-panes) become
+// their own files; undersized panes accumulate into shared group files
+// of up to PanesPerFile panes, force-flushed at the bound so windows
+// never wait on an incomplete group.
+func (p *Packer) FlushThrough(unit int64) error {
+	if unit <= p.flushedThrough {
+		return nil
+	}
+	var due []window.PaneID
+	for pane := range p.pending {
+		if p.frame.PaneEnd(pane) <= unit {
+			due = append(due, pane)
+		}
+	}
+	// Panes with no records still need (empty) representation so the
+	// engine can distinguish "empty pane" from "missing data": record
+	// them as flushed with no inputs.
+	loPane := p.frame.PaneOf(p.flushedThrough)
+	hiPane := p.frame.PaneOf(unit - 1)
+	for pane := loPane; pane <= hiPane; pane++ {
+		if p.frame.PaneEnd(pane) > unit {
+			break
+		}
+		if _, havePending := p.pending[pane]; !havePending {
+			if _, haveFlushed := p.flushed[pane]; !haveFlushed {
+				p.flushed[pane] = []PaneInput{}
+			}
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, pane := range due {
+		if err := p.flushPane(pane); err != nil {
+			return err
+		}
+	}
+	// Force out any incomplete undersized group at the bound.
+	if err := p.flushGroup(); err != nil {
+		return err
+	}
+	p.flushedThrough = unit
+	return nil
+}
+
+// flushPane routes one due pane to its physical representation.
+func (p *Packer) flushPane(pane window.PaneID) error {
+	bySub := p.pending[pane]
+	delete(p.pending, pane)
+	sub := p.paneSub[pane]
+	if sub < 1 {
+		sub = 1
+	}
+
+	if p.plan.PanesPerFile <= 1 || sub > 1 {
+		// Oversize case (or adaptively subdivided): one file per pane
+		// segment, named S#P# — with a sub-pane suffix when split.
+		for s := 0; s < sub; s++ {
+			recs := bySub[s]
+			if len(recs) == 0 {
+				continue
+			}
+			sortByTs(recs)
+			path := fmt.Sprintf("%s/%sP%d", p.dir, p.name, int64(pane))
+			if sub > 1 {
+				path = fmt.Sprintf("%s.%d", path, s)
+			}
+			if err := p.dfs.Write(path, records.Encode(recs)); err != nil {
+				return err
+			}
+			availUnit := p.frame.PaneStart(pane) + (int64(s)+1)*p.frame.Pane/int64(sub)
+			if s == sub-1 {
+				availUnit = p.frame.PaneEnd(pane)
+			}
+			p.flushed[pane] = append(p.flushed[pane], PaneInput{
+				Input:       mapreduce.WholeFile(path),
+				Pane:        pane,
+				SubPane:     s,
+				AvailableAt: p.timeOfUnit(availUnit),
+			})
+		}
+		if _, ok := p.flushed[pane]; !ok {
+			p.flushed[pane] = []PaneInput{}
+		}
+		return nil
+	}
+
+	// Undersized case: accumulate the pane into the current group;
+	// emit the shared file when the group fills.
+	var recs []records.Record
+	for s := 0; s < sub; s++ {
+		recs = append(recs, bySub[s]...)
+	}
+	sortByTs(recs)
+	p.groupPanes = append(p.groupPanes, pane)
+	p.groupRecs[pane] = recs
+	if len(p.groupPanes) >= p.plan.PanesPerFile {
+		return p.flushGroup()
+	}
+	return nil
+}
+
+// header is the multi-pane file locator (§3.2): pane → byte range.
+type headerEntry struct {
+	Pane   int64 `json:"pane"`
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+}
+
+// flushGroup writes the pending undersized panes as one shared file
+// named S#P<lo>_<hi> plus its header.
+func (p *Packer) flushGroup() error {
+	if len(p.groupPanes) == 0 {
+		return nil
+	}
+	panes := p.groupPanes
+	p.groupPanes = nil
+	sort.Slice(panes, func(i, j int) bool { return panes[i] < panes[j] })
+	lo, hi := panes[0], panes[len(panes)-1]
+	path := fmt.Sprintf("%s/%sP%d_%d", p.dir, p.name, int64(lo), int64(hi))
+	if len(panes) == 1 {
+		path = fmt.Sprintf("%s/%sP%d", p.dir, p.name, int64(lo))
+	}
+
+	var body []byte
+	var hdr []headerEntry
+	ranges := make(map[window.PaneID][2]int64)
+	for _, pane := range panes {
+		recs := p.groupRecs[pane]
+		delete(p.groupRecs, pane)
+		start := int64(len(body))
+		for _, r := range recs {
+			body = r.Append(body)
+		}
+		length := int64(len(body)) - start
+		ranges[pane] = [2]int64{start, length}
+		hdr = append(hdr, headerEntry{Pane: int64(pane), Offset: start, Length: length})
+	}
+	if err := p.dfs.Write(path, body); err != nil {
+		return err
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := p.dfs.Write(path+".hdr", hdrBytes); err != nil {
+		return err
+	}
+	for _, pane := range panes {
+		rng := ranges[pane]
+		if rng[1] == 0 {
+			if _, ok := p.flushed[pane]; !ok {
+				p.flushed[pane] = []PaneInput{}
+			}
+			continue
+		}
+		p.flushed[pane] = append(p.flushed[pane], PaneInput{
+			Input:       mapreduce.Input{Path: path, Offset: rng[0], Length: rng[1]},
+			Pane:        pane,
+			SubPane:     0,
+			AvailableAt: p.timeOfUnit(p.frame.PaneEnd(pane)),
+			HeaderBytes: int64(len(hdrBytes)),
+		})
+	}
+	return nil
+}
+
+// PaneInputs returns the flushed physical segments of a pane, sub-pane
+// order. The second result is false if the pane has not been flushed —
+// its data has not arrived or FlushThrough was not called past its end.
+func (p *Packer) PaneInputs(pane window.PaneID) ([]PaneInput, bool) {
+	ins, ok := p.flushed[pane]
+	if !ok {
+		return nil, false
+	}
+	out := append([]PaneInput(nil), ins...)
+	sort.Slice(out, func(i, j int) bool { return out[i].SubPane < out[j].SubPane })
+	return out, true
+}
+
+// PaneBytes returns the total flushed bytes of a pane.
+func (p *Packer) PaneBytes(pane window.PaneID) int64 {
+	var total int64
+	for _, in := range p.flushed[pane] {
+		if in.Input.Length >= 0 {
+			total += in.Input.Length
+		} else if sz, err := p.dfs.Size(in.Input.Path); err == nil {
+			total += sz
+		}
+	}
+	return total
+}
+
+// DropPaneFiles deletes a pane's files from DFS once no query can ever
+// need them again. Shared multi-pane files are only deleted when every
+// contained pane has been dropped (tracked via the header file).
+func (p *Packer) DropPaneFiles(pane window.PaneID) error {
+	ins, ok := p.flushed[pane]
+	if !ok {
+		return nil
+	}
+	for _, in := range ins {
+		if in.HeaderBytes > 0 {
+			continue // shared file: retained until group cleanup
+		}
+		if p.dfs.Exists(in.Input.Path) {
+			if err := p.dfs.Delete(in.Input.Path); err != nil {
+				return err
+			}
+		}
+	}
+	delete(p.flushed, pane)
+	return nil
+}
+
+func sortByTs(recs []records.Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Ts < recs[j].Ts })
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"redoop/internal/dfs"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+func packerDFS(t *testing.T) *dfs.DFS {
+	t.Helper()
+	return dfs.MustNew(dfs.Config{BlockSize: 1 << 20, Replication: 2, Nodes: []int{0, 1, 2}, Seed: 9})
+}
+
+func mkRecs(ts []int64) []records.Record {
+	out := make([]records.Record, len(ts))
+	for i, t := range ts {
+		out[i] = records.Record{Ts: t, Data: []byte(fmt.Sprintf("rec@%d", t))}
+	}
+	return out
+}
+
+// countSpec(30,20) has pane unit 10.
+func packerSpec() window.Spec { return window.NewCountSpec(30, 20) }
+
+func oversizePlan() PartitionPlan {
+	return PartitionPlan{PaneUnit: 10, FilesPerPane: 1, PanesPerFile: 1, SubPanes: 1}
+}
+
+func TestNewPackerValidation(t *testing.T) {
+	d := packerDFS(t)
+	if _, err := NewPacker(d, "S1", "/d", window.Frame{}, oversizePlan()); err == nil {
+		t.Error("invalid spec should be rejected")
+	}
+	bad := oversizePlan()
+	bad.PaneUnit = 7 // mismatched with spec's GCD
+	if _, err := NewPacker(d, "S1", "/d", window.FrameOf(packerSpec()), bad); err == nil {
+		t.Error("plan/spec pane mismatch should be rejected")
+	}
+}
+
+func TestOversizePaneFiles(t *testing.T) {
+	d := packerDFS(t)
+	pk, err := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), oversizePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.Ingest(mkRecs([]int64{0, 5, 9, 12, 15})); err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.FlushThrough(30); err != nil {
+		t.Fatal(err)
+	}
+	// Pane 0 holds ts 0,5,9; pane 1 holds 12,15; pane 2 is empty.
+	ins, ok := pk.PaneInputs(0)
+	if !ok || len(ins) != 1 {
+		t.Fatalf("pane 0 inputs = %v, %v", ins, ok)
+	}
+	if ins[0].Input.Path != "/data/S1P0" {
+		t.Errorf("pane 0 path = %s, want naming convention S1P0", ins[0].Input.Path)
+	}
+	data, err := d.Read(ins[0].Input.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := records.Decode(data)
+	if err != nil || len(recs) != 3 {
+		t.Errorf("pane 0 should hold 3 records, got %d (%v)", len(recs), err)
+	}
+	// Empty pane 2: flushed with zero inputs, distinguishable from
+	// unflushed panes.
+	ins2, ok := pk.PaneInputs(2)
+	if !ok || len(ins2) != 0 {
+		t.Errorf("empty pane should flush to no inputs: %v, %v", ins2, ok)
+	}
+	if _, ok := pk.PaneInputs(3); ok {
+		t.Error("unflushed pane should not resolve")
+	}
+	if got := pk.PaneBytes(0); got != int64(len(data)) {
+		t.Errorf("PaneBytes = %d, want %d", got, len(data))
+	}
+}
+
+func TestUndersizedMultiPaneFileWithHeader(t *testing.T) {
+	d := packerDFS(t)
+	plan := oversizePlan()
+	plan.PanesPerFile = 3
+	pk, err := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.Ingest(mkRecs([]int64{1, 11, 21, 22})); err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.FlushThrough(30); err != nil {
+		t.Fatal(err)
+	}
+	// Three panes share one file named S1P0_2 plus a header.
+	ins0, _ := pk.PaneInputs(0)
+	ins1, _ := pk.PaneInputs(1)
+	ins2, _ := pk.PaneInputs(2)
+	if len(ins0) != 1 || len(ins1) != 1 || len(ins2) != 1 {
+		t.Fatalf("each pane should map to one segment: %d %d %d", len(ins0), len(ins1), len(ins2))
+	}
+	if ins0[0].Input.Path != "/data/S1P0_2" || ins1[0].Input.Path != ins0[0].Input.Path {
+		t.Errorf("shared file naming wrong: %s", ins0[0].Input.Path)
+	}
+	if !d.Exists("/data/S1P0_2.hdr") {
+		t.Error("multi-pane file should have a header")
+	}
+	if ins0[0].HeaderBytes == 0 {
+		t.Error("pane reads from a shared file should charge a header lookup")
+	}
+	// Ranges are record-aligned: decoding each range yields exactly
+	// that pane's records.
+	body, _ := d.Read(ins1[0].Input.Path)
+	seg := body[ins1[0].Input.Offset : ins1[0].Input.Offset+ins1[0].Input.Length]
+	recs, err := records.Decode(seg)
+	if err != nil || len(recs) != 1 || recs[0].Ts != 11 {
+		t.Errorf("pane 1 range decode = %v, %v", recs, err)
+	}
+	seg2 := body[ins2[0].Input.Offset : ins2[0].Input.Offset+ins2[0].Input.Length]
+	recs2, _ := records.Decode(seg2)
+	if len(recs2) != 2 {
+		t.Errorf("pane 2 should hold 2 records, got %d", len(recs2))
+	}
+}
+
+func TestUndersizedPartialGroupForcedFlush(t *testing.T) {
+	d := packerDFS(t)
+	plan := oversizePlan()
+	plan.PanesPerFile = 3
+	pk, _ := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), plan)
+	pk.Ingest(mkRecs([]int64{1, 11}))
+	// The first window (panes 0..2) closes at unit 30; the group has
+	// only 2 panes of data but must flush anyway.
+	if err := pk.FlushThrough(30); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pk.PaneInputs(0); !ok {
+		t.Error("forced flush should make pane 0 available")
+	}
+	if _, ok := pk.PaneInputs(1); !ok {
+		t.Error("forced flush should make pane 1 available")
+	}
+}
+
+func TestSubPanePacking(t *testing.T) {
+	d := packerDFS(t)
+	plan := oversizePlan()
+	plan.SubPanes = 2
+	pk, _ := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), plan)
+	pk.Ingest(mkRecs([]int64{0, 4, 5, 9})) // pane 0: subs [0,4] and [5,9]
+	if err := pk.FlushThrough(10); err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := pk.PaneInputs(0)
+	if len(ins) != 2 {
+		t.Fatalf("sub-pane plan should produce 2 segments, got %d", len(ins))
+	}
+	if ins[0].SubPane != 0 || ins[1].SubPane != 1 {
+		t.Error("segments should be ordered by sub-pane")
+	}
+	if ins[0].Input.Path == ins[1].Input.Path {
+		t.Error("sub-panes should be separate files")
+	}
+}
+
+func TestSubPaneAvailability(t *testing.T) {
+	d := packerDFS(t)
+	spec := window.NewTimeSpec(40*simtime.Second, 20*simtime.Second) // pane 20s
+	plan := PartitionPlan{PaneUnit: int64(20 * simtime.Second), FilesPerPane: 1, PanesPerFile: 1, SubPanes: 2}
+	pk, err := NewPacker(d, "S1", "/data", window.FrameOf(spec), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk.Ingest([]records.Record{
+		{Ts: int64(2 * simtime.Second), Data: []byte("a")},
+		{Ts: int64(15 * simtime.Second), Data: []byte("b")},
+	})
+	if err := pk.FlushThrough(int64(20 * simtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := pk.PaneInputs(0)
+	if len(ins) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(ins))
+	}
+	if ins[0].AvailableAt != simtime.Time(10*simtime.Second) {
+		t.Errorf("first sub-pane available at %v, want T+10s", ins[0].AvailableAt)
+	}
+	if ins[1].AvailableAt != simtime.Time(20*simtime.Second) {
+		t.Errorf("second sub-pane available at %v, want T+20s", ins[1].AvailableAt)
+	}
+}
+
+func TestIngestRejectsLateData(t *testing.T) {
+	d := packerDFS(t)
+	pk, _ := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), oversizePlan())
+	pk.Ingest(mkRecs([]int64{5}))
+	pk.FlushThrough(10)
+	if err := pk.Ingest(mkRecs([]int64{7})); err == nil {
+		t.Error("records behind the flush bound must be rejected")
+	}
+	if err := pk.Ingest([]records.Record{{Ts: -3}}); err == nil {
+		t.Error("records before the origin must be rejected")
+	}
+}
+
+func TestFlushThroughIdempotent(t *testing.T) {
+	d := packerDFS(t)
+	pk, _ := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), oversizePlan())
+	pk.Ingest(mkRecs([]int64{5}))
+	if err := pk.FlushThrough(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.FlushThrough(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.FlushThrough(5); err != nil {
+		t.Fatal(err) // lower bound is a no-op
+	}
+	ins, _ := pk.PaneInputs(0)
+	if len(ins) != 1 {
+		t.Errorf("idempotent flush should not duplicate segments: %d", len(ins))
+	}
+}
+
+func TestSetPlanValidates(t *testing.T) {
+	d := packerDFS(t)
+	pk, _ := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), oversizePlan())
+	bad := oversizePlan()
+	bad.PaneUnit = 3
+	if err := pk.SetPlan(bad); err == nil {
+		t.Error("mismatched plan should be rejected")
+	}
+	good := oversizePlan()
+	good.SubPanes = 4
+	if err := pk.SetPlan(good); err != nil {
+		t.Fatal(err)
+	}
+	if pk.Plan().SubPanes != 4 {
+		t.Error("plan not adopted")
+	}
+}
+
+func TestDropPaneFiles(t *testing.T) {
+	d := packerDFS(t)
+	pk, _ := NewPacker(d, "S1", "/data", window.FrameOf(packerSpec()), oversizePlan())
+	pk.Ingest(mkRecs([]int64{5}))
+	pk.FlushThrough(10)
+	ins, _ := pk.PaneInputs(0)
+	path := ins[0].Input.Path
+	if err := pk.DropPaneFiles(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists(path) {
+		t.Error("dropped pane file should be deleted")
+	}
+	if _, ok := pk.PaneInputs(0); ok {
+		t.Error("dropped pane should no longer resolve")
+	}
+	if err := pk.DropPaneFiles(99); err != nil {
+		t.Error("dropping an unknown pane is a no-op")
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"redoop/internal/cluster"
+)
+
+// CacheType distinguishes the two cache stages Redoop maintains on task
+// nodes (paper §4): the reduce input cache (shuffled, pre-group
+// partition data per pane) and the reduce output cache (per-pane or
+// per-pane-pair reduce results).
+type CacheType int
+
+const (
+	// ReduceInput is type 1 in the paper's local cache registry.
+	ReduceInput CacheType = 1
+	// ReduceOutput is type 2.
+	ReduceOutput CacheType = 2
+)
+
+// String names the cache type.
+func (t CacheType) String() string {
+	switch t {
+	case ReduceInput:
+		return "reduce-input"
+	case ReduceOutput:
+		return "reduce-output"
+	default:
+		return fmt.Sprintf("CacheType(%d)", int(t))
+	}
+}
+
+// localKey is the node-local file-system key for a cache entry.
+func localKey(pid string, typ CacheType) string {
+	if typ == ReduceInput {
+		return "cache/rin/" + pid
+	}
+	return "cache/rout/" + pid
+}
+
+// RegistryEntry is one row of the local cache registry (paper Table 1):
+// which pane is cached, at which stage, and whether any window
+// operation still needs it.
+type RegistryEntry struct {
+	PID     string
+	Type    CacheType
+	Expired bool
+}
+
+// Registry is the local cache registry of one task node. The node's
+// Local Cache Manager appends entries as caches are created, flips
+// expiration flags when the window-aware cache controller notifies it,
+// and purges expired caches periodically or on demand (§4.1).
+type Registry struct {
+	mu      sync.Mutex
+	node    *cluster.Node
+	entries map[string]*RegistryEntry // keyed by pid|type
+}
+
+// NewRegistry builds the registry for one node.
+func NewRegistry(node *cluster.Node) *Registry {
+	return &Registry{node: node, entries: make(map[string]*RegistryEntry)}
+}
+
+func entryKey(pid string, typ CacheType) string {
+	return fmt.Sprintf("%s|%d", pid, int(typ))
+}
+
+// NodeID returns the owning node's ID.
+func (r *Registry) NodeID() int { return r.node.ID }
+
+// Add registers a newly created cache and stores its bytes on the
+// node's local file system. The new entry starts unexpired; existing
+// entries are untouched (adding is append-only, §4.1).
+func (r *Registry) Add(pid string, typ CacheType, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[entryKey(pid, typ)] = &RegistryEntry{PID: pid, Type: typ}
+	r.node.PutLocal(localKey(pid, typ), data)
+}
+
+// Get loads a cached entry's bytes from the node's local file system.
+// The second result is false when the cache is absent — either never
+// created here or lost to a failure; callers treat that as a cache miss
+// and trigger recovery.
+func (r *Registry) Get(pid string, typ CacheType) ([]byte, bool) {
+	return r.node.GetLocal(localKey(pid, typ))
+}
+
+// Has reports whether the cache's bytes are actually present on the
+// local file system (registry entries can outlive lost data after a
+// fault injection).
+func (r *Registry) Has(pid string, typ CacheType) bool {
+	return r.node.HasLocal(localKey(pid, typ))
+}
+
+// Size returns the cached bytes' length, or -1 when absent.
+func (r *Registry) Size(pid string, typ CacheType) int64 {
+	return r.node.LocalSize(localKey(pid, typ))
+}
+
+// MarkExpired flips the expiration flag of an entry in response to a
+// purge notification from the window-aware cache controller. Unknown
+// entries are ignored (the notification may race a node failure).
+func (r *Registry) MarkExpired(pid string, typ CacheType) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[entryKey(pid, typ)]; ok {
+		e.Expired = true
+	}
+}
+
+// Entries returns a snapshot of all registry rows, sorted by pid then
+// type for deterministic inspection.
+func (r *Registry) Entries() []RegistryEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RegistryEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// PurgeExpired removes every expired entry's data and registry row,
+// returning the number of caches purged. This is the body of both
+// purge policies: the Local Cache Manager calls it on its periodic
+// PurgeCycle tick, and on demand when local disk runs short (§4.1).
+func (r *Registry) PurgeExpired() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for k, e := range r.entries {
+		if e.Expired {
+			r.node.DeleteLocal(localKey(e.PID, e.Type))
+			delete(r.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// CachedBytes returns the total bytes of unexpired caches present on
+// the local file system.
+func (r *Registry) CachedBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, e := range r.entries {
+		if !e.Expired {
+			if sz := r.node.LocalSize(localKey(e.PID, e.Type)); sz > 0 {
+				total += sz
+			}
+		}
+	}
+	return total
+}
+
+// CacheManager is the Local Cache Manager: it owns a node's registry
+// and applies the purge policy. PurgeCycle is expressed in recurrences
+// of the driving query (the paper's default is one slide).
+type CacheManager struct {
+	Registry *Registry
+	// PurgeCycle is how many recurrences elapse between periodic
+	// purge scans; <=0 means every recurrence (the paper's default of
+	// one slide).
+	PurgeCycle int
+	// DiskLimit triggers on-demand purging when the node's total
+	// local bytes exceed it; 0 disables the limit.
+	DiskLimit int64
+
+	sinceLastPurge int
+	purged         int
+}
+
+// NewCacheManager wraps a registry with the default purge policy.
+func NewCacheManager(reg *Registry) *CacheManager {
+	return &CacheManager{Registry: reg, PurgeCycle: 1}
+}
+
+// Tick advances the manager by one recurrence, running a periodic purge
+// when the cycle elapses and an on-demand purge when the disk limit is
+// exceeded. It returns the number of caches purged this tick.
+func (m *CacheManager) Tick() int {
+	n := 0
+	m.sinceLastPurge++
+	cycle := m.PurgeCycle
+	if cycle <= 0 {
+		cycle = 1
+	}
+	if m.sinceLastPurge >= cycle {
+		m.sinceLastPurge = 0
+		n += m.Registry.PurgeExpired()
+	}
+	if m.DiskLimit > 0 && m.Registry.node.LocalBytes() > m.DiskLimit {
+		n += m.Registry.PurgeExpired() // on-demand purging
+	}
+	m.purged += n
+	return n
+}
+
+// TotalPurged returns the cumulative number of purged caches.
+func (m *CacheManager) TotalPurged() int { return m.purged }

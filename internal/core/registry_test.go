@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"redoop/internal/cluster"
+	"redoop/internal/simtime"
+)
+
+func twoNodeCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	return cluster.MustNew(cluster.Config{Workers: 2, MapSlots: 2, ReduceSlots: 1})
+}
+
+func TestRegistryAddGetPurge(t *testing.T) {
+	cl := twoNodeCluster(t)
+	reg := NewRegistry(cl.Node(0))
+	if reg.NodeID() != 0 {
+		t.Fatalf("NodeID = %d", reg.NodeID())
+	}
+	reg.Add("S1P3/r0", ReduceOutput, []byte("agg"))
+	reg.Add("S2P4/r0", ReduceInput, []byte("input"))
+
+	if got, ok := reg.Get("S1P3/r0", ReduceOutput); !ok || string(got) != "agg" {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+	if !reg.Has("S2P4/r0", ReduceInput) || reg.Has("S2P4/r0", ReduceOutput) {
+		t.Error("Has should distinguish cache types")
+	}
+	if reg.Size("S1P3/r0", ReduceOutput) != 3 || reg.Size("none", ReduceInput) != -1 {
+		t.Error("Size wrong")
+	}
+
+	// Paper Table 1: S1P3 expired as output cache, S2P4 live as input.
+	reg.MarkExpired("S1P3/r0", ReduceOutput)
+	entries := reg.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if !entries[0].Expired || entries[0].PID != "S1P3/r0" {
+		t.Errorf("entry 0 = %+v, want expired S1P3/r0", entries[0])
+	}
+	if entries[1].Expired {
+		t.Errorf("entry 1 should be live: %+v", entries[1])
+	}
+
+	if got := reg.PurgeExpired(); got != 1 {
+		t.Errorf("purged %d, want 1", got)
+	}
+	if reg.Has("S1P3/r0", ReduceOutput) {
+		t.Error("purged cache should be gone from local FS")
+	}
+	if !reg.Has("S2P4/r0", ReduceInput) {
+		t.Error("live cache should survive the purge")
+	}
+}
+
+func TestRegistryMarkExpiredUnknownIsNoop(t *testing.T) {
+	cl := twoNodeCluster(t)
+	reg := NewRegistry(cl.Node(0))
+	reg.MarkExpired("ghost", ReduceInput) // must not panic
+	if reg.PurgeExpired() != 0 {
+		t.Error("nothing should purge")
+	}
+}
+
+func TestCachedBytes(t *testing.T) {
+	cl := twoNodeCluster(t)
+	reg := NewRegistry(cl.Node(0))
+	reg.Add("a", ReduceInput, []byte("12345"))
+	reg.Add("b", ReduceOutput, []byte("123"))
+	if got := reg.CachedBytes(); got != 8 {
+		t.Errorf("CachedBytes = %d, want 8", got)
+	}
+	reg.MarkExpired("a", ReduceInput)
+	if got := reg.CachedBytes(); got != 3 {
+		t.Errorf("CachedBytes after expiry = %d, want 3", got)
+	}
+}
+
+func TestCacheManagerPeriodicPurge(t *testing.T) {
+	cl := twoNodeCluster(t)
+	reg := NewRegistry(cl.Node(0))
+	m := NewCacheManager(reg)
+	m.PurgeCycle = 2
+
+	reg.Add("x", ReduceInput, []byte("x"))
+	reg.MarkExpired("x", ReduceInput)
+	if n := m.Tick(); n != 0 {
+		t.Errorf("tick 1 should not purge (cycle=2), purged %d", n)
+	}
+	if n := m.Tick(); n != 1 {
+		t.Errorf("tick 2 should purge, purged %d", n)
+	}
+	if m.TotalPurged() != 1 {
+		t.Errorf("TotalPurged = %d", m.TotalPurged())
+	}
+}
+
+func TestCacheManagerOnDemandPurge(t *testing.T) {
+	cl := twoNodeCluster(t)
+	reg := NewRegistry(cl.Node(0))
+	m := NewCacheManager(reg)
+	m.PurgeCycle = 100 // periodic effectively off
+	m.DiskLimit = 4
+
+	reg.Add("big", ReduceInput, []byte("0123456789"))
+	reg.MarkExpired("big", ReduceInput)
+	if n := m.Tick(); n != 1 {
+		t.Errorf("on-demand purge should fire over the disk limit, purged %d", n)
+	}
+}
+
+func TestCacheTypeString(t *testing.T) {
+	if ReduceInput.String() != "reduce-input" || ReduceOutput.String() != "reduce-output" {
+		t.Error("CacheType names wrong")
+	}
+	if CacheType(9).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}
+
+func TestControllerRegisterLookup(t *testing.T) {
+	ctrl := NewController()
+	q1 := ctrl.RegisterQuery("Q1")
+	q2 := ctrl.RegisterQuery("Q2")
+	if got := ctrl.Queries(); len(got) != 2 || got[0] != "Q1" {
+		t.Fatalf("Queries = %v", got)
+	}
+
+	sig := ctrl.Register("S1P1/r0", ReduceInput, 3, CacheAvailable, simtime.Time(7), 100, []int{q1})
+	mask := sig.DoneMask()
+	if mask[q1] || !mask[q2] {
+		t.Errorf("mask = %v: used query bit must be 0, unused 1 (paper init)", mask)
+	}
+
+	got, ok := ctrl.Lookup("S1P1/r0", ReduceInput)
+	if !ok || got.NID != 3 || got.Ready != CacheAvailable || got.Bytes != 100 || got.ReadyAt != simtime.Time(7) {
+		t.Errorf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := ctrl.Lookup("nope", ReduceInput); ok {
+		t.Error("missing signature should not resolve")
+	}
+}
+
+func TestControllerReRegisterPreservesOtherClaims(t *testing.T) {
+	ctrl := NewController()
+	q1 := ctrl.RegisterQuery("Q1")
+	q2 := ctrl.RegisterQuery("Q2")
+	ctrl.Register("shared", ReduceInput, 0, CacheAvailable, 0, 10, []int{q1})
+	ctrl.Register("shared", ReduceInput, 1, CacheAvailable, 5, 20, []int{q2})
+	sig, _ := ctrl.Lookup("shared", ReduceInput)
+	mask := sig.DoneMask()
+	if mask[q1] || mask[q2] {
+		t.Errorf("both claims should persist across re-register, mask = %v", mask)
+	}
+	if sig.NID != 1 || sig.Bytes != 20 {
+		t.Error("re-register should refresh location and size")
+	}
+}
+
+func TestControllerPurgeNotification(t *testing.T) {
+	cl := twoNodeCluster(t)
+	ctrl := NewController()
+	q1 := ctrl.RegisterQuery("Q1")
+	q2 := ctrl.RegisterQuery("Q2")
+	reg := NewRegistry(cl.Node(0))
+	ctrl.AttachRegistry(reg)
+
+	reg.Add("p", ReduceOutput, []byte("d"))
+	ctrl.Register("p", ReduceOutput, 0, CacheAvailable, 0, 1, []int{q1, q2})
+
+	if ctrl.MarkQueryDone("p", ReduceOutput, q1) {
+		t.Error("purge must wait for every using query")
+	}
+	if !ctrl.MarkQueryDone("p", ReduceOutput, q2) {
+		t.Error("last query done should trigger the purge notification")
+	}
+	// The node's registry entry is now expired; the data survives
+	// until the node's purge cycle runs.
+	if !reg.Has("p", ReduceOutput) {
+		t.Error("data should remain until the local purge")
+	}
+	if reg.PurgeExpired() != 1 {
+		t.Error("entry should have been marked expired by the notification")
+	}
+	if _, ok := ctrl.Lookup("p", ReduceOutput); ok {
+		t.Error("signature should be dropped after the purge notification")
+	}
+}
+
+func TestControllerClaimUser(t *testing.T) {
+	ctrl := NewController()
+	q1 := ctrl.RegisterQuery("Q1")
+	q2 := ctrl.RegisterQuery("Q2")
+	ctrl.Register("c", ReduceInput, 0, CacheAvailable, 0, 1, []int{q1})
+	if !ctrl.ClaimUser("c", ReduceInput, q2) {
+		t.Error("claim on known cache should succeed")
+	}
+	ctrl.MarkQueryDone("c", ReduceInput, q1)
+	if _, ok := ctrl.Lookup("c", ReduceInput); !ok {
+		t.Error("cache claimed by q2 must survive q1's release")
+	}
+	if ctrl.ClaimUser("ghost", ReduceInput, q1) {
+		t.Error("claim on unknown cache should fail")
+	}
+}
+
+func TestControllerSetReadyAndDrop(t *testing.T) {
+	ctrl := NewController()
+	q := ctrl.RegisterQuery("Q")
+	ctrl.Register("c", ReduceInput, 0, CacheAvailable, 10, 5, []int{q})
+	ctrl.SetReady("c", ReduceInput, HDFSAvailable, 20, 1)
+	sig, _ := ctrl.Lookup("c", ReduceInput)
+	if sig.Ready != HDFSAvailable || sig.NID != 1 || sig.ReadyAt != 20 {
+		t.Errorf("SetReady not applied: %+v", sig)
+	}
+	ctrl.Drop("c", ReduceInput)
+	if _, ok := ctrl.Lookup("c", ReduceInput); ok {
+		t.Error("Drop should remove the signature")
+	}
+	// Late registration: new query's bit starts done on existing sigs.
+	ctrl.Register("d", ReduceInput, 0, CacheAvailable, 0, 1, []int{q})
+	q2 := ctrl.RegisterQuery("Q2")
+	sig, _ = ctrl.Lookup("d", ReduceInput)
+	if !sig.DoneMask()[q2] {
+		t.Error("pre-existing caches owe nothing to late queries")
+	}
+}
+
+func TestReadyString(t *testing.T) {
+	for r, want := range map[Ready]string{
+		NotAvailable: "not-available", HDFSAvailable: "hdfs-available", CacheAvailable: "cache-available",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %s, want %s", int(r), r.String(), want)
+		}
+	}
+}
+
+func TestSignaturesSorted(t *testing.T) {
+	ctrl := NewController()
+	q := ctrl.RegisterQuery("Q")
+	ctrl.Register("b", ReduceInput, 0, CacheAvailable, 0, 1, []int{q})
+	ctrl.Register("a", ReduceOutput, 0, CacheAvailable, 0, 1, []int{q})
+	ctrl.Register("a", ReduceInput, 0, CacheAvailable, 0, 1, []int{q})
+	sigs := ctrl.Signatures()
+	if len(sigs) != 3 || sigs[0].PID != "a" || sigs[0].Type != ReduceInput || sigs[2].PID != "b" {
+		t.Errorf("Signatures order wrong: %v", sigs)
+	}
+}

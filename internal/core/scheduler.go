@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"redoop/internal/cluster"
+	"redoop/internal/iocost"
+	"redoop/internal/mapreduce"
+	"redoop/internal/simtime"
+)
+
+// CacheLoc describes one cache a candidate task must load: where it
+// lives and how big it is. The scheduler prices it with the iocost
+// model's CacheRead, local versus remote.
+type CacheLoc struct {
+	Node  int
+	Bytes int64
+}
+
+// Scheduler is Redoop's window-aware, cache-aware task scheduler (paper
+// §4.3). It keeps the fixed partition→reducer ("home node") mapping
+// that makes reduce-side caches reusable across recurrences, maintains
+// the map and reduce task lists driven by the cache controller's ready
+// bits, and places cache-fed reduce tasks by the paper's Equation 4:
+//
+//	node = argmin_i ( Load_i + C_task,i )
+//
+// where Load_i is the node's current load — measured here as the
+// queueing delay before a reduce slot frees, which directly captures
+// "if all task slots of a node are taken, assign the task elsewhere
+// even if its cache is there" — and C_task,i is the I/O cost of loading
+// the task's caches from node i's perspective.
+type Scheduler struct {
+	cl   *cluster.Cluster
+	cost iocost.Model
+
+	// CacheOblivious is an ablation switch: when set, PickCacheTaskNode
+	// ignores cache locality (the C_task term) and places tasks purely
+	// by earliest slot availability.
+	CacheOblivious bool
+
+	homes map[int]int // reduce partition -> home node ID
+
+	// MapTasks and ReduceTasks are the two scheduling lists of
+	// Algorithm 2: entries enter MapTasks when a data partition's
+	// ready bit turns 1 (newly arrived in HDFS) and ReduceTasks when
+	// cached partitions pair up within their lifespans (ready bit 2).
+	MapTasks    *TaskList
+	ReduceTasks *TaskList
+}
+
+// NewScheduler builds a scheduler over the cluster with the given cost
+// model.
+func NewScheduler(cl *cluster.Cluster, cost iocost.Model) *Scheduler {
+	return &Scheduler{
+		cl:          cl,
+		cost:        cost,
+		homes:       make(map[int]int),
+		MapTasks:    NewTaskList(),
+		ReduceTasks: NewTaskList(),
+	}
+}
+
+// HomeNode returns the node that hosts reduce partition part's caches,
+// assigning one on first use (least-loaded alive node) and reassigning
+// if the previous home died. The mapping is otherwise fixed across
+// recurrences, as §4.3 requires.
+func (s *Scheduler) HomeNode(part int) *cluster.Node {
+	if id, ok := s.homes[part]; ok {
+		if n := s.cl.Node(id); n != nil && n.Alive() {
+			return n
+		}
+		delete(s.homes, part) // home died; reassign below
+	}
+	alive := s.cl.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	// Spread homes: fewest assigned partitions first, then least load.
+	counts := make(map[int]int)
+	for _, id := range s.homes {
+		counts[id]++
+	}
+	best := alive[0]
+	for _, n := range alive[1:] {
+		switch {
+		case counts[n.ID] < counts[best.ID]:
+			best = n
+		case counts[n.ID] == counts[best.ID] && n.Load() < best.Load():
+			best = n
+		}
+	}
+	s.homes[part] = best.ID
+	return best
+}
+
+// Homes returns a copy of the current partition→node mapping.
+func (s *Scheduler) Homes() map[int]int {
+	out := make(map[int]int, len(s.homes))
+	for p, n := range s.homes {
+		out[p] = n
+	}
+	return out
+}
+
+// CacheCost returns C_task,i: the cost for a task running on node to
+// load the given caches, cheaper for caches already local.
+func (s *Scheduler) CacheCost(node int, caches []CacheLoc) simtime.Duration {
+	var d simtime.Duration
+	for _, c := range caches {
+		d += s.cost.CacheRead(c.Bytes, c.Node == node)
+	}
+	return d
+}
+
+// PickCacheTaskNode applies Equation 4 to choose the node for a
+// cache-fed reduce-style task that becomes ready at `ready` and must
+// load `caches`. Ties break toward the lower node ID for determinism.
+func (s *Scheduler) PickCacheTaskNode(ready simtime.Time, caches []CacheLoc) *cluster.Node {
+	alive := s.cl.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	var best *cluster.Node
+	var bestCost simtime.Duration
+	for _, n := range alive {
+		load := n.Reduce.EarliestStart(ready).Sub(ready)
+		cost := load
+		if !s.CacheOblivious {
+			cost += s.CacheCost(n.ID, caches)
+		}
+		if best == nil || cost < bestCost {
+			best, bestCost = n, cost
+		}
+	}
+	return best
+}
+
+// PlaceMap implements mapreduce.Placement: map tasks over newly arrived
+// pane files use Hadoop's locality-first policy (scheduling of new data
+// is "no different than in Hadoop", §4.3).
+func (s *Scheduler) PlaceMap(e *mapreduce.Engine, sp mapreduce.Split, ready simtime.Time) *cluster.Node {
+	return mapreduce.DefaultPlacement{}.PlaceMap(e, sp, ready)
+}
+
+// PlaceReduce implements mapreduce.Placement: reduce partitions are
+// pinned to their home nodes so reduce-side caches accumulate where
+// later recurrences can reuse them locally.
+func (s *Scheduler) PlaceReduce(_ *mapreduce.Engine, _ *mapreduce.Job, part int, _ simtime.Time) *cluster.Node {
+	return s.HomeNode(part)
+}
+
+// TaskEntry is one pending entry of a scheduling list.
+type TaskEntry struct {
+	// ID names the data partition(s) involved, e.g. "S1P3" for a map
+	// task or "S1P3+S2P4" for a paired reduce task.
+	ID string
+	// Payload carries engine-specific context.
+	Payload any
+}
+
+// TaskList is a FIFO task list (the paper's mapTaskList /
+// reduceTaskList). It is intentionally simple: entries are consumed in
+// arrival order; removal by ID supports the failure-recovery rollback
+// that pulls tasks whose caches were lost.
+type TaskList struct {
+	entries []TaskEntry
+}
+
+// NewTaskList returns an empty list.
+func NewTaskList() *TaskList { return &TaskList{} }
+
+// Len returns the number of pending entries.
+func (l *TaskList) Len() int { return len(l.entries) }
+
+// Push appends an entry.
+func (l *TaskList) Push(id string, payload any) {
+	l.entries = append(l.entries, TaskEntry{ID: id, Payload: payload})
+}
+
+// Pop removes and returns the oldest entry (FIFO order, as Algorithm 2
+// consumes the map task list).
+func (l *TaskList) Pop() (TaskEntry, bool) {
+	if len(l.entries) == 0 {
+		return TaskEntry{}, false
+	}
+	e := l.entries[0]
+	l.entries = l.entries[1:]
+	return e, true
+}
+
+// Remove deletes all entries whose ID matches, returning how many were
+// removed — the rollback path when a cache underpinning a scheduled
+// task is lost (§5).
+func (l *TaskList) Remove(id string) int {
+	kept := l.entries[:0]
+	n := 0
+	for _, e := range l.entries {
+		if e.ID == id {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+	return n
+}
+
+// RemoveMatching deletes entries whose ID satisfies pred.
+func (l *TaskList) RemoveMatching(pred func(id string) bool) int {
+	kept := l.entries[:0]
+	n := 0
+	for _, e := range l.entries {
+		if pred(e.ID) {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	l.entries = kept
+	return n
+}
+
+// IDs returns the pending entry IDs in order.
+func (l *TaskList) IDs() []string {
+	out := make([]string, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// String summarizes the list.
+func (l *TaskList) String() string { return fmt.Sprintf("%v", l.IDs()) }

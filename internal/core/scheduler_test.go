@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"redoop/internal/cluster"
+	"redoop/internal/iocost"
+	"redoop/internal/simtime"
+)
+
+func testScheduler(t *testing.T, workers int) (*Scheduler, *cluster.Cluster) {
+	t.Helper()
+	cl := cluster.MustNew(cluster.Config{Workers: workers, MapSlots: 2, ReduceSlots: 1})
+	return NewScheduler(cl, iocost.Default()), cl
+}
+
+func TestHomeNodeStableAndSpread(t *testing.T) {
+	s, _ := testScheduler(t, 3)
+	h0 := s.HomeNode(0)
+	h1 := s.HomeNode(1)
+	h2 := s.HomeNode(2)
+	if h0 == nil || h1 == nil || h2 == nil {
+		t.Fatal("homes must be assigned")
+	}
+	// Three partitions over three nodes spread one per node.
+	ids := map[int]bool{h0.ID: true, h1.ID: true, h2.ID: true}
+	if len(ids) != 3 {
+		t.Errorf("homes should spread across nodes, got %v", s.Homes())
+	}
+	// Stability across calls.
+	if s.HomeNode(0).ID != h0.ID {
+		t.Error("home assignment must be stable")
+	}
+}
+
+func TestHomeNodeReassignsOnDeath(t *testing.T) {
+	s, cl := testScheduler(t, 2)
+	h := s.HomeNode(0)
+	cl.FailNode(h.ID)
+	h2 := s.HomeNode(0)
+	if h2 == nil || h2.ID == h.ID {
+		t.Errorf("dead home should be replaced, got %v", h2)
+	}
+}
+
+func TestPickCacheTaskNodePrefersCacheLocality(t *testing.T) {
+	s, _ := testScheduler(t, 4)
+	caches := []CacheLoc{{Node: 2, Bytes: 64 << 20}}
+	n := s.PickCacheTaskNode(0, caches)
+	if n.ID != 2 {
+		t.Errorf("idle cluster: task should go to the cache's node, got %d", n.ID)
+	}
+}
+
+// Paper §4.3: "if all task slots of a node have been taken, the
+// scheduler assigns the new task to a different node even if a fully
+// loaded node has the desired cache available."
+func TestPickCacheTaskNodeAvoidsLoadedCacheNode(t *testing.T) {
+	s, cl := testScheduler(t, 3)
+	// Node 1 holds the cache but its only reduce slot is busy for a
+	// long time.
+	cl.Node(1).Reduce.Acquire(0, 10*simtime.Minute)
+	caches := []CacheLoc{{Node: 1, Bytes: 1 << 20}} // small cache, cheap to move
+	n := s.PickCacheTaskNode(0, caches)
+	if n.ID == 1 {
+		t.Error("scheduler should avoid the fully loaded cache node for a small cache")
+	}
+}
+
+func TestPickCacheTaskNodeWeighsCacheSizeAgainstWait(t *testing.T) {
+	s, cl := testScheduler(t, 2)
+	// Node 0 busy briefly; the cache is huge, so waiting beats moving.
+	cl.Node(0).Reduce.Acquire(0, 2*simtime.Second)
+	caches := []CacheLoc{{Node: 0, Bytes: 4 << 30}} // 4 GB
+	n := s.PickCacheTaskNode(0, caches)
+	if n.ID != 0 {
+		t.Error("a short wait should be preferred over moving 4GB across the network")
+	}
+}
+
+func TestPickCacheTaskNodeNoAliveNodes(t *testing.T) {
+	s, cl := testScheduler(t, 1)
+	cl.FailNode(0)
+	if s.PickCacheTaskNode(0, nil) != nil {
+		t.Error("no alive nodes should yield nil")
+	}
+}
+
+func TestCacheCostLocalVsRemote(t *testing.T) {
+	s, _ := testScheduler(t, 2)
+	caches := []CacheLoc{{Node: 0, Bytes: 1 << 20}, {Node: 1, Bytes: 1 << 20}}
+	c0 := s.CacheCost(0, caches)
+	// One cache local, one remote from either side: symmetric.
+	if c1 := s.CacheCost(1, caches); c0 != c1 {
+		t.Errorf("symmetric layout should cost equally: %v vs %v", c0, c1)
+	}
+	allLocal := s.CacheCost(0, []CacheLoc{{Node: 0, Bytes: 2 << 20}})
+	if allLocal >= c0 {
+		t.Error("fully local cache set should cost less than a mixed one")
+	}
+}
+
+func TestTaskListFIFO(t *testing.T) {
+	l := NewTaskList()
+	if _, ok := l.Pop(); ok {
+		t.Error("empty list should not pop")
+	}
+	l.Push("S1P1", nil)
+	l.Push("S1P2", "payload")
+	l.Push("S1P1", nil)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.IDs(); !reflect.DeepEqual(got, []string{"S1P1", "S1P2", "S1P1"}) {
+		t.Errorf("IDs = %v", got)
+	}
+	e, ok := l.Pop()
+	if !ok || e.ID != "S1P1" {
+		t.Errorf("Pop = %+v, want first S1P1", e)
+	}
+	if n := l.Remove("S1P1"); n != 1 {
+		t.Errorf("Remove = %d, want 1", n)
+	}
+	if n := l.RemoveMatching(func(id string) bool { return id == "S1P2" }); n != 1 {
+		t.Errorf("RemoveMatching = %d, want 1", n)
+	}
+	if l.Len() != 0 {
+		t.Errorf("list should be empty, got %v", l.String())
+	}
+}
+
+// The cache-oblivious ablation switch must make PickCacheTaskNode
+// ignore locality entirely.
+func TestPickCacheTaskNodeOblivious(t *testing.T) {
+	s, cl := testScheduler(t, 3)
+	s.CacheOblivious = true
+	// Node 2 holds a huge cache, but node 0 has the earliest slot
+	// because the others are busy.
+	cl.Node(1).Reduce.Acquire(0, simtime.Minute)
+	cl.Node(2).Reduce.Acquire(0, simtime.Minute)
+	n := s.PickCacheTaskNode(0, []CacheLoc{{Node: 2, Bytes: 8 << 30}})
+	if n.ID != 0 {
+		t.Errorf("oblivious placement should pick the earliest slot (node 0), got %d", n.ID)
+	}
+	// With the switch off, the giant cache wins.
+	s.CacheOblivious = false
+	n = s.PickCacheTaskNode(0, []CacheLoc{{Node: 2, Bytes: 8 << 30}})
+	if n.ID != 2 {
+		t.Errorf("cache-aware placement should pick the cache's node, got %d", n.ID)
+	}
+}

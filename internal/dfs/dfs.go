@@ -1,0 +1,363 @@
+// Package dfs simulates the Hadoop Distributed File System that both
+// plain-Hadoop and Redoop jobs read from and write to (paper §2.2).
+//
+// The simulation keeps file contents in memory but preserves the
+// structural properties the runtime depends on: files are split into
+// fixed-size blocks, each block is replicated on a configurable number
+// of data nodes, map splits are block-granular, the scheduler can ask
+// which nodes hold a local replica of a split, and a failed data node
+// triggers re-replication of its blocks (the availability mechanism the
+// paper's fault-tolerance design leans on).
+package dfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Config parameterizes a DFS instance.
+type Config struct {
+	// BlockSize is the maximum block size in bytes (Hadoop default
+	// 64 MB; experiments use smaller blocks at reduced data scale).
+	BlockSize int64
+	// Replication is the number of replicas per block (paper: 3).
+	Replication int
+	// Nodes lists the data-node IDs blocks may be placed on.
+	Nodes []int
+	// Seed drives deterministic pseudo-random replica placement.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("dfs: block size must be positive, got %d", c.BlockSize)
+	}
+	if c.Replication <= 0 {
+		return fmt.Errorf("dfs: replication must be positive, got %d", c.Replication)
+	}
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("dfs: at least one data node required")
+	}
+	return nil
+}
+
+// Block describes one block of a file.
+type Block struct {
+	// Index is the block's ordinal within its file.
+	Index int
+	// Offset is the block's starting byte offset within the file.
+	Offset int64
+	// Size is the block length in bytes (only the last block of a file
+	// may be shorter than the configured block size).
+	Size int64
+	// Replicas lists the data nodes currently holding the block,
+	// sorted ascending.
+	Replicas []int
+}
+
+type file struct {
+	data   []byte
+	blocks []Block
+}
+
+// DFS is a simulated distributed file system. It is safe for concurrent
+// use.
+type DFS struct {
+	mu    sync.RWMutex
+	cfg   Config
+	rng   *rand.Rand
+	files map[string]*file
+	alive map[int]bool
+	// rereplicated accumulates the bytes copied by failure-driven
+	// re-replication, for experiment accounting.
+	rereplicated int64
+}
+
+// New creates an empty DFS.
+func New(cfg Config) (*DFS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	alive := make(map[int]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		alive[n] = true
+	}
+	if len(alive) != len(cfg.Nodes) {
+		return nil, fmt.Errorf("dfs: duplicate node IDs in config")
+	}
+	return &DFS{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		files: make(map[string]*file),
+		alive: alive,
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples with
+// constant configs.
+func MustNew(cfg Config) *DFS {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BlockSize returns the configured block size.
+func (d *DFS) BlockSize() int64 { return d.cfg.BlockSize }
+
+// Replication returns the configured replication factor.
+func (d *DFS) Replication() int { return d.cfg.Replication }
+
+// aliveNodes returns the currently-alive node IDs (caller holds lock).
+func (d *DFS) aliveNodes() []int {
+	out := make([]int, 0, len(d.alive))
+	for n, ok := range d.alive {
+		if ok {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// placeReplicas chooses up to d.cfg.Replication distinct alive nodes
+// (caller holds lock). Placement is uniform pseudo-random, standing in
+// for HDFS's rack-aware policy, which the experiments do not exercise.
+func (d *DFS) placeReplicas(exclude map[int]bool, want int) []int {
+	candidates := d.aliveNodes()
+	if exclude != nil {
+		kept := candidates[:0]
+		for _, n := range candidates {
+			if !exclude[n] {
+				kept = append(kept, n)
+			}
+		}
+		candidates = kept
+	}
+	d.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if want > len(candidates) {
+		want = len(candidates)
+	}
+	chosen := append([]int(nil), candidates[:want]...)
+	sort.Ints(chosen)
+	return chosen
+}
+
+// Write stores data at path, splitting it into blocks and placing
+// replicas. Writing to an existing path replaces it (matching the
+// runtime's "unique output path per recurrence" usage; HDFS itself is
+// write-once, which the higher layers respect by construction).
+func (d *DFS) Write(path string, data []byte) error {
+	if path == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &file{data: append([]byte(nil), data...)}
+	for off := int64(0); off < int64(len(data)); off += d.cfg.BlockSize {
+		size := d.cfg.BlockSize
+		if off+size > int64(len(data)) {
+			size = int64(len(data)) - off
+		}
+		f.blocks = append(f.blocks, Block{
+			Index:    len(f.blocks),
+			Offset:   off,
+			Size:     size,
+			Replicas: d.placeReplicas(nil, d.cfg.Replication),
+		})
+	}
+	if len(data) == 0 {
+		// An empty file still has an entry so Exists/List see it.
+		f.blocks = nil
+	}
+	d.files[path] = f
+	return nil
+}
+
+// Read returns a copy of the file's contents.
+func (d *DFS) Read(path string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// ReadBlock returns a copy of one block's bytes.
+func (d *DFS) ReadBlock(path string, index int) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	if index < 0 || index >= len(f.blocks) {
+		return nil, fmt.Errorf("dfs: %q has no block %d", path, index)
+	}
+	b := f.blocks[index]
+	return append([]byte(nil), f.data[b.Offset:b.Offset+b.Size]...), nil
+}
+
+// Blocks returns the block layout of a file.
+func (d *DFS) Blocks(path string) ([]Block, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	out := make([]Block, len(f.blocks))
+	for i, b := range f.blocks {
+		b.Replicas = append([]int(nil), b.Replicas...)
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Size returns the byte length of a file.
+func (d *DFS) Size(path string) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return int64(len(f.data)), nil
+}
+
+// Exists reports whether path is present.
+func (d *DFS) Exists(path string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.files[path]
+	return ok
+}
+
+// Delete removes a file; deleting a missing file is an error so callers
+// notice bookkeeping bugs.
+func (d *DFS) Delete(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[path]; !ok {
+		return fmt.Errorf("dfs: no such file %q", path)
+	}
+	delete(d.files, path)
+	return nil
+}
+
+// List returns all paths, sorted.
+func (d *DFS) List() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.files))
+	for p := range d.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasLocalReplica reports whether node holds a replica of the given
+// block; schedulers use it for locality-aware map placement.
+func (d *DFS) HasLocalReplica(path string, index, node int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok || index < 0 || index >= len(f.blocks) {
+		return false
+	}
+	for _, r := range f.blocks[index].Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// FailNode marks a data node dead and re-replicates every block that
+// lost a replica onto other alive nodes, restoring the replication
+// factor where possible. It returns the number of bytes re-replicated.
+func (d *DFS) FailNode(node int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive[node] {
+		return 0
+	}
+	d.alive[node] = false
+	var moved int64
+	for _, f := range d.files {
+		for i := range f.blocks {
+			b := &f.blocks[i]
+			kept := b.Replicas[:0]
+			lost := false
+			for _, r := range b.Replicas {
+				if r == node {
+					lost = true
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			b.Replicas = kept
+			if !lost {
+				continue
+			}
+			exclude := make(map[int]bool, len(b.Replicas))
+			for _, r := range b.Replicas {
+				exclude[r] = true
+			}
+			add := d.placeReplicas(exclude, d.cfg.Replication-len(b.Replicas))
+			if len(add) > 0 {
+				b.Replicas = append(b.Replicas, add...)
+				sort.Ints(b.Replicas)
+				moved += b.Size * int64(len(add))
+			}
+		}
+	}
+	d.rereplicated += moved
+	return moved
+}
+
+// ReviveNode marks a previously failed node alive again (empty: its old
+// replicas are not restored, matching a node re-joining the cluster).
+func (d *DFS) ReviveNode(node int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, known := d.alive[node]; known {
+		d.alive[node] = true
+	}
+}
+
+// Alive reports whether a data node is alive.
+func (d *DFS) Alive(node int) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.alive[node]
+}
+
+// ReplicatedBytes returns the cumulative bytes copied by failure-driven
+// re-replication.
+func (d *DFS) ReplicatedBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rereplicated
+}
+
+// TotalBytes returns the logical size of all files (not counting
+// replication).
+func (d *DFS) TotalBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, f := range d.files {
+		n += int64(len(f.data))
+	}
+	return n
+}

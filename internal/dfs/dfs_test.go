@@ -1,0 +1,273 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{BlockSize: 64, Replication: 3, Nodes: []int{0, 1, 2, 3, 4}, Seed: 1}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BlockSize: 0, Replication: 3, Nodes: []int{0}},
+		{BlockSize: 64, Replication: 0, Nodes: []int{0}},
+		{BlockSize: 64, Replication: 3, Nodes: nil},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(Config{BlockSize: 64, Replication: 2, Nodes: []int{1, 1}}); err == nil {
+		t.Error("duplicate node IDs should be rejected")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := MustNew(testConfig())
+	data := bytes.Repeat([]byte("0123456789"), 20) // 200 bytes, 4 blocks of 64
+	if err := d.Write("/a", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read-back mismatch")
+	}
+	if size, _ := d.Size("/a"); size != 200 {
+		t.Errorf("Size = %d, want 200", size)
+	}
+	if !d.Exists("/a") || d.Exists("/b") {
+		t.Error("Exists wrong")
+	}
+}
+
+func TestBlockLayout(t *testing.T) {
+	d := MustNew(testConfig())
+	data := make([]byte, 200)
+	if err := d.Write("/a", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := d.Blocks("/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(blocks))
+	}
+	wantSizes := []int64{64, 64, 64, 8}
+	var off int64
+	for i, b := range blocks {
+		if b.Index != i || b.Offset != off || b.Size != wantSizes[i] {
+			t.Errorf("block %d = %+v, want index %d offset %d size %d", i, b, i, off, wantSizes[i])
+		}
+		if len(b.Replicas) != 3 {
+			t.Errorf("block %d has %d replicas, want 3", i, len(b.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range b.Replicas {
+			if seen[r] {
+				t.Errorf("block %d has duplicate replica on node %d", i, r)
+			}
+			seen[r] = true
+		}
+		off += b.Size
+	}
+}
+
+func TestReadBlock(t *testing.T) {
+	d := MustNew(testConfig())
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := d.Write("/a", data); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := d.ReadBlock("/a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, data[64:]) {
+		t.Error("second block content wrong")
+	}
+	if _, err := d.ReadBlock("/a", 2); err == nil {
+		t.Error("out-of-range block should fail")
+	}
+	if _, err := d.ReadBlock("/nope", 0); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	d := MustNew(testConfig())
+	if err := d.Write("/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Exists("/empty") {
+		t.Error("empty file should exist")
+	}
+	blocks, err := d.Blocks("/empty")
+	if err != nil || len(blocks) != 0 {
+		t.Errorf("empty file should have no blocks, got %d (%v)", len(blocks), err)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	d := MustNew(testConfig())
+	if err := d.Write("", []byte("x")); err == nil {
+		t.Error("empty path should fail")
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	d := MustNew(testConfig())
+	d.Write("/b", []byte("b"))
+	d.Write("/a", []byte("a"))
+	got := d.List()
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Errorf("List = %v, want sorted [/a /b]", got)
+	}
+	if err := d.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("/a") {
+		t.Error("deleted file still exists")
+	}
+	if err := d.Delete("/a"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestHasLocalReplica(t *testing.T) {
+	d := MustNew(testConfig())
+	d.Write("/a", make([]byte, 10))
+	blocks, _ := d.Blocks("/a")
+	onReplica := blocks[0].Replicas[0]
+	if !d.HasLocalReplica("/a", 0, onReplica) {
+		t.Error("replica node should report local")
+	}
+	// Find a node without a replica (5 nodes, 3 replicas).
+	for _, n := range []int{0, 1, 2, 3, 4} {
+		has := false
+		for _, r := range blocks[0].Replicas {
+			if r == n {
+				has = true
+			}
+		}
+		if got := d.HasLocalReplica("/a", 0, n); got != has {
+			t.Errorf("HasLocalReplica(node %d) = %v, want %v", n, got, has)
+		}
+	}
+	if d.HasLocalReplica("/a", 9, onReplica) || d.HasLocalReplica("/zzz", 0, onReplica) {
+		t.Error("bad block/file should report false")
+	}
+}
+
+func TestFailNodeRereplicates(t *testing.T) {
+	d := MustNew(testConfig())
+	d.Write("/a", make([]byte, 300)) // 5 blocks
+	moved := d.FailNode(2)
+	if d.Alive(2) {
+		t.Error("node 2 should be dead")
+	}
+	blocks, _ := d.Blocks("/a")
+	for i, b := range blocks {
+		if len(b.Replicas) != 3 {
+			t.Errorf("block %d has %d replicas after failure, want 3", i, len(b.Replicas))
+		}
+		for _, r := range b.Replicas {
+			if r == 2 {
+				t.Errorf("block %d still lists dead node 2", i)
+			}
+		}
+	}
+	// moved should be positive iff node 2 held any replica; with 5
+	// blocks × 3 of 5 nodes the chance all missed node 2 is tiny, but
+	// assert consistently either way.
+	var held int64
+	_ = held
+	if moved < 0 {
+		t.Error("negative re-replication count")
+	}
+	if got := d.ReplicatedBytes(); got != moved {
+		t.Errorf("ReplicatedBytes = %d, want %d", got, moved)
+	}
+	if d.FailNode(2) != 0 {
+		t.Error("failing an already-dead node should move nothing")
+	}
+}
+
+func TestFailureReducesReplicationWhenNodesExhausted(t *testing.T) {
+	d := MustNew(Config{BlockSize: 64, Replication: 3, Nodes: []int{0, 1, 2}, Seed: 7})
+	d.Write("/a", make([]byte, 64))
+	d.FailNode(0)
+	blocks, _ := d.Blocks("/a")
+	if len(blocks[0].Replicas) != 2 {
+		t.Errorf("with only 2 alive nodes replication should degrade to 2, got %d", len(blocks[0].Replicas))
+	}
+	d.ReviveNode(0)
+	if !d.Alive(0) {
+		t.Error("revived node should be alive")
+	}
+}
+
+func TestNewWritesPlaceOnAliveNodesOnly(t *testing.T) {
+	d := MustNew(testConfig())
+	d.FailNode(0)
+	d.Write("/a", make([]byte, 128))
+	blocks, _ := d.Blocks("/a")
+	for _, b := range blocks {
+		for _, r := range b.Replicas {
+			if r == 0 {
+				t.Fatal("placement used a dead node")
+			}
+		}
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	d := MustNew(testConfig())
+	d.Write("/a", make([]byte, 100))
+	d.Write("/b", make([]byte, 50))
+	if got := d.TotalBytes(); got != 150 {
+		t.Errorf("TotalBytes = %d, want 150", got)
+	}
+}
+
+// Property: for any content, blocks tile the file exactly and each
+// block has min(replication, nodes) distinct replicas.
+func TestBlockTilingProperty(t *testing.T) {
+	f := func(n uint16, seed int64) bool {
+		d := MustNew(Config{BlockSize: 64, Replication: 3, Nodes: []int{0, 1, 2, 3, 4}, Seed: seed})
+		data := make([]byte, int(n)%5000)
+		if err := d.Write("/f", data); err != nil {
+			return false
+		}
+		blocks, err := d.Blocks("/f")
+		if err != nil {
+			return false
+		}
+		var off int64
+		for _, b := range blocks {
+			if b.Offset != off || b.Size <= 0 || b.Size > 64 {
+				return false
+			}
+			if len(b.Replicas) != 3 {
+				return false
+			}
+			off += b.Size
+		}
+		return off == int64(len(data))
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"fmt"
+
+	"redoop/internal/baseline"
+	"redoop/internal/core"
+	"redoop/internal/mapreduce"
+	"redoop/internal/queries"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/workload"
+)
+
+// The ablation experiments isolate the design choices DESIGN.md calls
+// out: how much of Redoop's win comes from window-aware caching versus
+// merely pane-shaped execution, and from cache-aware task placement
+// (Equation 4) versus slot-availability placement. They extend the
+// paper's evaluation — the paper reports only end-to-end comparisons.
+
+// ablationVariant parameterizes one Redoop configuration under test.
+type ablationVariant struct {
+	name           string
+	disableReuse   bool
+	cacheOblivious bool
+}
+
+// runVariant measures one Redoop variant on the spec.
+func (c Config) runVariant(spec runSpec, v ablationVariant) (Series, error) {
+	mr := c.NewRuntime(3)
+	q := spec.query()
+	eng, err := core.NewEngine(core.Config{
+		MR:                      mr,
+		Query:                   q,
+		Adaptive:                spec.adaptive,
+		DisableCacheReuse:       v.disableReuse,
+		CacheObliviousPlacement: v.cacheOblivious,
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	f := newFeeder(c, spec)
+	series := Series{System: v.name, Overlap: spec.overlap}
+	winSpec := q.Spec()
+	for r := 0; r < spec.windows; r++ {
+		if err := f.feedThrough(winSpec.WindowClose(r), eng.Ingest); err != nil {
+			return Series{}, err
+		}
+		res, err := eng.RunNext()
+		if err != nil {
+			return Series{}, fmt.Errorf("%s window %d: %w", v.name, r+1, err)
+		}
+		series.Windows = append(series.Windows, WindowTiming{
+			Window:   r + 1,
+			Response: res.ResponseTime,
+			Shuffle:  res.Stats.ShuffleTime,
+			Reduce:   res.Stats.ReduceTime,
+		})
+	}
+	return series, nil
+}
+
+// AblationCaching compares, at overlap 0.9 on the Q1 aggregation:
+// plain Hadoop, Redoop with cache reuse disabled (pane-shaped
+// execution but every pane reprocessed), and full Redoop. The gap
+// between the last two is the value of window-aware caching itself.
+func AblationCaching(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	const overlap = 0.9
+	wcc := workload.DefaultWCC(cfg.Seed)
+	spec := runSpec{
+		queryName: "Q1-ablation",
+		sources:   1,
+		overlap:   overlap,
+		windows:   cfg.Windows,
+		sched:     workload.SteadyRate,
+		gen: func(_ int, start, end int64, n int) []records.Record {
+			return workload.WCC(wcc, start, end, n)
+		},
+		query: func() *core.Query {
+			return queries.WCCAggregation("q1a", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+		},
+	}
+	hadoop, err := cfg.runHadoop(spec, "Hadoop")
+	if err != nil {
+		return nil, err
+	}
+	noReuse, err := cfg.runVariant(spec, ablationVariant{name: "Redoop (no cache reuse)", disableReuse: true})
+	if err != nil {
+		return nil, err
+	}
+	full, err := cfg.runRedoop(spec, "Redoop")
+	if err != nil {
+		return nil, err
+	}
+	return &FigResult{
+		Name:  "Ablation A",
+		Query: "window-aware caching (Q1, overlap 0.9)",
+		Panels: []Panel{{
+			Overlap: overlap,
+			Series:  []Series{hadoop, noReuse, full},
+		}},
+	}, nil
+}
+
+// AblationScheduling compares, at overlap 0.9 on the Q2 join (whose
+// pane-pair tasks are cache-read heavy), full Redoop against Redoop
+// with cache-oblivious task placement: Equation 4's C_task term
+// disabled, so pair tasks land wherever a slot frees first and pull
+// their caches across the network.
+func AblationScheduling(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.RecordsPerWindow /= 4 // join volume, as in Fig7
+	const overlap = 0.9
+	ffg := workload.DefaultFFG(cfg.Seed)
+	spec := runSpec{
+		queryName: "Q2-ablation",
+		sources:   2,
+		overlap:   overlap,
+		windows:   cfg.Windows,
+		sched:     workload.SteadyRate,
+		gen: func(src int, start, end int64, n int) []records.Record {
+			if src == 0 {
+				return workload.FFGReadings(ffg, start, end, n)
+			}
+			return workload.FFGEvents(ffg, start, end, n/4)
+		},
+		query: func() *core.Query {
+			return queries.FFGJoin("q2a", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+		},
+	}
+	oblivious, err := cfg.runVariant(spec, ablationVariant{name: "Redoop (cache-oblivious)", cacheOblivious: true})
+	if err != nil {
+		return nil, err
+	}
+	full, err := cfg.runRedoop(spec, "Redoop")
+	if err != nil {
+		return nil, err
+	}
+	return &FigResult{
+		Name:  "Ablation B",
+		Query: "cache-aware scheduling, Eq. 4 (Q2, overlap 0.9)",
+		Panels: []Panel{{
+			Overlap: overlap,
+			Series:  []Series{oblivious, full},
+		}},
+	}, nil
+}
+
+// OverlapSweep extends the paper's three overlap settings to a finer
+// sweep, charting how the Q1 speedup scales with the shared-data
+// fraction.
+func OverlapSweep(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	wcc := workload.DefaultWCC(cfg.Seed)
+	res := &FigResult{Name: "Overlap sweep", Query: "Q1 aggregation speedup vs overlap"}
+	for _, overlap := range []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1} {
+		overlap := overlap
+		spec := runSpec{
+			queryName: "Q1-sweep",
+			sources:   1,
+			overlap:   overlap,
+			windows:   cfg.Windows,
+			sched:     workload.SteadyRate,
+			gen: func(_ int, start, end int64, n int) []records.Record {
+				return workload.WCC(wcc, start, end, n)
+			},
+			query: func() *core.Query {
+				return queries.WCCAggregation("q1s", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+			},
+		}
+		hadoop, err := cfg.runHadoop(spec, "Hadoop")
+		if err != nil {
+			return nil, err
+		}
+		redoop, err := cfg.runRedoop(spec, "Redoop")
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, Panel{Overlap: overlap, Series: []Series{hadoop, redoop}})
+	}
+	return res, nil
+}
+
+// AblationSpeculation measures the configuration choice of §6.1
+// ("speculative execution was turned off so to boost performance"):
+// each system runs with and without speculative map backups on a
+// cluster with straggler-prone task durations. The trade-off is
+// slot-occupancy-dependent: backups are nearly free when slots sit
+// idle (Redoop's small steady-state waves) and compete with real work
+// when the cluster is saturated (Hadoop's full-window re-runs) — which
+// is what the four series let one measure.
+func AblationSpeculation(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	const overlap = 0.9
+	wcc := workload.DefaultWCC(cfg.Seed)
+	mkSpec := func() runSpec {
+		return runSpec{
+			queryName: "Q1-spec",
+			sources:   1,
+			overlap:   overlap,
+			windows:   cfg.Windows,
+			sched:     workload.SteadyRate,
+			gen: func(_ int, start, end int64, n int) []records.Record {
+				return workload.WCC(wcc, start, end, n)
+			},
+			query: func() *core.Query {
+				return queries.WCCAggregation("q1sp", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+			},
+		}
+	}
+	jitterize := func(mr *mapreduce.Engine) {
+		mr.Jitter = 0.3
+		mr.StragglerProb = 0.08
+		mr.StragglerFactor = 6
+		mr.JitterSeed = cfg.Seed
+	}
+
+	runH := func(speculative bool, name string) (Series, error) {
+		mr := cfg.NewRuntime(4)
+		jitterize(mr)
+		mr.Speculative = speculative
+		drv, err := baseline.NewDriver(mr, mkSpec().query())
+		if err != nil {
+			return Series{}, err
+		}
+		f := newFeeder(cfg, mkSpec())
+		s := Series{System: name, Overlap: overlap}
+		spec := mkSpec()
+		winSpec := spec.query().Spec()
+		for r := 0; r < spec.windows; r++ {
+			if err := f.feedThrough(winSpec.WindowClose(r), drv.Ingest); err != nil {
+				return Series{}, err
+			}
+			res, err := drv.RunNext()
+			if err != nil {
+				return Series{}, err
+			}
+			s.Windows = append(s.Windows, WindowTiming{
+				Window: r + 1, Response: res.ResponseTime,
+				Shuffle: res.Stats.ShuffleTime, Reduce: res.Stats.ReduceTime,
+			})
+		}
+		return s, nil
+	}
+	runR := func(speculative bool, name string) (Series, error) {
+		mr := cfg.NewRuntime(5)
+		jitterize(mr)
+		mr.Speculative = speculative
+		eng, err := core.NewEngine(core.Config{MR: mr, Query: mkSpec().query()})
+		if err != nil {
+			return Series{}, err
+		}
+		f := newFeeder(cfg, mkSpec())
+		s := Series{System: name, Overlap: overlap}
+		spec := mkSpec()
+		winSpec := spec.query().Spec()
+		for r := 0; r < spec.windows; r++ {
+			if err := f.feedThrough(winSpec.WindowClose(r), eng.Ingest); err != nil {
+				return Series{}, err
+			}
+			res, err := eng.RunNext()
+			if err != nil {
+				return Series{}, err
+			}
+			s.Windows = append(s.Windows, WindowTiming{
+				Window: r + 1, Response: res.ResponseTime,
+				Shuffle: res.Stats.ShuffleTime, Reduce: res.Stats.ReduceTime,
+			})
+		}
+		return s, nil
+	}
+
+	hadoopOff, err := runH(false, "Hadoop")
+	if err != nil {
+		return nil, err
+	}
+	hadoopOn, err := runH(true, "Hadoop (speculative)")
+	if err != nil {
+		return nil, err
+	}
+	redoopOff, err := runR(false, "Redoop")
+	if err != nil {
+		return nil, err
+	}
+	redoopOn, err := runR(true, "Redoop (speculative)")
+	if err != nil {
+		return nil, err
+	}
+	return &FigResult{
+		Name:  "Ablation C",
+		Query: "speculative execution under stragglers (Q1, overlap 0.9)",
+		Panels: []Panel{{
+			Overlap: overlap,
+			Series:  []Series{hadoopOff, hadoopOn, redoopOff, redoopOn},
+		}},
+	}, nil
+}
+
+// MultiQuerySharing measures the multi-query Semantic Analyzer end to
+// end (§3.1): k recurring aggregations with different window sizes
+// over one WCC stream, run twice — each query packing and mapping the
+// stream privately, versus all of them consuming one shared source
+// (one set of pane files, group-claimed reduce-input caches). The
+// series report each variant's total DFS read volume as it scales
+// with k.
+func MultiQuerySharing(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	wcc := workload.DefaultWCC(cfg.Seed)
+	slide := cfg.SlideFor(0.9)
+	paneUnit := int64(slide) // windows are slide multiples => pane = slide
+	perPane := int(float64(cfg.RecordsPerWindow) / float64(int64(cfg.WindowDur)/paneUnit))
+
+	mkQuery := func(i int, shared bool) *core.Query {
+		// Window sizes spread across slide multiples.
+		win := slide * simtime.Duration(2+i%9)
+		q := queries.WCCAggregation(fmt.Sprintf("mq%d", i), win, slide, cfg.Reducers)
+		if shared {
+			q.Sources[0].CacheKey = "wcc"
+		}
+		return q
+	}
+
+	run := func(k int, shared bool, name string) (Series, error) {
+		mr := cfg.NewRuntime(6)
+		ctrl := core.NewController()
+		hub := core.NewSourceHub(mr.DFS, mr.DFS.BlockSize())
+		if shared {
+			if err := hub.Share("wcc", "wcc", queries.WCCAggregation("spec", cfg.WindowDur, slide, cfg.Reducers).Sources[0].Spec, 0); err != nil {
+				return Series{}, err
+			}
+		}
+		var engines []*core.Engine
+		for i := 0; i < k; i++ {
+			eng, err := core.NewEngine(core.Config{MR: mr, Query: mkQuery(i, shared), Controller: ctrl, Hub: hub})
+			if err != nil {
+				return Series{}, err
+			}
+			engines = append(engines, eng)
+		}
+		series := Series{System: name}
+		wts := make([]WindowTiming, cfg.Windows)
+		for r := range wts {
+			wts[r].Window = r + 1
+		}
+		fedPanes := 0
+		feed := func(throughUnit int64) error {
+			for ; int64(fedPanes)*paneUnit < throughUnit; fedPanes++ {
+				start := int64(fedPanes) * paneUnit
+				batch := workload.WCC(wcc, start, start+paneUnit, perPane)
+				if shared {
+					if err := hub.Ingest("wcc", batch); err != nil {
+						return err
+					}
+				} else {
+					for _, eng := range engines {
+						if err := eng.Ingest(0, batch); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		}
+		// Engines sharing one runtime must execute in global trigger
+		// order: slot timelines advance monotonically, so a recurrence
+		// whose window closes earlier must run first even if it
+		// belongs to a different query.
+		closes := make([]func(int) int64, k)
+		for i, eng := range engines {
+			frames, err := eng.Query().Frames()
+			if err != nil {
+				return Series{}, err
+			}
+			closes[i] = frames[0].WindowClose
+		}
+		for done := 0; done < k*cfg.Windows; done++ {
+			best := -1
+			var bestClose int64
+			for i, eng := range engines {
+				r := eng.NextRecurrence()
+				if r >= cfg.Windows {
+					continue
+				}
+				if c := closes[i](r); best < 0 || c < bestClose {
+					best, bestClose = i, c
+				}
+			}
+			if err := feed(bestClose); err != nil {
+				return Series{}, err
+			}
+			res, err := engines[best].RunNext()
+			if err != nil {
+				return Series{}, err
+			}
+			wt := &wts[res.Recurrence]
+			wt.Response += res.ResponseTime
+			// Reuse the Shuffle column for read volume (ms fields
+			// carry bytes/1e6 here; Format prints raw series, the
+			// caller interprets).
+			wt.Shuffle += simtime.Duration(res.Stats.BytesRead)
+			wt.Reduce += simtime.Duration(res.Stats.BytesShuffled)
+		}
+		series.Windows = wts
+		return series, nil
+	}
+
+	res := &FigResult{
+		Name:  "Multi-query sharing",
+		Query: "k aggregations over one WCC stream; shuffle column = DFS bytes read (scaled), reduce column = shuffled bytes",
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		private, err := run(k, false, fmt.Sprintf("%d private", k))
+		if err != nil {
+			return nil, err
+		}
+		shared, err := run(k, true, fmt.Sprintf("%d shared", k))
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, Panel{
+			Overlap: float64(k),
+			Series:  []Series{private, shared},
+		})
+	}
+	return res, nil
+}

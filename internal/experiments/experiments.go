@@ -1,0 +1,371 @@
+// Package experiments regenerates the paper's evaluation artifacts
+// (Figures 6–9, §6) on the simulated cluster.
+//
+// Everything runs at a 1000×-reduced scale model of the paper's
+// testbed: 64 KiB blocks instead of 64 MiB, megabyte instead of
+// gigabyte windows, and a per-task overhead shrunk by the same factor,
+// so task counts, wave counts and phase ratios — the quantities that
+// determine the figures' shapes — are preserved while a full figure
+// regenerates in seconds. Absolute numbers are therefore in
+// milliseconds where the paper reports hundreds of seconds; the
+// comparisons (who wins, by what factor, where crossovers fall) are
+// the reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"redoop/internal/baseline"
+	"redoop/internal/cluster"
+	"redoop/internal/core"
+	"redoop/internal/dfs"
+	"redoop/internal/iocost"
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/workload"
+)
+
+// Config parameterizes an experiment run. Zero fields take defaults
+// from Default().
+type Config struct {
+	// Cluster shape (paper: 30 slaves, 6 map + 2 reduce slots each).
+	Workers     int
+	MapSlots    int
+	ReduceSlots int
+	// BlockSize is the DFS block size of the scale model.
+	BlockSize   int64
+	Replication int
+	// Cost is the task cost model.
+	Cost iocost.Model
+	// Windows is how many recurrences each series measures (paper: 10).
+	Windows int
+	// WindowDur is the window size; the slide per panel derives from
+	// the panel's overlap factor.
+	WindowDur simtime.Duration
+	// RecordsPerWindow fixes the data volume of one window; the
+	// per-slide batch size derives from it so total window volume is
+	// constant across overlaps.
+	RecordsPerWindow int
+	// Reducers is the query's fixed reduce partition count.
+	Reducers int
+	// Seed drives all generators.
+	Seed int64
+}
+
+// Default returns the calibrated scale-model configuration.
+func Default() Config {
+	cost := iocost.Default()
+	cost.TaskOverhead = 200 * time.Microsecond // sub-ms: the 0.8 s Hadoop task launch ÷ the 1000× scale, halved for the smaller blocks
+	return Config{
+		Workers:          10,
+		MapSlots:         6,
+		ReduceSlots:      2,
+		BlockSize:        16 << 10,
+		Replication:      3,
+		Cost:             cost,
+		Windows:          10,
+		WindowDur:        60 * simtime.Minute,
+		RecordsPerWindow: 240000,
+		Reducers:         20,
+		Seed:             42,
+	}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Workers == 0 {
+		c.Workers = d.Workers
+	}
+	if c.MapSlots == 0 {
+		c.MapSlots = d.MapSlots
+	}
+	if c.ReduceSlots == 0 {
+		c.ReduceSlots = d.ReduceSlots
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = d.BlockSize
+	}
+	if c.Replication == 0 {
+		c.Replication = d.Replication
+	}
+	if c.Cost == (iocost.Model{}) {
+		c.Cost = d.Cost
+	}
+	if c.Windows == 0 {
+		c.Windows = d.Windows
+	}
+	if c.WindowDur == 0 {
+		c.WindowDur = d.WindowDur
+	}
+	if c.RecordsPerWindow == 0 {
+		c.RecordsPerWindow = d.RecordsPerWindow
+	}
+	if c.Reducers == 0 {
+		c.Reducers = d.Reducers
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// SlideFor derives the slide from an overlap factor, snapped to whole
+// minutes so pane units stay friendly (paper: overlap = (win-slide)/win).
+func (c Config) SlideFor(overlap float64) simtime.Duration {
+	slide := time.Duration(float64(c.WindowDur) * (1 - overlap))
+	minute := simtime.Minute
+	snapped := ((slide + minute/2) / minute) * minute
+	if snapped < minute {
+		snapped = minute
+	}
+	if snapped > c.WindowDur {
+		snapped = c.WindowDur
+	}
+	return snapped
+}
+
+// WindowTiming is one window's measured times for one system.
+type WindowTiming struct {
+	Window   int // 1-based, as in the paper's plots
+	Response simtime.Duration
+	Shuffle  simtime.Duration
+	Reduce   simtime.Duration
+}
+
+// Series is one system's measurements across the experiment's windows.
+type Series struct {
+	System  string
+	Overlap float64
+	Windows []WindowTiming
+}
+
+// TotalShuffle sums the shuffle phase over all windows (the paper's
+// right-column bars).
+func (s Series) TotalShuffle() simtime.Duration {
+	var t simtime.Duration
+	for _, w := range s.Windows {
+		t += w.Shuffle
+	}
+	return t
+}
+
+// TotalReduce sums the reduce phase over all windows.
+func (s Series) TotalReduce() simtime.Duration {
+	var t simtime.Duration
+	for _, w := range s.Windows {
+		t += w.Reduce
+	}
+	return t
+}
+
+// TotalResponse sums per-window response times.
+func (s Series) TotalResponse() simtime.Duration {
+	var t simtime.Duration
+	for _, w := range s.Windows {
+		t += w.Response
+	}
+	return t
+}
+
+// MeanResponse averages the response time of windows from `from`
+// (1-based) onward; from=2 skips the cold first window as the paper's
+// speedup numbers do.
+func (s Series) MeanResponse(from int) simtime.Duration {
+	var t simtime.Duration
+	n := 0
+	for _, w := range s.Windows {
+		if w.Window >= from {
+			t += w.Response
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return t / simtime.Duration(n)
+}
+
+// Speedup returns a/b mean response from window `from`, guarding
+// against zero.
+func Speedup(a, b Series, from int) float64 {
+	den := float64(b.MeanResponse(from))
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(a.MeanResponse(from)) / den
+}
+
+// Panel is one sub-figure: every system's series at one overlap.
+type Panel struct {
+	Overlap float64
+	Series  []Series
+}
+
+// Find returns the named system's series.
+func (p Panel) Find(system string) (Series, bool) {
+	for _, s := range p.Series {
+		if s.System == system {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// FigResult is a regenerated figure.
+type FigResult struct {
+	Name   string
+	Query  string
+	Panels []Panel
+}
+
+// runSpec bundles what varies between figures.
+type runSpec struct {
+	queryName string
+	sources   int
+	query     func() *core.Query
+	// gen generates source src's batch for [startUnit, endUnit).
+	gen      func(src int, startUnit, endUnit int64, n int) []records.Record
+	sched    workload.RateSchedule
+	overlap  float64
+	windows  int
+	adaptive bool
+	// redoopBefore runs before each Redoop recurrence (fault
+	// injection hooks).
+	redoopBefore func(r int, eng *core.Engine)
+	// faults optionally injects task-attempt failures into either
+	// system's runtime.
+	faults mapreduce.FaultPlan
+}
+
+// NewRuntime builds an isolated cluster+DFS+runtime for the
+// configuration (exported for the CLI tools).
+func (c Config) NewRuntime(seedShift int64) *mapreduce.Engine {
+	ids := make([]int, c.Workers)
+	for i := range ids {
+		ids[i] = i
+	}
+	cl := cluster.MustNew(cluster.Config{
+		Workers: c.Workers, MapSlots: c.MapSlots, ReduceSlots: c.ReduceSlots,
+	})
+	d := dfs.MustNew(dfs.Config{
+		BlockSize:   c.BlockSize,
+		Replication: c.Replication,
+		Nodes:       ids,
+		Seed:        c.Seed + seedShift,
+	})
+	return mapreduce.MustNew(cl, d, c.Cost)
+}
+
+// feeder incrementally delivers batches to a consumer. Batches arrive
+// at pane granularity — the periodic log-collection uploads of §2.1 —
+// so the baseline driver's file selection aligns with window edges the
+// way the paper's Hadoop setup does. The fluctuation schedule is still
+// indexed by slide: every pane inside one slide interval carries that
+// slide's multiplier.
+type feeder struct {
+	cfg   Config
+	spec  runSpec
+	slide simtime.Duration
+	pane  simtime.Duration
+	base  int // records per pane at multiplier 1
+	fed   int // panes delivered
+}
+
+func newFeeder(cfg Config, spec runSpec) *feeder {
+	slide := cfg.SlideFor(spec.overlap)
+	pane := simtime.Duration(windowGCD(int64(cfg.WindowDur), int64(slide)))
+	panesPerWin := float64(cfg.WindowDur) / float64(pane)
+	base := int(float64(cfg.RecordsPerWindow) / panesPerWin)
+	return &feeder{cfg: cfg, spec: spec, slide: slide, pane: pane, base: base}
+}
+
+func windowGCD(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// feedThrough delivers every pane batch whose range starts before the
+// given unit bound.
+func (f *feeder) feedThrough(unit int64, deliver func(src int, recs []records.Record) error) error {
+	for ; int64(f.fed)*int64(f.pane) < unit; f.fed++ {
+		start := int64(f.fed) * int64(f.pane)
+		end := start + int64(f.pane)
+		slideIdx := int(start / int64(f.slide))
+		n := int(float64(f.base) * f.spec.sched(slideIdx))
+		for src := 0; src < f.spec.sources; src++ {
+			if err := deliver(src, f.spec.gen(src, start, end, n)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runRedoop measures the Redoop engine on the spec.
+func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
+	mr := c.NewRuntime(1)
+	mr.Faults = spec.faults
+	q := spec.query()
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive})
+	if err != nil {
+		return Series{}, err
+	}
+	f := newFeeder(c, spec)
+	series := Series{System: systemName, Overlap: spec.overlap}
+	winSpec := q.Spec()
+	for r := 0; r < spec.windows; r++ {
+		if err := f.feedThrough(winSpec.WindowClose(r), eng.Ingest); err != nil {
+			return Series{}, err
+		}
+		if spec.redoopBefore != nil {
+			spec.redoopBefore(r, eng)
+		}
+		res, err := eng.RunNext()
+		if err != nil {
+			return Series{}, fmt.Errorf("%s window %d: %w", systemName, r+1, err)
+		}
+		series.Windows = append(series.Windows, WindowTiming{
+			Window:   r + 1,
+			Response: res.ResponseTime,
+			Shuffle:  res.Stats.ShuffleTime,
+			Reduce:   res.Stats.ReduceTime,
+		})
+	}
+	return series, nil
+}
+
+// runHadoop measures the plain-Hadoop baseline on the spec.
+func (c Config) runHadoop(spec runSpec, systemName string) (Series, error) {
+	mr := c.NewRuntime(2)
+	mr.Faults = spec.faults
+	q := spec.query()
+	drv, err := baseline.NewDriver(mr, q)
+	if err != nil {
+		return Series{}, err
+	}
+	f := newFeeder(c, spec)
+	series := Series{System: systemName, Overlap: spec.overlap}
+	winSpec := q.Spec()
+	for r := 0; r < spec.windows; r++ {
+		if err := f.feedThrough(winSpec.WindowClose(r), drv.Ingest); err != nil {
+			return Series{}, err
+		}
+		res, err := drv.RunNext()
+		if err != nil {
+			return Series{}, fmt.Errorf("%s window %d: %w", systemName, r+1, err)
+		}
+		series.Windows = append(series.Windows, WindowTiming{
+			Window:   r + 1,
+			Response: res.ResponseTime,
+			Shuffle:  res.Stats.ShuffleTime,
+			Reduce:   res.Stats.ReduceTime,
+		})
+	}
+	return series, nil
+}

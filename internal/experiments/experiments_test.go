@@ -1,0 +1,397 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"redoop/internal/simtime"
+)
+
+// tinyConfig keeps figure regenerations fast enough for unit tests
+// while preserving the qualitative comparisons.
+func tinyConfig() Config {
+	cfg := Default()
+	cfg.Windows = 4
+	cfg.RecordsPerWindow = 24000
+	return cfg
+}
+
+func TestDefaultsFillZeroFields(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	d := Default()
+	if c.Workers != d.Workers || c.BlockSize != d.BlockSize || c.Windows != d.Windows {
+		t.Errorf("withDefaults incomplete: %+v", c)
+	}
+	// Explicit fields survive.
+	c2 := Config{Workers: 3}.withDefaults()
+	if c2.Workers != 3 {
+		t.Error("explicit Workers overwritten")
+	}
+}
+
+func TestSlideFor(t *testing.T) {
+	cfg := Default()
+	for _, c := range []struct {
+		overlap float64
+		want    simtime.Duration
+	}{
+		{0.9, 6 * simtime.Minute},
+		{0.5, 30 * simtime.Minute},
+		{0.1, 54 * simtime.Minute},
+	} {
+		if got := cfg.SlideFor(c.overlap); got != c.want {
+			t.Errorf("SlideFor(%v) = %v, want %v", c.overlap, got, c.want)
+		}
+	}
+}
+
+func TestSeriesAggregates(t *testing.T) {
+	s := Series{System: "X", Windows: []WindowTiming{
+		{Window: 1, Response: 10 * simtime.Second, Shuffle: 1 * simtime.Second, Reduce: 2 * simtime.Second},
+		{Window: 2, Response: 4 * simtime.Second, Shuffle: 1 * simtime.Second, Reduce: 1 * simtime.Second},
+		{Window: 3, Response: 6 * simtime.Second, Shuffle: 2 * simtime.Second, Reduce: 1 * simtime.Second},
+	}}
+	if s.TotalResponse() != 20*simtime.Second {
+		t.Errorf("TotalResponse = %v", s.TotalResponse())
+	}
+	if s.TotalShuffle() != 4*simtime.Second || s.TotalReduce() != 4*simtime.Second {
+		t.Error("phase totals wrong")
+	}
+	if s.MeanResponse(2) != 5*simtime.Second {
+		t.Errorf("MeanResponse(2) = %v, want 5s", s.MeanResponse(2))
+	}
+	if s.MeanResponse(9) != 0 {
+		t.Error("MeanResponse past the end should be 0")
+	}
+	other := Series{Windows: []WindowTiming{{Window: 2, Response: 10 * simtime.Second}}}
+	if got := Speedup(s, other, 2); got != 0.5 {
+		t.Errorf("Speedup = %v, want 0.5", got)
+	}
+}
+
+// Figure 6 at tiny scale: Redoop must beat Hadoop at overlap 0.9 after
+// the cold start, and the speedup must be monotone in overlap.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	res, err := Fig6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 3 {
+		t.Fatalf("got %d panels", len(res.Panels))
+	}
+	var speedups []float64
+	for _, p := range res.Panels {
+		h, ok1 := p.Find("Hadoop")
+		r, ok2 := p.Find("Redoop")
+		if !ok1 || !ok2 {
+			t.Fatal("missing series")
+		}
+		if len(h.Windows) != 4 || len(r.Windows) != 4 {
+			t.Fatal("wrong window counts")
+		}
+		speedups = append(speedups, Speedup(h, r, 2))
+	}
+	// Panels are ordered 0.9, 0.5, 0.1.
+	if speedups[0] <= 1.5 {
+		t.Errorf("overlap 0.9 speedup = %.2f, want > 1.5", speedups[0])
+	}
+	if speedups[0] <= speedups[1] || speedups[1] < speedups[2]*0.8 {
+		t.Errorf("speedups should decline with overlap: %v", speedups)
+	}
+	// At tiny scale the constant per-task overheads weigh more than
+	// at full scale, so near-parity at overlap 0.1 has a wider band
+	// (the full-size run in EXPERIMENTS.md is above 1).
+	if speedups[2] < 0.7 {
+		t.Errorf("overlap 0.1 should be near parity, got %.2f", speedups[2])
+	}
+}
+
+// Figure 9 at tiny scale: the failure ordering must hold —
+// Hadoop(f) worst, Redoop best, Redoop(f) still under Hadoop.
+func TestFig9Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	res, err := Fig9(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Panels[0]
+	get := func(name string) simtime.Duration {
+		s, ok := p.Find(name)
+		if !ok {
+			t.Fatalf("missing series %s", name)
+		}
+		return s.TotalResponse()
+	}
+	hadoop, hadoopF := get("Hadoop"), get("Hadoop(f)")
+	redoop, redoopF := get("Redoop"), get("Redoop(f)")
+	if !(hadoopF > hadoop) {
+		t.Errorf("Hadoop(f)=%v should exceed Hadoop=%v", hadoopF, hadoop)
+	}
+	if !(redoopF >= redoop) {
+		t.Errorf("Redoop(f)=%v should be at least Redoop=%v", redoopF, redoop)
+	}
+	if !(redoopF < hadoopF) {
+		t.Errorf("Redoop(f)=%v should beat Hadoop(f)=%v", redoopF, hadoopF)
+	}
+}
+
+func TestFormatOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	res, err := Fig6(Config{Windows: 2, RecordsPerWindow: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 6", "overlap = 0.9", "speedup", "shuffle", "reduce"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q", want)
+		}
+	}
+	var cb strings.Builder
+	res.FormatCumulative(&cb)
+	if !strings.Contains(cb.String(), "cumulative") {
+		t.Error("FormatCumulative missing header")
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	mk := func(h, r simtime.Duration) *FigResult {
+		return &FigResult{Panels: []Panel{{
+			Overlap: 0.9,
+			Series: []Series{
+				{System: "Hadoop", Windows: []WindowTiming{{Window: 2, Response: h}}},
+				{System: "Redoop", Windows: []WindowTiming{{Window: 2, Response: r}}},
+			},
+		}}}
+	}
+	got := Headline(mk(90*simtime.Second, 10*simtime.Second), mk(60*simtime.Second, 10*simtime.Second))
+	if got != 9 {
+		t.Errorf("Headline = %v, want 9", got)
+	}
+	if Headline(nil, nil) != 0 {
+		t.Error("Headline of nothing should be 0")
+	}
+}
+
+// Ablation A: full Redoop must beat the no-reuse variant, which in
+// turn should not beat Hadoop by much (pane-shaping alone is not the
+// win; caching is).
+func TestAblationCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	res, err := AblationCaching(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Panels[0]
+	hadoop, _ := p.Find("Hadoop")
+	noReuse, _ := p.Find("Redoop (no cache reuse)")
+	full, _ := p.Find("Redoop")
+	if full.MeanResponse(2) >= noReuse.MeanResponse(2) {
+		t.Errorf("caching should help: full=%v noReuse=%v",
+			full.MeanResponse(2), noReuse.MeanResponse(2))
+	}
+	if s := Speedup(hadoop, noReuse, 2); s > 2 {
+		t.Errorf("no-reuse Redoop should not massively beat Hadoop, got %.2fx", s)
+	}
+}
+
+// Ablation B: cache-aware placement must beat cache-oblivious
+// placement on the cache-read-heavy join.
+func TestAblationScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	res, err := AblationScheduling(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Panels[0]
+	oblivious, _ := p.Find("Redoop (cache-oblivious)")
+	full, _ := p.Find("Redoop")
+	if full.MeanResponse(2) >= oblivious.MeanResponse(2) {
+		t.Errorf("Eq. 4 placement should help: full=%v oblivious=%v",
+			full.MeanResponse(2), oblivious.MeanResponse(2))
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	fig := &FigResult{Name: "F", Panels: []Panel{{
+		Overlap: 0.9,
+		Series: []Series{{System: "Hadoop", Windows: []WindowTiming{
+			{Window: 1, Response: 2 * simtime.Millisecond, Shuffle: simtime.Millisecond, Reduce: simtime.Millisecond},
+		}}},
+	}}}
+	var sb strings.Builder
+	if err := fig.FormatCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d CSV lines, want header + 1 row:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "figure,overlap,system,window,response_ms,shuffle_ms,reduce_ms" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "F,0.90,Hadoop,1,2.0000,1.0000,1.0000") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// Multi-query sharing: the shared variant must read substantially
+// fewer DFS bytes than the private one as query count grows (the
+// Shuffle column carries read bytes in this figure).
+func TestMultiQuerySharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	cfg := tinyConfig()
+	cfg.Windows = 3
+	res, err := MultiQuerySharing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Panels {
+		if p.Overlap < 2 {
+			continue // a single query cannot share with itself
+		}
+		var private, shared Series
+		for _, s := range p.Series {
+			if strings.Contains(s.System, "private") {
+				private = s
+			} else {
+				shared = s
+			}
+		}
+		if shared.TotalShuffle() >= private.TotalShuffle() {
+			t.Errorf("k=%.0f: shared reads %d, want under private's %d",
+				p.Overlap, shared.TotalShuffle(), private.TotalShuffle())
+		}
+		// The dedup factor grows with the query count.
+		if p.Overlap >= 4 && shared.TotalShuffle()*2 >= private.TotalShuffle() {
+			t.Errorf("k=%.0f: shared reads %d, want well under half of private's %d",
+				p.Overlap, shared.TotalShuffle(), private.TotalShuffle())
+		}
+	}
+}
+
+// Figure 7 at tiny scale: the join's advantage must be largest at
+// overlap 0.9 and Redoop must never lose badly.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	// The join's economics need data volume (its tasks are output- and
+	// cache-read-bound); the tiny config is overhead-dominated, so
+	// this test runs a mid-size one.
+	cfg := tinyConfig()
+	cfg.RecordsPerWindow = 120000
+	res, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedups []float64
+	for _, p := range res.Panels {
+		h, _ := p.Find("Hadoop")
+		r, _ := p.Find("Redoop")
+		speedups = append(speedups, Speedup(h, r, 2))
+	}
+	if speedups[0] <= 1.5 {
+		t.Errorf("join speedup at overlap 0.9 = %.2f, want > 1.5", speedups[0])
+	}
+	if speedups[0] <= speedups[2] {
+		t.Errorf("join speedups should decline with overlap: %v", speedups)
+	}
+	if speedups[2] < 0.6 {
+		t.Errorf("overlap 0.1 should stay near parity, got %.2f", speedups[2])
+	}
+}
+
+// Figure 8 at tiny scale: adaptive Redoop must never lose to
+// non-adaptive Redoop, and both must beat Hadoop during fluctuation.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	cfg := tinyConfig()
+	cfg.Windows = 6
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Panels {
+		h, _ := p.Find("Hadoop")
+		r, _ := p.Find("Redoop")
+		a, _ := p.Find("Adaptive Redoop")
+		sr, sa := Speedup(h, r, 2), Speedup(h, a, 2)
+		if sa < sr*0.9 {
+			t.Errorf("overlap %.1f: adaptive %.2fx should not trail non-adaptive %.2fx",
+				p.Overlap, sa, sr)
+		}
+		if sr <= 0.8 {
+			t.Errorf("overlap %.1f: Redoop %.2fx should not collapse vs Hadoop", p.Overlap, sr)
+		}
+	}
+}
+
+// Ablation C at tiny scale: speculation must stay second-order for
+// both systems (within 2x either way).
+func TestAblationSpeculation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	res, err := AblationSpeculation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Panels[0]
+	for _, base := range []string{"Hadoop", "Redoop"} {
+		off, ok1 := p.Find(base)
+		on, ok2 := p.Find(base + " (speculative)")
+		if !ok1 || !ok2 {
+			t.Fatalf("missing series for %s", base)
+		}
+		ratio := float64(on.TotalResponse()) / float64(off.TotalResponse())
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: speculation changed cumulative time by %.2fx — should be second-order", base, ratio)
+		}
+	}
+}
+
+// Overlap sweep at tiny scale: endpoints must bracket the middle
+// roughly monotonically (0.9 best).
+func TestOverlapSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration")
+	}
+	cfg := tinyConfig()
+	cfg.Windows = 3
+	res, err := OverlapSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 9 {
+		t.Fatalf("sweep should cover 9 overlaps, got %d", len(res.Panels))
+	}
+	first := res.Panels[0]
+	last := res.Panels[len(res.Panels)-1]
+	h0, _ := first.Find("Hadoop")
+	r0, _ := first.Find("Redoop")
+	h8, _ := last.Find("Hadoop")
+	r8, _ := last.Find("Redoop")
+	if Speedup(h0, r0, 2) <= Speedup(h8, r8, 2) {
+		t.Errorf("overlap 0.9 speedup (%.2f) should exceed overlap 0.1's (%.2f)",
+			Speedup(h0, r0, 2), Speedup(h8, r8, 2))
+	}
+}

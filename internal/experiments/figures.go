@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"redoop/internal/core"
+	"redoop/internal/mapreduce"
+	"redoop/internal/queries"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/workload"
+)
+
+// Overlaps are the paper's three overlap settings.
+var Overlaps = []float64{0.9, 0.5, 0.1}
+
+// Fig6 regenerates Figure 6: the Q1 aggregation over the WCC dataset,
+// Hadoop vs Redoop, per-window response times and shuffle/reduce
+// totals at overlaps 0.9, 0.5 and 0.1.
+func Fig6(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FigResult{Name: "Figure 6", Query: "Q1 aggregation (WCC)"}
+	wcc := workload.DefaultWCC(cfg.Seed)
+	for _, overlap := range Overlaps {
+		spec := runSpec{
+			queryName: "Q1",
+			sources:   1,
+			overlap:   overlap,
+			windows:   cfg.Windows,
+			sched:     workload.SteadyRate,
+			gen: func(_ int, start, end int64, n int) []records.Record {
+				return workload.WCC(wcc, start, end, n)
+			},
+			query: func() *core.Query {
+				return queries.WCCAggregation("q1", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+			},
+		}
+		hadoop, err := cfg.runHadoop(spec, "Hadoop")
+		if err != nil {
+			return nil, err
+		}
+		redoop, err := cfg.runRedoop(spec, "Redoop")
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, Panel{Overlap: overlap, Series: []Series{hadoop, redoop}})
+	}
+	return res, nil
+}
+
+// Fig7 regenerates Figure 7: the Q2 join over the FFG dataset with the
+// same structure as Figure 6.
+func Fig7(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	// The join is quadratic in pane pairs; a quarter of the
+	// aggregation volume keeps the window-1 cross product (all K²
+	// pane pairs) tractable while preserving the phase ratios.
+	cfg.RecordsPerWindow /= 4
+	res := &FigResult{Name: "Figure 7", Query: "Q2 join (FFG)"}
+	ffg := workload.DefaultFFG(cfg.Seed)
+	for _, overlap := range Overlaps {
+		spec := runSpec{
+			queryName: "Q2",
+			sources:   2,
+			overlap:   overlap,
+			windows:   cfg.Windows,
+			sched:     workload.SteadyRate,
+			gen: func(src int, start, end int64, n int) []records.Record {
+				if src == 0 {
+					return workload.FFGReadings(ffg, start, end, n)
+				}
+				// The event side is sparse — game events are rare
+				// relative to position samples, which keeps the
+				// join selective.
+				return workload.FFGEvents(ffg, start, end, n/4)
+			},
+			query: func() *core.Query {
+				return queries.FFGJoin("q2", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+			},
+		}
+		hadoop, err := cfg.runHadoop(spec, "Hadoop")
+		if err != nil {
+			return nil, err
+		}
+		redoop, err := cfg.runRedoop(spec, "Redoop")
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, Panel{Overlap: overlap, Series: []Series{hadoop, redoop}})
+	}
+	return res, nil
+}
+
+// Fig8 regenerates Figure 8: adaptive input partitioning under the
+// paper's periodic load fluctuation (windows 1, 4, 7, 10 normal, the
+// rest doubled), comparing Hadoop, non-adaptive Redoop and adaptive
+// Redoop at the three overlaps.
+//
+// Adaptivity only matters when executions approach the slide deadline
+// (§3.3), so this experiment uses a compressed window scale where the
+// doubled load genuinely threatens the deadline, as on the paper's
+// loaded testbed.
+func Fig8(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	// Adaptivity matters only when executions are commensurate with
+	// the slide deadline (§3.3). Each panel first probes the query at
+	// the base cluster speed, then slows the cluster so Redoop's
+	// steady-state execution costs ~55% of the slide deadline: normal load is
+	// sustainable, the doubled windows overrun the deadline, and the
+	// best-effort proactive mode has genuine slack to exploit — the
+	// regime the paper's Figure 8 exercises.
+	cfg.WindowDur = 10 * simtime.Minute
+	cfg.RecordsPerWindow /= 2
+	res := &FigResult{Name: "Figure 8", Query: "Q1 aggregation (WCC), fluctuating load"}
+	wcc := workload.DefaultWCC(cfg.Seed)
+	for _, overlap := range Overlaps {
+		slide := cfg.SlideFor(overlap)
+		slidesPerWin := int((cfg.WindowDur + slide - 1) / slide)
+		mkSpec := func(windows int, sched workload.RateSchedule) runSpec {
+			return runSpec{
+				queryName: "Q1-fluct",
+				sources:   1,
+				overlap:   overlap,
+				windows:   windows,
+				sched:     sched,
+				gen: func(_ int, start, end int64, n int) []records.Record {
+					return workload.WCC(wcc, start, end, n)
+				},
+				query: func() *core.Query {
+					return queries.WCCAggregation("q1f", cfg.WindowDur, slide, cfg.Reducers)
+				},
+			}
+		}
+
+		// Calibration: slow the cluster until non-adaptive Redoop's
+		// steady-state response is ~60% of the slide. The per-task
+		// overhead saturates at the real ~0.8 s Hadoop launch cost, a
+		// non-linearity the loop corrects by re-probing at the scaled
+		// speed until the target holds.
+		panelCfg := cfg
+		target := 0.6 * float64(slide)
+		for pass := 0; pass < 4; pass++ {
+			probeCfg := panelCfg
+			probe, err := probeCfg.runRedoop(mkSpec(3, workload.SteadyRate), "probe")
+			if err != nil {
+				return nil, err
+			}
+			norm := probe.Windows[2].Response
+			if norm <= 0 {
+				norm = time.Millisecond
+			}
+			ratio := target / float64(norm)
+			if ratio > 0.8 && ratio < 1.25 {
+				break // close enough
+			}
+			slow := panelCfg.Cost
+			slow.DiskReadBps /= ratio
+			slow.DiskWriteBps /= ratio
+			slow.NetBps /= ratio
+			slow.MapCPUBps /= ratio
+			slow.ReduceCPUBps /= ratio
+			slow.SortBps /= ratio
+			overhead := time.Duration(float64(slow.TaskOverhead) * ratio)
+			if overhead > 800*time.Millisecond {
+				overhead = 800 * time.Millisecond // real Hadoop task launch
+			}
+			slow.TaskOverhead = overhead
+			panelCfg.Cost = slow
+		}
+
+		spec := mkSpec(cfg.Windows, workload.PaperFluctuation(slidesPerWin))
+		hadoop, err := panelCfg.runHadoop(spec, "Hadoop")
+		if err != nil {
+			return nil, err
+		}
+		redoop, err := panelCfg.runRedoop(spec, "Redoop")
+		if err != nil {
+			return nil, err
+		}
+		adaptiveSpec := spec
+		adaptiveSpec.adaptive = true
+		adaptive, err := panelCfg.runRedoop(adaptiveSpec, "Adaptive Redoop")
+		if err != nil {
+			return nil, err
+		}
+		res.Panels = append(res.Panels, Panel{
+			Overlap: overlap,
+			Series:  []Series{hadoop, redoop, adaptive},
+		})
+	}
+	return res, nil
+}
+
+// fig9FaultPlan injects the task failures of §6.4's (f) runs: the
+// first attempt of one in five map tasks fails (the work a lost node's
+// in-flight tasks would re-execute), and every job's first reduce
+// partition loses its first attempt, forcing a re-shuffle.
+type fig9FaultPlan struct{}
+
+func newFig9FaultPlan() *fig9FaultPlan { return &fig9FaultPlan{} }
+
+// MapAttemptFails implements mapreduce.FaultPlan.
+func (f *fig9FaultPlan) MapAttemptFails(jobName, splitID string, attempt int) bool {
+	if attempt > 0 {
+		return false
+	}
+	h := fnv.New32a()
+	h.Write([]byte(splitID))
+	return h.Sum32()%5 == 0
+}
+
+// ReduceAttemptFails implements mapreduce.FaultPlan.
+func (f *fig9FaultPlan) ReduceAttemptFails(_ string, part, attempt int) bool {
+	return part == 0 && attempt == 0
+}
+
+// dropCaches deletes `count` cached entries (deterministically chosen,
+// rotating with the window index) from the cluster's local file
+// systems — the pane-granular cache loss of §6.4, which Redoop repairs
+// by re-executing only the affected panes' tasks.
+func dropCaches(eng *core.Engine, window, count int) {
+	type loc struct {
+		node int
+		key  string
+	}
+	var all []loc
+	for _, n := range eng.MR().Cluster.Nodes() {
+		for _, k := range n.LocalKeys("cache/") {
+			all = append(all, loc{node: n.ID, key: k})
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key != all[j].key {
+			return all[i].key < all[j].key
+		}
+		return all[i].node < all[j].node
+	})
+	for i := 0; i < count; i++ {
+		l := all[(window*13+i*7)%len(all)]
+		eng.MR().Cluster.Node(l.node).DeleteLocal(l.key)
+	}
+}
+
+// Fig9 regenerates Figure 9: fault tolerance under cache loss. An
+// aggregation over FFG data at overlap 0.5 runs in four variants:
+// Hadoop and Redoop clean, and Hadoop(f)/Redoop(f) with failures
+// injected at the beginning of each window — a task failure for both,
+// plus the loss of one node's caches for Redoop(f). The paper plots
+// cumulative running time; Format prints both per-window and
+// cumulative columns.
+func Fig9(cfg Config) (*FigResult, error) {
+	cfg = cfg.withDefaults()
+	const overlap = 0.5
+	ffg := workload.DefaultFFG(cfg.Seed)
+	mkSpec := func() runSpec {
+		return runSpec{
+			queryName: "Q1-ffg",
+			sources:   1,
+			overlap:   overlap,
+			windows:   cfg.Windows,
+			sched:     workload.SteadyRate,
+			gen: func(_ int, start, end int64, n int) []records.Record {
+				return workload.FFGReadings(ffg, start, end, n)
+			},
+			query: func() *core.Query {
+				return ffgAggregation(cfg, overlap)
+			},
+		}
+	}
+
+	hadoop, err := cfg.runHadoop(mkSpec(), "Hadoop")
+	if err != nil {
+		return nil, err
+	}
+	redoop, err := cfg.runRedoop(mkSpec(), "Redoop")
+	if err != nil {
+		return nil, err
+	}
+
+	specHF := mkSpec()
+	specHF.faults = newFig9FaultPlan()
+	hadoopF, err := cfg.runHadoop(specHF, "Hadoop(f)")
+	if err != nil {
+		return nil, err
+	}
+
+	// Redoop's failure mode is cache loss (§6.4 "we focus on cache
+	// failure where the cached data is lost from a given node");
+	// Hadoop, having no caches, suffers the equivalent failures as
+	// task re-executions instead.
+	specRF := mkSpec()
+	specRF.redoopBefore = func(r int, eng *core.Engine) {
+		// Cache removal injected at the beginning of each window.
+		dropCaches(eng, r, 4)
+	}
+	redoopF, err := cfg.runRedoop(specRF, "Redoop(f)")
+	if err != nil {
+		return nil, err
+	}
+
+	return &FigResult{
+		Name:  "Figure 9",
+		Query: "aggregation (FFG), overlap 0.5, cache-failure injection",
+		Panels: []Panel{{
+			Overlap: overlap,
+			Series:  []Series{hadoop, hadoopF, redoop, redoopF},
+		}},
+	}, nil
+}
+
+// ffgAggregation counts readings per sensor — the FFG-flavoured
+// aggregation §6.4 uses as middle ground.
+func ffgAggregation(cfg Config, overlap float64) *core.Query {
+	q := queries.WCCAggregation("q9", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+	q.Maps = []mapreduce.MapFunc{func(_ int64, payload []byte, emit mapreduce.Emitter) {
+		// Key by the sensor id (field 0 of an FFG reading).
+		i := 0
+		for i < len(payload) && payload[i] != ',' {
+			i++
+		}
+		emit(append([]byte(nil), payload[:i]...), []byte("1"))
+	}}
+	return q
+}
+
+// Headline computes the paper's headline claim — "up to 9× speedup
+// over plain Hadoop" — as the best steady-state speedup observed
+// across the Figure 6 and Figure 7 panels.
+func Headline(fig6, fig7 *FigResult) float64 {
+	best := 0.0
+	for _, fig := range []*FigResult{fig6, fig7} {
+		if fig == nil {
+			continue
+		}
+		for _, p := range fig.Panels {
+			h, ok1 := p.Find("Hadoop")
+			r, ok2 := p.Find("Redoop")
+			if !ok1 || !ok2 {
+				continue
+			}
+			if s := Speedup(h, r, 2); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}

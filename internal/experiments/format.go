@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"redoop/internal/simtime"
+)
+
+// ms renders a virtual duration in milliseconds with two decimals, the
+// unit the scale model's windows complete in.
+func ms(d simtime.Duration) string {
+	return fmt.Sprintf("%8.2f", float64(d)/1e6)
+}
+
+// Format writes the figure as aligned text tables: one per-window
+// response-time table per panel (the paper's left column), the
+// shuffle/reduce totals (the right column), and the steady-state
+// speedup line.
+func (f *FigResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.Name, f.Query)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 64))
+	for _, p := range f.Panels {
+		fmt.Fprintf(w, "\noverlap = %.1f\n", p.Overlap)
+
+		// Per-window response times (ms), one column per system.
+		fmt.Fprintf(w, "%-8s", "window")
+		for _, s := range p.Series {
+			fmt.Fprintf(w, " %16s", s.System)
+		}
+		fmt.Fprintln(w)
+		if len(p.Series) > 0 {
+			for i := range p.Series[0].Windows {
+				fmt.Fprintf(w, "%-8d", p.Series[0].Windows[i].Window)
+				for _, s := range p.Series {
+					fmt.Fprintf(w, " %16s", ms(s.Windows[i].Response))
+				}
+				fmt.Fprintln(w)
+			}
+		}
+		fmt.Fprintf(w, "%-8s", "cumul.")
+		for _, s := range p.Series {
+			fmt.Fprintf(w, " %16s", ms(s.TotalResponse()))
+		}
+		fmt.Fprintln(w)
+
+		// Phase totals (the paper's shuffle-vs-reduce bars).
+		fmt.Fprintf(w, "\n%-18s %12s %12s\n", "phase totals (ms)", "shuffle", "reduce")
+		for _, s := range p.Series {
+			fmt.Fprintf(w, "%-18s %12s %12s\n", s.System, ms(s.TotalShuffle()), ms(s.TotalReduce()))
+		}
+
+		// Steady-state speedups vs the first series (Hadoop).
+		if len(p.Series) > 1 {
+			base := p.Series[0]
+			for _, s := range p.Series[1:] {
+				fmt.Fprintf(w, "speedup of %s over %s (windows 2+): %.2fx\n",
+					s.System, base.System, Speedup(base, s, 2))
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatCumulative writes the Figure 9 style cumulative-time series.
+func (f *FigResult) FormatCumulative(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s (cumulative running time, ms)\n", f.Name, f.Query)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("=", 64))
+	for _, p := range f.Panels {
+		fmt.Fprintf(w, "%-8s", "window")
+		for _, s := range p.Series {
+			fmt.Fprintf(w, " %16s", s.System)
+		}
+		fmt.Fprintln(w)
+		if len(p.Series) == 0 {
+			continue
+		}
+		cums := make([]simtime.Duration, len(p.Series))
+		for i := range p.Series[0].Windows {
+			fmt.Fprintf(w, "%-8d", p.Series[0].Windows[i].Window)
+			for j, s := range p.Series {
+				cums[j] += s.Windows[i].Response
+				fmt.Fprintf(w, " %16s", ms(cums[j]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatCSV writes the figure as tidy CSV rows suitable for plotting:
+// figure, overlap, system, window, response_ms, shuffle_ms, reduce_ms.
+func (f *FigResult) FormatCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"figure", "overlap", "system", "window", "response_ms", "shuffle_ms", "reduce_ms"}); err != nil {
+		return err
+	}
+	for _, p := range f.Panels {
+		for _, s := range p.Series {
+			for _, wt := range s.Windows {
+				row := []string{
+					f.Name,
+					strconv.FormatFloat(p.Overlap, 'f', 2, 64),
+					s.System,
+					strconv.Itoa(wt.Window),
+					strconv.FormatFloat(float64(wt.Response)/1e6, 'f', 4, 64),
+					strconv.FormatFloat(float64(wt.Shuffle)/1e6, 'f', 4, 64),
+					strconv.FormatFloat(float64(wt.Reduce)/1e6, 'f', 4, 64),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

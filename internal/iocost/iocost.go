@@ -1,0 +1,180 @@
+// Package iocost models the I/O and CPU costs of MapReduce task
+// execution on the simulated cluster.
+//
+// The Redoop paper's evaluation ran on a real 31-node Hadoop cluster; we
+// reproduce the *shape* of its results by charging each task a virtual
+// duration derived from the bytes it reads, shuffles, sorts, computes
+// over and writes. The model follows the observation (cited by the paper
+// from Li et al., SOPA) that I/O cost dominates MapReduce execution, and
+// it is the C_task term of the paper's Equation 4 scheduling metric.
+package iocost
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Model holds the throughput parameters of one cluster configuration.
+// All rates are bytes per second of virtual time. The zero Model is not
+// usable; start from Default().
+type Model struct {
+	// DiskReadBps is the sequential read bandwidth of a node's local
+	// disk (also used for DFS reads served by the local replica).
+	DiskReadBps float64
+	// DiskWriteBps is the sequential write bandwidth of a node's local
+	// disk (spills, cache writes, DFS writes).
+	DiskWriteBps float64
+	// NetBps is the per-node network bandwidth used for non-local DFS
+	// reads and for the shuffle.
+	NetBps float64
+	// MapCPUBps is the rate at which a map task processes its input
+	// (parsing plus the user map function).
+	MapCPUBps float64
+	// ReduceCPUBps is the rate at which a reduce task processes its
+	// grouped input (the user reduce function).
+	ReduceCPUBps float64
+	// SortBps is the rate of the sort/merge/group stage that precedes
+	// the reduce function.
+	SortBps float64
+	// TaskOverhead is the fixed per-task-attempt startup cost (process
+	// launch, heartbeat scheduling latency). Hadoop clusters of the
+	// paper's era paid on the order of a second per task.
+	TaskOverhead time.Duration
+}
+
+// Default returns a model calibrated to the paper's testbed: commodity
+// 2008-era servers (quad-core 2.66 GHz, single SATA disk, 1 Gbit
+// Ethernet) running Hadoop 0.20.2.
+func Default() Model {
+	return Model{
+		DiskReadBps:  90e6,
+		DiskWriteBps: 70e6,
+		NetBps:       110e6, // ~1 Gbit/s payload rate
+		MapCPUBps:    60e6,
+		ReduceCPUBps: 50e6,
+		SortBps:      80e6,
+		TaskOverhead: 800 * time.Millisecond,
+		// I/O-bound by construction: CPU rates are within a small
+		// factor of disk rates, as on the paper's hardware.
+	}
+}
+
+// Validate reports whether every rate is positive and finite.
+func (m Model) Validate() error {
+	check := func(name string, v float64) error {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return fmt.Errorf("iocost: %s must be positive and finite, got %v", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"DiskReadBps", m.DiskReadBps},
+		{"DiskWriteBps", m.DiskWriteBps},
+		{"NetBps", m.NetBps},
+		{"MapCPUBps", m.MapCPUBps},
+		{"ReduceCPUBps", m.ReduceCPUBps},
+		{"SortBps", m.SortBps},
+	} {
+		if err := check(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if m.TaskOverhead < 0 {
+		return fmt.Errorf("iocost: TaskOverhead must be non-negative, got %v", m.TaskOverhead)
+	}
+	return nil
+}
+
+// dur converts bytes at a rate to a duration, saturating at zero for
+// non-positive byte counts.
+func dur(bytes int64, bps float64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bps * float64(time.Second))
+}
+
+// DiskRead returns the virtual time to read n bytes from local disk.
+func (m Model) DiskRead(n int64) time.Duration { return dur(n, m.DiskReadBps) }
+
+// DiskWrite returns the virtual time to write n bytes to local disk.
+func (m Model) DiskWrite(n int64) time.Duration { return dur(n, m.DiskWriteBps) }
+
+// NetTransfer returns the virtual time to move n bytes across the
+// network between two nodes.
+func (m Model) NetTransfer(n int64) time.Duration { return dur(n, m.NetBps) }
+
+// Sort returns the virtual time for the sort/merge/group stage over n
+// bytes of shuffled input.
+func (m Model) Sort(n int64) time.Duration { return dur(n, m.SortBps) }
+
+// MapTask returns the duration of one map task attempt that reads
+// inBytes (localBytes of which are served by a local replica), produces
+// outBytes of intermediate data, and spills it to local disk.
+func (m Model) MapTask(inBytes, localBytes, outBytes int64) time.Duration {
+	if localBytes > inBytes {
+		localBytes = inBytes
+	}
+	remote := inBytes - localBytes
+	return m.TaskOverhead +
+		m.DiskRead(localBytes) +
+		m.NetTransfer(remote) +
+		dur(inBytes, m.MapCPUBps) +
+		m.DiskWrite(outBytes)
+}
+
+// ReduceTask returns the duration of one reduce task attempt that sorts
+// and reduces inBytes of shuffled input and produces outBytes of output.
+// The reduce function's cost covers both sides — for joins the output
+// enumeration dominates (paper §6.2.2) — and the output is written to
+// disk. Shuffle transfer time is charged separately by the engine
+// because it overlaps the map phase.
+func (m Model) ReduceTask(inBytes, outBytes int64) time.Duration {
+	return m.TaskOverhead +
+		m.Sort(inBytes) +
+		dur(inBytes+outBytes, m.ReduceCPUBps) +
+		m.DiskWrite(outBytes)
+}
+
+// CacheRead returns the virtual time for a reduce task to load n bytes
+// of window-aware cache. Local caches are disk reads; remote caches pay
+// the network as well, which is why the cache-aware scheduler prefers
+// the cache's home node.
+func (m Model) CacheRead(n int64, local bool) time.Duration {
+	if local {
+		return m.DiskRead(n)
+	}
+	return m.DiskRead(n) + m.NetTransfer(n)
+}
+
+// CachedReduceTask returns the duration of a reduce-style task fed by
+// pre-sorted cached inputs (Redoop's pane-pair joins): the sort was
+// paid once when the reduce-input cache was built, so the task charges
+// only the reduce function (input and output sides) and the output
+// write. The startup overhead is a quarter of a full task launch —
+// cache-fed tasks skip input-split negotiation and reuse the node's
+// long-lived cache manager, the implementation point of the paper's
+// modified ReduceTask/TaskTracker (§5). Cache-read time is charged
+// separately via CacheRead, since locality varies.
+func (m Model) CachedReduceTask(inBytes, outBytes int64) time.Duration {
+	return m.TaskOverhead/4 + dur(inBytes+outBytes, m.ReduceCPUBps) + m.DiskWrite(outBytes)
+}
+
+// ConcatTask returns the duration of a finalization step that merely
+// concatenates cached partial outputs (a join window's result is the
+// union of its pane pairs' outputs): an output write plus overhead.
+func (m Model) ConcatTask(outBytes int64) time.Duration {
+	return m.TaskOverhead + m.DiskWrite(outBytes)
+}
+
+// MergeTask returns the duration of the finalization step that merges
+// nPanes cached pane outputs totalling inBytes into outBytes of window
+// output. It is pane-based rather than tuple-based (paper §6.2.1), so
+// its CPU charge uses the sort rate over the pane outputs only.
+func (m Model) MergeTask(inBytes, outBytes int64) time.Duration {
+	return m.TaskOverhead + m.Sort(inBytes) + m.DiskWrite(outBytes)
+}

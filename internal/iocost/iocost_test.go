@@ -1,0 +1,115 @@
+package iocost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	cases := []func(*Model){
+		func(m *Model) { m.DiskReadBps = 0 },
+		func(m *Model) { m.DiskWriteBps = -1 },
+		func(m *Model) { m.NetBps = math.NaN() },
+		func(m *Model) { m.MapCPUBps = math.Inf(1) },
+		func(m *Model) { m.ReduceCPUBps = 0 },
+		func(m *Model) { m.SortBps = 0 },
+		func(m *Model) { m.TaskOverhead = -time.Second },
+	}
+	for i, mutate := range cases {
+		m := Default()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRateArithmetic(t *testing.T) {
+	m := Default()
+	m.DiskReadBps = 100e6
+	if got := m.DiskRead(100e6); got != time.Second {
+		t.Errorf("DiskRead(100MB) = %v, want 1s", got)
+	}
+	if got := m.DiskRead(0); got != 0 {
+		t.Errorf("DiskRead(0) = %v, want 0", got)
+	}
+	if got := m.DiskRead(-5); got != 0 {
+		t.Errorf("DiskRead(-5) = %v, want 0", got)
+	}
+}
+
+func TestMapTaskComposition(t *testing.T) {
+	m := Default()
+	allLocal := m.MapTask(1e6, 1e6, 1e6)
+	allRemote := m.MapTask(1e6, 0, 1e6)
+	if allRemote <= allLocal && m.NetBps < m.DiskReadBps {
+		t.Errorf("remote read should cost more when net is slower: local=%v remote=%v", allLocal, allRemote)
+	}
+	// localBytes is clamped to inBytes.
+	clamped := m.MapTask(1e6, 2e6, 1e6)
+	if clamped != allLocal {
+		t.Errorf("over-reported local bytes should clamp: %v vs %v", clamped, allLocal)
+	}
+	if got := m.MapTask(0, 0, 0); got != m.TaskOverhead {
+		t.Errorf("empty map task should cost only the overhead, got %v", got)
+	}
+}
+
+func TestReduceTaskMonotone(t *testing.T) {
+	m := Default()
+	small := m.ReduceTask(1e6, 1e5)
+	big := m.ReduceTask(10e6, 1e5)
+	if big <= small {
+		t.Errorf("bigger input should cost more: %v vs %v", small, big)
+	}
+}
+
+func TestCacheReadLocalCheaper(t *testing.T) {
+	m := Default()
+	local := m.CacheRead(1e6, true)
+	remote := m.CacheRead(1e6, false)
+	if remote <= local {
+		t.Errorf("remote cache read must cost strictly more (it adds a network hop): local=%v remote=%v", local, remote)
+	}
+	if want := local + m.NetTransfer(1e6); remote != want {
+		t.Errorf("remote = %v, want local+net = %v", remote, want)
+	}
+}
+
+func TestMergeTaskIncludesOverhead(t *testing.T) {
+	m := Default()
+	if got := m.MergeTask(0, 0); got != m.TaskOverhead {
+		t.Errorf("empty merge = %v, want the task overhead %v", got, m.TaskOverhead)
+	}
+}
+
+// Property: every cost function is monotone non-decreasing in its byte
+// arguments and never negative.
+func TestCostMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		lo, hi := x, y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.DiskRead(lo) <= m.DiskRead(hi) &&
+			m.DiskWrite(lo) <= m.DiskWrite(hi) &&
+			m.NetTransfer(lo) <= m.NetTransfer(hi) &&
+			m.Sort(lo) <= m.Sort(hi) &&
+			m.ReduceTask(lo, 0) <= m.ReduceTask(hi, 0) &&
+			m.MapTask(lo, 0, 0) <= m.MapTask(hi, 0, 0) &&
+			m.DiskRead(lo) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

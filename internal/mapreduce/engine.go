@@ -1,0 +1,599 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"redoop/internal/cluster"
+	"redoop/internal/dfs"
+	"redoop/internal/iocost"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+)
+
+// Engine is the job tracker: it splits inputs, schedules task attempts
+// onto node slots, executes user functions and accounts virtual time.
+// Engine methods are not safe for concurrent use; one engine drives one
+// virtual timeline.
+type Engine struct {
+	Cluster *cluster.Cluster
+	DFS     *dfs.DFS
+	Cost    iocost.Model
+	// Place overrides task placement; nil means DefaultPlacement.
+	Place Placement
+	// Faults optionally injects task-attempt failures.
+	Faults FaultPlan
+	// MaxAttempts bounds attempts per task before the job fails
+	// (Hadoop's mapred.map.max.attempts; default 4).
+	MaxAttempts int
+
+	// Jitter makes task durations non-deterministic: each attempt's
+	// modelled duration is scaled by a seeded random factor in
+	// [1, 1+Jitter], with occasional stragglers (probability
+	// StragglerProb, default 0.05) further scaled by 1+StragglerFactor
+	// (default 4). Zero keeps the simulation fully deterministic.
+	Jitter          float64
+	StragglerProb   float64
+	StragglerFactor float64
+	// JitterSeed drives the jitter streams so jittered runs reproduce.
+	// Each task attempt's factor derives from (seed, task id), so a
+	// given attempt's duration is stable regardless of scheduling
+	// order or what other tasks ran first.
+	JitterSeed int64
+	// Speculative enables Hadoop's speculative execution for map
+	// tasks: when an attempt runs past 1.5× its modelled duration, a
+	// backup attempt launches on another node and the earlier finisher
+	// wins. The paper's evaluation turned this off (§6.1) because at
+	// Redoop's fine task granularity backups mostly burn slots; this
+	// implementation lets that trade-off be measured.
+	Speculative bool
+}
+
+// New constructs an engine over the given substrates with default
+// placement and no fault injection.
+func New(c *cluster.Cluster, d *dfs.DFS, cost iocost.Model) (*Engine, error) {
+	if c == nil || d == nil {
+		return nil, fmt.Errorf("mapreduce: engine needs a cluster and a DFS")
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{Cluster: c, DFS: d, Cost: cost}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(c *cluster.Cluster, d *dfs.DFS, cost iocost.Model) *Engine {
+	e, err := New(c, d, cost)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e *Engine) placement() Placement {
+	if e.Place != nil {
+		return e.Place
+	}
+	return DefaultPlacement{}
+}
+
+// placementFor resolves the effective placement for a job: the job's
+// override first, then the engine's, then the default.
+func (e *Engine) placementFor(job *Job) Placement {
+	if job != nil && job.Place != nil {
+		return job.Place
+	}
+	return e.placement()
+}
+
+func (e *Engine) maxAttempts() int {
+	if e.MaxAttempts > 0 {
+		return e.MaxAttempts
+	}
+	return 4
+}
+
+// jittered scales a modelled duration by a per-key jitter factor; with
+// Jitter zero it is the identity. Keying by task identity keeps each
+// attempt's duration stable across runs that schedule differently.
+func (e *Engine) jittered(key string, d simtime.Duration) simtime.Duration {
+	if e.Jitter <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", e.JitterSeed, key)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	factor := 1 + e.Jitter*rng.Float64()
+	prob := e.StragglerProb
+	if prob == 0 {
+		prob = 0.05
+	}
+	if rng.Float64() < prob {
+		sf := e.StragglerFactor
+		if sf == 0 {
+			sf = 4
+		}
+		factor += sf
+	}
+	return simtime.Duration(float64(d) * factor)
+}
+
+// speculationThreshold is how far past its modelled duration an
+// attempt runs before a backup launches (Hadoop's default heuristic
+// watches for tasks well behind their peers' progress rate).
+const speculationThreshold = 1.5
+
+// placeBackup picks the node for a speculative backup attempt: the
+// earliest-starting alive node other than the straggler's (preferring
+// replica holders, as map placement does).
+func (e *Engine) placeBackup(s Split, ready simtime.Time, exclude int) *cluster.Node {
+	var bestLocal, bestAny *cluster.Node
+	var bestLocalT, bestAnyT simtime.Time
+	for _, n := range e.Cluster.AliveNodes() {
+		if n.ID == exclude {
+			continue
+		}
+		t := n.Map.EarliestStart(ready)
+		if bestAny == nil || t < bestAnyT {
+			bestAny, bestAnyT = n, t
+		}
+		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, n.ID) {
+			if bestLocal == nil || t < bestLocalT {
+				bestLocal, bestLocalT = n, t
+			}
+		}
+	}
+	if bestLocal != nil && bestLocalT <= bestAnyT.Add(e.Cost.TaskOverhead) {
+		return bestLocal
+	}
+	return bestAny
+}
+
+// Splits enumerates the block-granular map splits of the given input
+// paths, in path-then-block order.
+func (e *Engine) Splits(paths []string) ([]Split, error) {
+	return e.SplitsOf(WholeFiles(paths))
+}
+
+// SplitsOf enumerates the map splits of the given logical inputs: each
+// input range is clipped against the blocks of its file, producing one
+// split per overlapped block.
+func (e *Engine) SplitsOf(inputs []Input) ([]Split, error) {
+	var out []Split
+	for _, in := range inputs {
+		blocks, err := e.DFS.Blocks(in.Path)
+		if err != nil {
+			return nil, err
+		}
+		size, err := e.DFS.Size(in.Path)
+		if err != nil {
+			return nil, err
+		}
+		lo := in.Offset
+		hi := size
+		if in.Length >= 0 {
+			hi = in.Offset + in.Length
+		}
+		if hi > size {
+			hi = size
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		for _, b := range blocks {
+			blo, bhi := b.Offset, b.Offset+b.Size
+			if bhi <= lo || blo >= hi {
+				continue
+			}
+			slo, shi := blo, bhi
+			if slo < lo {
+				slo = lo
+			}
+			if shi > hi {
+				shi = hi
+			}
+			out = append(out, Split{Path: in.Path, Block: b, Lo: slo, Hi: shi})
+		}
+	}
+	return out, nil
+}
+
+// MapPhaseResult carries the output of RunMapPhase into the shuffle and
+// reduce phases.
+type MapPhaseResult struct {
+	// Parts holds, per reduce partition, the concatenated map output.
+	Parts [][]records.Pair
+	// PartSrcBytes records, per partition, how many intermediate bytes
+	// each mapper node produced — the matrix the shuffle model charges
+	// network transfer from.
+	PartSrcBytes []map[int]int64
+	// FirstMapEnd and LastMapEnd bound the map wave; reducers start
+	// copying at FirstMapEnd and cannot finish before LastMapEnd.
+	FirstMapEnd, LastMapEnd simtime.Time
+	// Stats covers the map phase only.
+	Stats Stats
+}
+
+// MergeMapPhases combines several map-phase results into one, as if a
+// single map wave had produced them: partitions are concatenated,
+// source-byte matrices summed, and the wave bounds widened. Redoop uses
+// it to fuse per-segment (proactive sub-pane) map phases; the baseline
+// driver uses it to fuse per-source map phases of a join.
+func MergeMapPhases(rs []*MapPhaseResult, reducers int, ready simtime.Time) *MapPhaseResult {
+	out := &MapPhaseResult{
+		Parts:        make([][]records.Pair, reducers),
+		PartSrcBytes: make([]map[int]int64, reducers),
+		FirstMapEnd:  ready,
+		LastMapEnd:   ready,
+	}
+	for i := range out.PartSrcBytes {
+		out.PartSrcBytes[i] = make(map[int]int64)
+	}
+	out.Stats.Start = ready
+	out.Stats.End = ready
+	firstSet := false
+	for _, mp := range rs {
+		if mp.Stats.MapTasks == 0 {
+			continue
+		}
+		if !firstSet || mp.FirstMapEnd < out.FirstMapEnd {
+			out.FirstMapEnd = mp.FirstMapEnd
+			firstSet = true
+		}
+		if mp.LastMapEnd > out.LastMapEnd {
+			out.LastMapEnd = mp.LastMapEnd
+		}
+		for r := range mp.Parts {
+			out.Parts[r] = append(out.Parts[r], mp.Parts[r]...)
+			for n, b := range mp.PartSrcBytes[r] {
+				out.PartSrcBytes[r][n] += b
+			}
+		}
+		out.Stats.Accumulate(mp.Stats)
+	}
+	return out
+}
+
+// RunMapPhase executes the map tasks of job over the given inputs,
+// becoming schedulable at ready. It may be called with a subset of the
+// job's inputs — Redoop maps only the panes that are new to a window.
+func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*MapPhaseResult, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	splits, err := e.SplitsOf(inputs)
+	if err != nil {
+		return nil, err
+	}
+	res := &MapPhaseResult{
+		Parts:        make([][]records.Pair, job.NumReducers),
+		PartSrcBytes: make([]map[int]int64, job.NumReducers),
+		FirstMapEnd:  ready,
+		LastMapEnd:   ready,
+	}
+	for r := range res.PartSrcBytes {
+		res.PartSrcBytes[r] = make(map[int]int64)
+	}
+	res.Stats.Start = ready
+	res.Stats.End = ready
+	if len(splits) == 0 {
+		return res, nil
+	}
+
+	// Decode each input file once, bucketing records into splits by
+	// start offset; executing the user map per split then follows the
+	// same record set Hadoop's record readers would produce.
+	bySplit, err := e.decodeForSplits(splits)
+	if err != nil {
+		return nil, err
+	}
+
+	part := job.partitioner()
+	first := simtime.Time(0)
+	firstSet := false
+	for _, s := range splits {
+		recs := bySplit[s.ID()]
+		// Execute the user map once; attempts re-charge time only.
+		parts := make([][]records.Pair, job.NumReducers)
+		emit := func(k, v []byte) {
+			r := part(k, job.NumReducers)
+			parts[r] = append(parts[r], records.Pair{Key: k, Value: v})
+		}
+		for _, rec := range recs {
+			job.Map(rec.Ts, rec.Data, emit)
+		}
+		if job.Combine != nil {
+			for r := range parts {
+				if len(parts[r]) > 1 {
+					parts[r] = ReduceGroups(job.Combine, GroupPairs(parts[r]))
+				}
+			}
+		}
+		var outBytes int64
+		for r := range parts {
+			outBytes += records.PairsSize(parts[r])
+		}
+
+		node, end, attempts, spent, err := e.runMapAttempts(job, s, outBytes, ready)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.MapTasks++
+		res.Stats.FailedAttempts += attempts - 1
+		res.Stats.MapTime += spent
+		res.Stats.BytesRead += s.Size()
+		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, node.ID) {
+			res.Stats.BytesReadLocal += s.Size()
+		}
+		res.Stats.BytesSpilled += outBytes
+		if !firstSet || end < first {
+			first, firstSet = end, true
+		}
+		if end > res.LastMapEnd {
+			res.LastMapEnd = end
+		}
+		for r := range parts {
+			if len(parts[r]) == 0 {
+				continue
+			}
+			res.Parts[r] = append(res.Parts[r], parts[r]...)
+			res.PartSrcBytes[r][node.ID] += records.PairsSize(parts[r])
+		}
+	}
+	if firstSet {
+		res.FirstMapEnd = first
+	}
+	res.Stats.End = res.LastMapEnd
+	return res, nil
+}
+
+// runMapAttempts schedules attempts of one map task until one succeeds,
+// charging each attempt's duration to its node. It returns the node of
+// the successful attempt, its end time, the number of attempts, and the
+// summed virtual time spent across attempts.
+func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime.Time) (*cluster.Node, simtime.Time, int, simtime.Duration, error) {
+	var spent simtime.Duration
+	for attempt := 0; attempt < e.maxAttempts(); attempt++ {
+		node := e.placementFor(job).PlaceMap(e, s, ready)
+		if node == nil {
+			return nil, 0, 0, spent, fmt.Errorf("mapreduce: job %q: no alive node for map over %s", job.Name, s.ID())
+		}
+		local := int64(0)
+		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, node.ID) {
+			local = s.Size()
+		}
+		base := e.Cost.MapTask(s.Size(), local, outBytes)
+		dur := e.jittered(fmt.Sprintf("map|%s|%s|%d", job.Name, s.ID(), attempt), base)
+		start, end := node.Map.Acquire(ready, dur)
+		node.AddLoad(dur)
+		spent += dur
+		if e.Faults != nil && e.Faults.MapAttemptFails(job.Name, s.ID(), attempt) {
+			// The failed attempt occupied the slot for its full
+			// duration; the retry becomes schedulable when the
+			// failure is detected, i.e. at the attempt's end.
+			ready = end
+			continue
+		}
+		if e.Speculative && float64(dur) > speculationThreshold*float64(base) {
+			// A straggler: launch a backup attempt once the original
+			// has clearly fallen behind; the earlier finisher wins,
+			// but both occupy slots (the cost the paper avoided by
+			// disabling speculation).
+			detect := start.Add(simtime.Duration(speculationThreshold * float64(base)))
+			if backup := e.placeBackup(s, detect, node.ID); backup != nil {
+				bdur := e.jittered(fmt.Sprintf("backup|%s|%s|%d", job.Name, s.ID(), attempt), base)
+				_, bend := backup.Map.Acquire(detect, bdur)
+				backup.AddLoad(bdur)
+				spent += bdur
+				if bend < end {
+					node, end = backup, bend
+				}
+			}
+		}
+		return node, end, attempt + 1, spent, nil
+	}
+	return nil, 0, 0, spent, fmt.Errorf("mapreduce: job %q: map task %s failed %d attempts", job.Name, s.ID(), e.maxAttempts())
+}
+
+// decodeForSplits reads every referenced file once and buckets its
+// records into the splits by start offset. A record is delivered to
+// each split whose byte range contains its first byte; splits within
+// one map phase are expected not to overlap.
+func (e *Engine) decodeForSplits(splits []Split) (map[string][]records.Record, error) {
+	byPath := make(map[string][]*Split)
+	for i := range splits {
+		byPath[splits[i].Path] = append(byPath[splits[i].Path], &splits[i])
+	}
+	out := make(map[string][]records.Record)
+	for path, ss := range byPath {
+		data, err := e.DFS.Read(path)
+		if err != nil {
+			return nil, err
+		}
+		err = records.VisitOffsets(data, func(off int, ts int64, payload []byte) bool {
+			for _, s := range ss {
+				if int64(off) >= s.Lo && int64(off) < s.Hi {
+					p := make([]byte, len(payload))
+					copy(p, payload)
+					out[s.ID()] = append(out[s.ID()], records.Record{Ts: ts, Data: p})
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ReducerResult is the outcome of one reduce partition's task.
+type ReducerResult struct {
+	Part  int
+	Node  int
+	Start simtime.Time
+	End   simtime.Time
+	// Input is the partition's shuffled (ungrouped) input; Redoop
+	// persists it as the pane's reduce-input cache.
+	Input []records.Pair
+	// Output is what the reduce function emitted.
+	Output   []records.Pair
+	InBytes  int64
+	OutBytes int64
+}
+
+// RunReducePhase shuffles the map output to reducers, then sorts,
+// groups and reduces each non-empty partition. ready is the earliest
+// instant reduce tasks may be scheduled (normally the map phase's
+// ready time; slots and shuffle completion push actual starts later).
+func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time) ([]ReducerResult, Stats, error) {
+	if err := job.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	stats.Start = ready
+	stats.End = ready
+	var results []ReducerResult
+	for r := 0; r < job.NumReducers; r++ {
+		input := mp.Parts[r]
+		if len(input) == 0 {
+			continue
+		}
+		node := e.placementFor(job).PlaceReduce(e, job, r, ready)
+		if node == nil {
+			return nil, stats, fmt.Errorf("mapreduce: job %q: no alive node for reduce %d", job.Name, r)
+		}
+		rr, shuffleDur, err := e.runReduceAttempts(job, r, node, mp, ready)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.ReduceTasks++
+		stats.ShuffleTime += shuffleDur
+		stats.ReduceTime += rr.End.Sub(rr.Start) // sort + group + reduce calls + write
+		stats.BytesShuffled += rr.InBytes
+		stats.BytesOutput += rr.OutBytes
+		if rr.End > stats.End {
+			stats.End = rr.End
+		}
+		results = append(results, rr)
+	}
+	return results, stats, nil
+}
+
+// runReduceAttempts schedules one reduce partition's attempts. The
+// first attempt runs on the placed node; a failed attempt re-places.
+func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *MapPhaseResult, ready simtime.Time) (ReducerResult, simtime.Duration, error) {
+	input := mp.Parts[part]
+	inBytes := records.PairsSize(input)
+
+	// Execute the user reduce once.
+	grouped := GroupPairs(append([]records.Pair(nil), input...))
+	output := ReduceGroups(job.Reduce, grouped)
+	outBytes := records.PairsSize(output)
+
+	for attempt := 0; attempt < e.maxAttempts(); attempt++ {
+		if node == nil || !node.Alive() {
+			node = e.placementFor(job).PlaceReduce(e, job, part, ready)
+			if node == nil {
+				return ReducerResult{}, 0, fmt.Errorf("mapreduce: job %q: no alive node for reduce %d", job.Name, part)
+			}
+		}
+		// Shuffle: the reducer starts copying when the first map ends
+		// and cannot start sorting before the last map ends or before
+		// its copies complete. Bytes from maps colocated with the
+		// reducer are disk reads; the rest cross the network.
+		var local, remote int64
+		for src, b := range mp.PartSrcBytes[part] {
+			if src == node.ID {
+				local += b
+			} else {
+				remote += b
+			}
+		}
+		shuffleStart := simtime.Max(mp.FirstMapEnd, ready)
+		copyDone := shuffleStart.Add(e.Cost.NetTransfer(remote) + e.Cost.DiskRead(local))
+		shuffleEnd := simtime.Max(copyDone, simtime.Max(mp.LastMapEnd, ready))
+		shuffleDur := shuffleEnd.Sub(shuffleStart)
+		if inBytes == 0 {
+			shuffleDur = 0
+			shuffleEnd = simtime.Max(mp.LastMapEnd, ready)
+		}
+
+		dur := e.Cost.ReduceTask(inBytes, outBytes)
+		if job.CacheReduceInput {
+			dur += e.Cost.DiskWrite(inBytes) // reduce-input cache spill
+		}
+		if !job.LocalOutput {
+			// Committing output to the DFS replicates it across the
+			// network (pipeline to the replica nodes).
+			dur += e.Cost.NetTransfer(outBytes)
+		}
+		dur = e.jittered(fmt.Sprintf("reduce|%s|%d|%d", job.Name, part, attempt), dur)
+		start, end := node.Reduce.Acquire(shuffleEnd, dur)
+		node.AddLoad(dur)
+		if e.Faults != nil && e.Faults.ReduceAttemptFails(job.Name, part, attempt) {
+			// A reduce failure entails retrieving the map outputs
+			// again and re-executing (paper §2.2): the retry is
+			// re-placed and re-pays the shuffle from its new start.
+			ready = end
+			node = nil
+			continue
+		}
+		return ReducerResult{
+			Part:     part,
+			Node:     node.ID,
+			Start:    start,
+			End:      end,
+			Input:    input,
+			Output:   output,
+			InBytes:  inBytes,
+			OutBytes: outBytes,
+		}, shuffleDur, nil
+	}
+	return ReducerResult{}, 0, fmt.Errorf("mapreduce: job %q: reduce %d failed %d attempts", job.Name, part, e.maxAttempts())
+}
+
+// Result is the outcome of a complete job run.
+type Result struct {
+	// Output is the concatenated reducer output in partition order.
+	Output []records.Pair
+	// Reducers holds each non-empty partition's task result.
+	Reducers []ReducerResult
+	// Stats aggregates both phases.
+	Stats Stats
+}
+
+// Run executes a complete job starting (at the earliest) at start: map
+// over all inputs, shuffle, sort, reduce, and optionally write the
+// output to DFS. This is the plain-Hadoop execution path the paper's
+// baseline uses for every recurrence.
+func (e *Engine) Run(job *Job, start simtime.Time) (*Result, error) {
+	mp, err := e.RunMapPhase(job, WholeFiles(job.Inputs), start)
+	if err != nil {
+		return nil, err
+	}
+	// Fold summed map-attempt durations into MapTime via the slot
+	// model: approximate as tasks × mean attempt duration is avoided —
+	// recompute exactly from stats captured below.
+	reducers, rstats, err := e.RunReducePhase(job, mp, start)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Reducers: reducers}
+	res.Stats = mp.Stats
+	res.Stats.Accumulate(rstats)
+	res.Stats.Start = start
+	for _, rr := range reducers {
+		res.Output = append(res.Output, rr.Output...)
+	}
+	if job.OutputPath != "" {
+		enc := records.EncodePairs(res.Output)
+		if err := e.DFS.Write(job.OutputPath, enc); err != nil {
+			return nil, err
+		}
+		// Committing output to DFS costs a write charged to the span.
+		res.Stats.End = res.Stats.End.Add(e.Cost.DiskWrite(int64(len(enc))))
+	}
+	return res, nil
+}

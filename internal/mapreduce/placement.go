@@ -1,0 +1,87 @@
+package mapreduce
+
+import (
+	"redoop/internal/cluster"
+	"redoop/internal/simtime"
+)
+
+// Placement decides which node runs each task. The MapReduce runtime
+// ships a Hadoop-like default (locality-first FIFO); Redoop substitutes
+// its window-aware cache-locality scheduler (paper §4.3).
+type Placement interface {
+	// PlaceMap picks the node for a map task over the given split; it
+	// must return an alive node. ready is the instant the task becomes
+	// schedulable.
+	PlaceMap(e *Engine, s Split, ready simtime.Time) *cluster.Node
+	// PlaceReduce picks the node for reduce partition part of job.
+	PlaceReduce(e *Engine, job *Job, part int, ready simtime.Time) *cluster.Node
+}
+
+// DefaultPlacement is Hadoop's baseline policy: map tasks prefer a node
+// holding a local replica of their split, breaking ties by earliest
+// available map slot; reduce tasks go to the node whose reduce slot
+// frees earliest.
+type DefaultPlacement struct{}
+
+// PlaceMap implements Placement.
+func (DefaultPlacement) PlaceMap(e *Engine, s Split, ready simtime.Time) *cluster.Node {
+	alive := e.Cluster.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	var bestLocal, bestAny *cluster.Node
+	var bestLocalT, bestAnyT simtime.Time
+	for _, n := range alive {
+		t := n.Map.EarliestStart(ready)
+		if bestAny == nil || t < bestAnyT {
+			bestAny, bestAnyT = n, t
+		}
+		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, n.ID) {
+			if bestLocal == nil || t < bestLocalT {
+				bestLocal, bestLocalT = n, t
+			}
+		}
+	}
+	// Prefer the best local node unless a remote node is free much
+	// earlier; a slot-bound local node should not serialize the wave.
+	if bestLocal != nil && bestLocalT <= bestAnyT.Add(e.Cost.TaskOverhead) {
+		return bestLocal
+	}
+	return bestAny
+}
+
+// PlaceReduce implements Placement.
+func (DefaultPlacement) PlaceReduce(e *Engine, job *Job, part int, ready simtime.Time) *cluster.Node {
+	alive := e.Cluster.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	best := alive[0]
+	bestT := best.Reduce.EarliestStart(ready)
+	for _, n := range alive[1:] {
+		if t := n.Reduce.EarliestStart(ready); t < bestT {
+			best, bestT = n, t
+		}
+	}
+	return best
+}
+
+// FaultPlan injects task-attempt failures for fault-tolerance tests and
+// the Figure 9 experiment. A nil plan means no injected failures.
+type FaultPlan interface {
+	// MapAttemptFails reports whether the given 0-based attempt of the
+	// map task over splitID should fail.
+	MapAttemptFails(jobName, splitID string, attempt int) bool
+	// ReduceAttemptFails is the reduce-side analogue.
+	ReduceAttemptFails(jobName string, part, attempt int) bool
+}
+
+// FailFirstAttempts is a FaultPlan failing the first N attempts of every
+// task, exercising the retry path uniformly.
+type FailFirstAttempts struct{ N int }
+
+// MapAttemptFails implements FaultPlan.
+func (f FailFirstAttempts) MapAttemptFails(_, _ string, attempt int) bool { return attempt < f.N }
+
+// ReduceAttemptFails implements FaultPlan.
+func (f FailFirstAttempts) ReduceAttemptFails(_ string, _, attempt int) bool { return attempt < f.N }

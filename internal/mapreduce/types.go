@@ -1,0 +1,257 @@
+// Package mapreduce is a from-scratch MapReduce runtime over the
+// simulated cluster and DFS substrates.
+//
+// It reproduces the structure of Hadoop's execution (paper §2.2): input
+// files are split at DFS block granularity; map tasks run on node map
+// slots, partition their output by key hash and spill it to the
+// mapper's local disk; reducers copy their partitions as mappers finish
+// (the shuffle), sort and group them, and run the user reduce function
+// on node reduce slots. A centralized job tracker (the Engine) performs
+// list scheduling against per-node slot timelines; task durations come
+// from the iocost model while the user map/reduce functions really
+// execute, so outputs are exact and timings are deterministic.
+//
+// The runtime also exposes the phase-level operations (map+shuffle of a
+// subset of inputs, reduce over externally supplied cached inputs) that
+// Redoop's incremental engine composes.
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"redoop/internal/dfs"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+)
+
+// Emitter receives one key/value pair from a user function. The slices
+// are retained, so callers must not reuse their backing arrays.
+type Emitter func(key, value []byte)
+
+// MapFunc is the user map function, invoked once per input record.
+type MapFunc func(ts int64, payload []byte, emit Emitter)
+
+// ReduceFunc is the user reduce function, invoked once per distinct key
+// with all of that key's values.
+type ReduceFunc func(key []byte, values [][]byte, emit Emitter)
+
+// Partitioner assigns a key to one of r reduce partitions.
+type Partitioner func(key []byte, r int) int
+
+// DefaultPartitioner hashes the key with FNV-1a, Hadoop's
+// HashPartitioner analogue. Redoop requires the partitioner to stay
+// fixed across recurrences so cached reduce inputs remain aligned with
+// reducer assignments (paper §4.3).
+func DefaultPartitioner(key []byte, r int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(r))
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	// Name identifies the job in stats and fault plans.
+	Name string
+	// Inputs are the DFS paths to read.
+	Inputs []string
+	// Map is the user map function (required).
+	Map MapFunc
+	// Reduce is the user reduce function (required).
+	Reduce ReduceFunc
+	// Combine optionally pre-aggregates map output per partition
+	// before the spill, Hadoop's combiner.
+	Combine ReduceFunc
+	// NumReducers is the number of reduce partitions (required > 0).
+	NumReducers int
+	// Partition overrides DefaultPartitioner when non-nil.
+	Partition Partitioner
+	// OutputPath, when non-empty, receives the job's concatenated
+	// reducer output in DFS.
+	OutputPath string
+	// CacheReduceInput models Redoop's modified ReduceTask (paper §5):
+	// when true, each reduce task additionally spills its shuffled
+	// input to the local file system — the reduce-input cache — and is
+	// charged the corresponding disk write.
+	CacheReduceInput bool
+	// Place overrides the engine's task placement for this job only;
+	// Redoop pins each query's reduce partitions to that query's home
+	// nodes this way.
+	Place Placement
+	// LocalOutput marks jobs whose reduce output stays on the task
+	// node's local file system (Redoop's reduce-output caches, §5).
+	// Plain jobs commit their output to the DFS, paying pipeline
+	// replication across the network.
+	LocalOutput bool
+}
+
+// Validate reports job specification errors.
+func (j *Job) Validate() error {
+	if j.Map == nil {
+		return fmt.Errorf("mapreduce: job %q has no map function", j.Name)
+	}
+	if j.Reduce == nil {
+		return fmt.Errorf("mapreduce: job %q has no reduce function", j.Name)
+	}
+	if j.NumReducers <= 0 {
+		return fmt.Errorf("mapreduce: job %q needs a positive reducer count, got %d", j.Name, j.NumReducers)
+	}
+	return nil
+}
+
+func (j *Job) partitioner() Partitioner {
+	if j.Partition != nil {
+		return j.Partition
+	}
+	return DefaultPartitioner
+}
+
+// Input is one logical map input: a byte range of a DFS file. Redoop's
+// Dynamic Data Packer stores multiple undersized panes in one physical
+// file (paper §3.2); the file's header lets a job read just one pane's
+// range, which Input expresses. Length < 0 means "to end of file".
+// Ranges must be record-aligned, which the packer guarantees.
+type Input struct {
+	Path   string
+	Offset int64
+	Length int64
+}
+
+// WholeFile returns an Input covering all of path.
+func WholeFile(path string) Input { return Input{Path: path, Offset: 0, Length: -1} }
+
+// WholeFiles converts paths to full-file Inputs.
+func WholeFiles(paths []string) []Input {
+	out := make([]Input, len(paths))
+	for i, p := range paths {
+		out[i] = WholeFile(p)
+	}
+	return out
+}
+
+// Split is one map task's input: the intersection of a logical Input
+// range with one DFS block. A record belongs to the split containing
+// its first byte.
+type Split struct {
+	Path  string
+	Block dfs.Block
+	// Lo and Hi bound the split's byte range within the file
+	// (clipped to both the block and the input range).
+	Lo, Hi int64
+}
+
+// Size returns the split's byte length.
+func (s Split) Size() int64 { return s.Hi - s.Lo }
+
+// ID returns a stable identifier for fault plans and logs.
+func (s Split) ID() string { return fmt.Sprintf("%s#%d@%d", s.Path, s.Block.Index, s.Lo) }
+
+// Stats aggregates the timing and volume accounting of one job (or one
+// phase-level operation). Phase durations are summed task durations, the
+// quantity the paper's Figures 6–7 "time distribution" panels report;
+// Makespan (End-Start) is the per-window response time.
+type Stats struct {
+	Start simtime.Time
+	End   simtime.Time
+
+	MapTasks       int
+	ReduceTasks    int
+	FailedAttempts int
+
+	// MapTime is the summed duration of all map task attempts.
+	MapTime simtime.Duration
+	// ShuffleTime is the summed per-reducer copy time: the span from a
+	// reducer starting to copy map output to it starting to sort.
+	ShuffleTime simtime.Duration
+	// ReduceTime is the summed time reducers spend after the shuffle:
+	// sort + group + reduce calls + output write (paper §6.2).
+	ReduceTime simtime.Duration
+
+	BytesRead      int64 // DFS input bytes
+	BytesReadLocal int64 // portion of BytesRead served by a local replica
+	BytesSpilled   int64 // map output spilled to local disk
+	BytesShuffled  int64 // bytes copied mapper→reducer
+	BytesCacheRead int64 // cached reduce inputs/outputs loaded (Redoop)
+	BytesOutput    int64 // reducer output bytes
+}
+
+// Makespan returns the job's response time End-Start.
+func (s Stats) Makespan() simtime.Duration { return s.End.Sub(s.Start) }
+
+// Accumulate adds o's counters into s and extends the time span. It lets
+// a recurrence built from several phase-level operations report one
+// combined Stats.
+func (s *Stats) Accumulate(o Stats) {
+	if s.MapTasks == 0 && s.ReduceTasks == 0 && s.Start == 0 && s.End == 0 {
+		s.Start = o.Start
+	} else if o.Start < s.Start {
+		s.Start = o.Start
+	}
+	if o.End > s.End {
+		s.End = o.End
+	}
+	s.MapTasks += o.MapTasks
+	s.ReduceTasks += o.ReduceTasks
+	s.FailedAttempts += o.FailedAttempts
+	s.MapTime += o.MapTime
+	s.ShuffleTime += o.ShuffleTime
+	s.ReduceTime += o.ReduceTime
+	s.BytesRead += o.BytesRead
+	s.BytesReadLocal += o.BytesReadLocal
+	s.BytesSpilled += o.BytesSpilled
+	s.BytesShuffled += o.BytesShuffled
+	s.BytesCacheRead += o.BytesCacheRead
+	s.BytesOutput += o.BytesOutput
+}
+
+// Group is one reduce invocation's input: a key and its values.
+type Group struct {
+	Key    []byte
+	Values [][]byte
+}
+
+// GroupPairs sorts pairs by key and groups equal keys, the sort/group
+// stage preceding the reduce function. The input slice is reordered.
+func GroupPairs(pairs []records.Pair) []Group {
+	sort.Slice(pairs, func(i, j int) bool {
+		return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0
+	})
+	var groups []Group
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && bytes.Equal(pairs[j].Key, pairs[i].Key) {
+			j++
+		}
+		g := Group{Key: pairs[i].Key, Values: make([][]byte, 0, j-i)}
+		for k := i; k < j; k++ {
+			g.Values = append(g.Values, pairs[k].Value)
+		}
+		groups = append(groups, g)
+		i = j
+	}
+	return groups
+}
+
+// ReduceGroups applies a reduce function to grouped input, returning the
+// emitted pairs.
+func ReduceGroups(fn ReduceFunc, groups []Group) []records.Pair {
+	var out []records.Pair
+	emit := func(k, v []byte) { out = append(out, records.Pair{Key: k, Value: v}) }
+	for _, g := range groups {
+		fn(g.Key, g.Values, emit)
+	}
+	return out
+}
+
+// SortPairs orders pairs by key (then value) for deterministic output
+// comparison in tests and experiments.
+func SortPairs(ps []records.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := bytes.Compare(ps[i].Key, ps[j].Key); c != 0 {
+			return c < 0
+		}
+		return bytes.Compare(ps[i].Value, ps[j].Value) < 0
+	})
+}

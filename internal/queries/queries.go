@@ -1,0 +1,171 @@
+// Package queries defines the paper's two evaluation queries (§6.1) as
+// recurring query specifications over the core engine:
+//
+//   - Q1 — an aggregation over the WCC dataset that ranks entities by
+//     activity ("ranks the movements of players"): group by the
+//     requested object, count requests per pane, sum the counts per
+//     window, rank at reporting time.
+//   - Q2 — an equi-join over the FFG dataset: sensor position samples
+//     joined with game events on the sensor id.
+//
+// Both are expressed with the same map/reduce interfaces a Hadoop user
+// writes (paper §5); the window constraints live on the Source specs.
+package queries
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+
+	"redoop/internal/core"
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+// SumCounts is the shared aggregate reducer: it sums integer values
+// per key. It serves as Q1's combiner, per-pane reducer and window
+// finalization merge — counting is algebraic, which is what lets the
+// pane outputs merge losslessly (§6.2.1).
+func SumCounts(key []byte, values [][]byte, emit mapreduce.Emitter) {
+	total := int64(0)
+	for _, v := range values {
+		n, _ := strconv.ParseInt(string(v), 10, 64)
+		total += n
+	}
+	emit(key, []byte(strconv.FormatInt(total, 10)))
+}
+
+// field extracts the i-th comma-separated field of a payload without
+// allocating; ok is false when the payload has too few fields.
+func field(payload []byte, i int) ([]byte, bool) {
+	start := 0
+	for n := 0; ; n++ {
+		end := bytes.IndexByte(payload[start:], ',')
+		if n == i {
+			if end < 0 {
+				return payload[start:], true
+			}
+			return payload[start : start+end], true
+		}
+		if end < 0 {
+			return nil, false
+		}
+		start += end + 1
+	}
+}
+
+// WCCAggregation builds Q1: count clicks per requested object over the
+// sliding window. win and slide are virtual-time window constraints;
+// cacheKey optionally opts into cross-query cache sharing.
+func WCCAggregation(name string, win, slide simtime.Duration, reducers int) *core.Query {
+	return &core.Query{
+		Name: name,
+		Sources: []core.Source{{
+			Name: "S1",
+			Spec: window.NewTimeSpec(win, slide),
+		}},
+		Maps: []mapreduce.MapFunc{func(_ int64, payload []byte, emit mapreduce.Emitter) {
+			obj, ok := field(payload, 1)
+			if !ok {
+				return // malformed log line; Hadoop jobs skip these too
+			}
+			emit(append([]byte(nil), obj...), []byte("1"))
+		}},
+		Reduce: SumCounts,
+		// No combiner: the paper's aggregation shuffles its full map
+		// output (Figure 6(b) shows a substantial shuffle phase),
+		// which is exactly the cost Redoop's caching then removes.
+		Merge:       SumCounts,
+		NumReducers: reducers,
+	}
+}
+
+// FFGJoin builds Q2: join sensor position samples (source 0) with game
+// events (source 1) on the sensor id. Values are tagged R| and E| so
+// the reducer can separate the sides; each output pairs one reading
+// with one event of the same sensor.
+func FFGJoin(name string, win, slide simtime.Duration, reducers int) *core.Query {
+	tag := func(prefix byte) mapreduce.MapFunc {
+		return func(_ int64, payload []byte, emit mapreduce.Emitter) {
+			sensor, ok := field(payload, 0)
+			if !ok {
+				return
+			}
+			key := append([]byte(nil), sensor...)
+			val := make([]byte, 0, len(payload)+2)
+			val = append(val, prefix, '|')
+			val = append(val, payload...)
+			emit(key, val)
+		}
+	}
+	return &core.Query{
+		Name: name,
+		Sources: []core.Source{
+			{Name: "S1", Spec: window.NewTimeSpec(win, slide)},
+			{Name: "S2", Spec: window.NewTimeSpec(win, slide)},
+		},
+		Maps:        []mapreduce.MapFunc{tag('R'), tag('E')},
+		Reduce:      JoinReduce,
+		NumReducers: reducers,
+		// Merge nil: the window's join result is the union of its
+		// pane pairs' results.
+	}
+}
+
+// JoinReduce is Q2's reducer: an in-memory cross join of the R-tagged
+// and E-tagged values of one key.
+func JoinReduce(key []byte, values [][]byte, emit mapreduce.Emitter) {
+	var rs, es [][]byte
+	for _, v := range values {
+		if len(v) < 2 || v[1] != '|' {
+			continue
+		}
+		switch v[0] {
+		case 'R':
+			rs = append(rs, v[2:])
+		case 'E':
+			es = append(es, v[2:])
+		}
+	}
+	for _, r := range rs {
+		for _, e := range es {
+			out := make([]byte, 0, len(r)+len(e)+1)
+			out = append(out, r...)
+			out = append(out, ';')
+			out = append(out, e...)
+			emit(key, out)
+		}
+	}
+}
+
+// Ranked is one entry of a ranking report.
+type Ranked struct {
+	Key   string
+	Count int64
+}
+
+// RankTopK turns Q1's window output into the paper's ranking: entries
+// sorted by count descending (ties by key) truncated to k. k <= 0
+// returns the full ranking.
+func RankTopK(out []records.Pair, k int) []Ranked {
+	ranked := make([]Ranked, 0, len(out))
+	for _, p := range out {
+		n, err := strconv.ParseInt(string(p.Value), 10, 64)
+		if err != nil {
+			continue
+		}
+		ranked = append(ranked, Ranked{Key: string(p.Key), Count: n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
+		}
+		return ranked[i].Key < ranked[j].Key
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}

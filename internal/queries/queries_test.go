@@ -1,0 +1,140 @@
+package queries
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"redoop/internal/mapreduce"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+)
+
+func emitInto(out *[]records.Pair) mapreduce.Emitter {
+	return func(k, v []byte) {
+		*out = append(*out, records.Pair{Key: k, Value: v})
+	}
+}
+
+func TestSumCounts(t *testing.T) {
+	var out []records.Pair
+	SumCounts([]byte("k"), [][]byte{[]byte("3"), []byte("4"), []byte("10")}, emitInto(&out))
+	if len(out) != 1 || string(out[0].Value) != "17" {
+		t.Errorf("SumCounts = %v", out)
+	}
+}
+
+func TestSumCountsIsAlgebraic(t *testing.T) {
+	// Summing partials must equal summing the whole — the contract the
+	// pane/merge decomposition relies on.
+	f := func(vals []uint16) bool {
+		var whole []records.Pair
+		all := make([][]byte, len(vals))
+		total := 0
+		for i, v := range vals {
+			all[i] = []byte(fmt.Sprintf("%d", v))
+			total += int(v)
+		}
+		SumCounts([]byte("k"), all, emitInto(&whole))
+		// Split in half and merge the partials.
+		mid := len(all) / 2
+		var p1, p2, merged []records.Pair
+		SumCounts([]byte("k"), all[:mid], emitInto(&p1))
+		SumCounts([]byte("k"), all[mid:], emitInto(&p2))
+		var partials [][]byte
+		for _, p := range append(p1, p2...) {
+			partials = append(partials, p.Value)
+		}
+		SumCounts([]byte("k"), partials, emitInto(&merged))
+		if len(vals) == 0 {
+			return true
+		}
+		return string(whole[0].Value) == fmt.Sprintf("%d", total) &&
+			string(merged[0].Value) == string(whole[0].Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWCCAggregationMapExtractsObject(t *testing.T) {
+	q := WCCAggregation("q", simtime.Hour, 10*simtime.Minute, 4)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("query invalid: %v", err)
+	}
+	var out []records.Pair
+	q.Maps[0](0, []byte("c12,obj34,512,GET,200,IMAGE,srv1"), emitInto(&out))
+	if len(out) != 1 || string(out[0].Key) != "obj34" || string(out[0].Value) != "1" {
+		t.Errorf("map output = %v", out)
+	}
+	// Malformed lines are skipped.
+	out = nil
+	q.Maps[0](0, []byte("garbage-no-commas"), emitInto(&out))
+	if len(out) != 0 {
+		t.Errorf("malformed line should emit nothing, got %v", out)
+	}
+}
+
+func TestFFGJoinTagging(t *testing.T) {
+	q := FFGJoin("q", simtime.Hour, 10*simtime.Minute, 4)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("query invalid: %v", err)
+	}
+	var out []records.Pair
+	q.Maps[0](0, []byte("s042,1.0,2.0,3.0,4.0,5.0"), emitInto(&out))
+	q.Maps[1](0, []byte("s042,shot,55"), emitInto(&out))
+	if len(out) != 2 {
+		t.Fatalf("got %d tagged pairs", len(out))
+	}
+	if string(out[0].Key) != "s042" || out[0].Value[0] != 'R' {
+		t.Errorf("reading tag wrong: %s=%s", out[0].Key, out[0].Value)
+	}
+	if string(out[1].Key) != "s042" || out[1].Value[0] != 'E' {
+		t.Errorf("event tag wrong: %s=%s", out[1].Key, out[1].Value)
+	}
+}
+
+func TestJoinReduceCrossProduct(t *testing.T) {
+	var out []records.Pair
+	JoinReduce([]byte("s1"), [][]byte{
+		[]byte("R|r1"), []byte("R|r2"),
+		[]byte("E|e1"), []byte("E|e2"), []byte("E|e3"),
+		[]byte("bogus"),
+	}, emitInto(&out))
+	if len(out) != 6 {
+		t.Fatalf("cross product of 2x3 should be 6, got %d", len(out))
+	}
+	if string(out[0].Value) != "r1;e1" {
+		t.Errorf("first join output = %s", out[0].Value)
+	}
+}
+
+func TestJoinReduceNoMatch(t *testing.T) {
+	var out []records.Pair
+	JoinReduce([]byte("s1"), [][]byte{[]byte("R|r1")}, emitInto(&out))
+	if len(out) != 0 {
+		t.Errorf("one-sided key should join to nothing, got %v", out)
+	}
+}
+
+func TestRankTopK(t *testing.T) {
+	out := []records.Pair{
+		{Key: []byte("b"), Value: []byte("5")},
+		{Key: []byte("a"), Value: []byte("9")},
+		{Key: []byte("c"), Value: []byte("5")},
+		{Key: []byte("bad"), Value: []byte("xx")}, // skipped
+	}
+	ranked := RankTopK(out, 2)
+	if len(ranked) != 2 {
+		t.Fatalf("got %d ranked", len(ranked))
+	}
+	if ranked[0].Key != "a" || ranked[0].Count != 9 {
+		t.Errorf("rank 1 = %+v", ranked[0])
+	}
+	if ranked[1].Key != "b" { // tie with c broken by key
+		t.Errorf("rank 2 = %+v", ranked[1])
+	}
+	if got := RankTopK(out, 0); len(got) != 3 {
+		t.Errorf("k<=0 should return the full ranking, got %d", len(got))
+	}
+}

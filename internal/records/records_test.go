@@ -1,0 +1,185 @@
+package records
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []Record{
+		{Ts: 0, Data: []byte("alpha")},
+		{Ts: -5, Data: nil},
+		{Ts: 1 << 40, Data: []byte{0, 1, 2, 255}},
+		{Ts: 7, Data: bytes.Repeat([]byte("x"), 1000)},
+	}
+	enc := Encode(in)
+	out, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Ts != in[i].Ts || !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Errorf("record %d mismatch: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEncodedSizeMatchesAppend(t *testing.T) {
+	r := Record{Ts: 123456789, Data: []byte("payload")}
+	if got := len(r.Append(nil)); got != r.EncodedSize() {
+		t.Errorf("EncodedSize = %d, Append produced %d bytes", r.EncodedSize(), got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Encode([]Record{{Ts: 1, Data: []byte("abcdef")}})
+	// Truncated payload.
+	if _, err := Decode(good[:len(good)-2]); err == nil {
+		t.Error("truncated buffer should fail")
+	}
+	// Garbage varint: 10 continuation bytes overflow MaxVarintLen64.
+	junk := bytes.Repeat([]byte{0x80}, 12)
+	if _, err := Decode(junk); err == nil {
+		t.Error("overlong varint should fail")
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	enc := Encode([]Record{{Ts: 1}, {Ts: 2}, {Ts: 3}})
+	var seen []int64
+	err := Visit(enc, func(ts int64, _ []byte) bool {
+		seen = append(seen, ts)
+		return ts < 2
+	})
+	if err != nil {
+		t.Fatalf("Visit: %v", err)
+	}
+	if !reflect.DeepEqual(seen, []int64{1, 2}) {
+		t.Errorf("seen = %v, want [1 2]", seen)
+	}
+}
+
+func TestVisitOffsets(t *testing.T) {
+	recs := []Record{{Ts: 10, Data: []byte("aa")}, {Ts: 20, Data: []byte("bbbb")}}
+	enc := Encode(recs)
+	var offs []int
+	err := VisitOffsets(enc, func(off int, ts int64, payload []byte) bool {
+		offs = append(offs, off)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("VisitOffsets: %v", err)
+	}
+	want := []int{0, recs[0].EncodedSize()}
+	if !reflect.DeepEqual(offs, want) {
+		t.Errorf("offsets = %v, want %v", offs, want)
+	}
+}
+
+func TestCount(t *testing.T) {
+	enc := Encode([]Record{{Ts: 1}, {Ts: 2}, {Ts: 3}})
+	n, err := Count(enc)
+	if err != nil || n != 3 {
+		t.Errorf("Count = %d, %v; want 3, nil", n, err)
+	}
+	if n, err := Count(nil); err != nil || n != 0 {
+		t.Errorf("Count(nil) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	in := []Pair{
+		{Key: []byte("k1"), Value: []byte("v1")},
+		{Key: nil, Value: []byte("only-value")},
+		{Key: []byte("k3"), Value: nil},
+	}
+	enc := EncodePairs(in)
+	if int64(len(enc)) != PairsSize(in) {
+		t.Errorf("encoded length %d != PairsSize %d", len(enc), PairsSize(in))
+	}
+	out, err := DecodePairs(enc)
+	if err != nil {
+		t.Fatalf("DecodePairs: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d pairs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i].Key, in[i].Key) || !bytes.Equal(out[i].Value, in[i].Value) {
+			t.Errorf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodePairsErrors(t *testing.T) {
+	enc := EncodePairs([]Pair{{Key: []byte("abc"), Value: []byte("defg")}})
+	if _, err := DecodePairs(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated pair buffer should fail")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary record batches.
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(tss []int64, blobs [][]byte) bool {
+		n := len(tss)
+		if len(blobs) < n {
+			n = len(blobs)
+		}
+		in := make([]Record, n)
+		for i := 0; i < n; i++ {
+			in[i] = Record{Ts: tss[i], Data: blobs[i]}
+		}
+		out, err := Decode(Encode(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i].Ts != in[i].Ts || !bytes.Equal(out[i].Data, in[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pair encoding round-trips and sizes agree.
+func TestPairRoundTripProperty(t *testing.T) {
+	f := func(keys, vals [][]byte) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		in := make([]Pair, n)
+		for i := 0; i < n; i++ {
+			in[i] = Pair{Key: keys[i], Value: vals[i]}
+		}
+		enc := EncodePairs(in)
+		if int64(len(enc)) != PairsSize(in) {
+			return false
+		}
+		out, err := DecodePairs(enc)
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if !bytes.Equal(out[i].Key, in[i].Key) || !bytes.Equal(out[i].Value, in[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

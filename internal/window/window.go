@@ -1,0 +1,213 @@
+// Package window implements the sliding-window and pane semantics of
+// Redoop's recurring query model (paper §2.1 and §3.1).
+//
+// A recurring query is specified by a window size `win` (the scope of
+// data each execution processes) and a slide `slide` (the execution
+// frequency). The Semantic Analyzer slices window states into disjoint
+// panes of size GCD(win, slide) so that every window is an exact union
+// of panes and each pane is processed and shuffled only once.
+//
+// Windows may be time-based or count-based; both are expressed over an
+// abstract unit axis (nanoseconds for time, record ordinals for counts),
+// which is why most of this package works on int64 units.
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind distinguishes time-based from count-based windows.
+type Kind int
+
+const (
+	// TimeBased windows measure win and slide in virtual-time
+	// nanoseconds over record timestamps.
+	TimeBased Kind = iota
+	// CountBased windows measure win and slide in record counts.
+	CountBased
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case TimeBased:
+		return "time"
+	case CountBased:
+		return "count"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// PaneID identifies one pane of one data source. Panes are numbered from
+// zero: pane p covers the half-open unit range [p*pane, (p+1)*pane).
+type PaneID int64
+
+// Spec is a window specification. Win and Slide are expressed in the
+// units implied by Kind. The zero Spec is invalid.
+type Spec struct {
+	Kind  Kind
+	Win   int64
+	Slide int64
+}
+
+// NewTimeSpec builds a time-based window specification.
+func NewTimeSpec(win, slide time.Duration) Spec {
+	return Spec{Kind: TimeBased, Win: int64(win), Slide: int64(slide)}
+}
+
+// NewCountSpec builds a count-based window specification.
+func NewCountSpec(win, slide int64) Spec {
+	return Spec{Kind: CountBased, Win: win, Slide: slide}
+}
+
+// Validate reports whether the specification is well formed: positive
+// window and slide, and a slide no larger than the window. (A slide
+// larger than the window would leave unprocessed gaps between windows,
+// which the recurring query model does not define.)
+func (s Spec) Validate() error {
+	if s.Win <= 0 {
+		return fmt.Errorf("window: win must be positive, got %d", s.Win)
+	}
+	if s.Slide <= 0 {
+		return fmt.Errorf("window: slide must be positive, got %d", s.Slide)
+	}
+	if s.Slide > s.Win {
+		return fmt.Errorf("window: slide (%d) must not exceed win (%d)", s.Slide, s.Win)
+	}
+	if s.Kind != TimeBased && s.Kind != CountBased {
+		return fmt.Errorf("window: unknown kind %d", int(s.Kind))
+	}
+	return nil
+}
+
+// String formats the spec for logs.
+func (s Spec) String() string {
+	if s.Kind == TimeBased {
+		return fmt.Sprintf("win=%v slide=%v", time.Duration(s.Win), time.Duration(s.Slide))
+	}
+	return fmt.Sprintf("win=%d slide=%d (count)", s.Win, s.Slide)
+}
+
+// GCD returns the greatest common divisor of two positive int64 values.
+func GCD(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PaneUnit returns the logical pane size GCD(win, slide) in the spec's
+// units (paper Algorithm 1, line 1).
+func (s Spec) PaneUnit() int64 { return GCD(s.Win, s.Slide) }
+
+// PanesPerWindow returns how many panes one window spans.
+func (s Spec) PanesPerWindow() int64 { return s.Win / s.PaneUnit() }
+
+// PanesPerSlide returns how many panes the window advances per slide.
+func (s Spec) PanesPerSlide() int64 { return s.Slide / s.PaneUnit() }
+
+// Overlap returns the paper's overlap factor (win-slide)/win: the
+// fraction of a window shared with its predecessor.
+func (s Spec) Overlap() float64 {
+	return float64(s.Win-s.Slide) / float64(s.Win)
+}
+
+// PaneOf returns the pane containing unit offset u (a timestamp for
+// time-based windows, a record ordinal for count-based ones). Negative
+// offsets precede the first pane and return a negative PaneID.
+func (s Spec) PaneOf(u int64) PaneID {
+	p := s.PaneUnit()
+	if u >= 0 {
+		return PaneID(u / p)
+	}
+	return PaneID((u - p + 1) / p) // floor division for negatives
+}
+
+// PaneStart returns the inclusive lower unit bound of pane p.
+func (s Spec) PaneStart(p PaneID) int64 { return int64(p) * s.PaneUnit() }
+
+// PaneEnd returns the exclusive upper unit bound of pane p; for
+// time-based windows this is also the instant at which the pane's data
+// is complete and available for (proactive) processing.
+func (s Spec) PaneEnd(p PaneID) int64 { return (int64(p) + 1) * s.PaneUnit() }
+
+// WindowRange returns the inclusive pane range [lo, hi] covered by
+// recurrence r (r counts from zero). Window r spans unit range
+// [r*slide, r*slide+win).
+func (s Spec) WindowRange(r int) (lo, hi PaneID) {
+	lo = PaneID(int64(r) * s.PanesPerSlide())
+	hi = lo + PaneID(s.PanesPerWindow()) - 1
+	return lo, hi
+}
+
+// WindowClose returns the unit offset at which recurrence r's window
+// closes (all of its data has arrived): r*slide + win.
+func (s Spec) WindowClose(r int) int64 {
+	return int64(r)*s.Slide + s.Win
+}
+
+// WindowsOfPane returns the inclusive recurrence range [rmin, rmax] of
+// windows that contain pane p. Every pane belongs to at least one
+// window, but early panes belong to fewer than PanesPerWindow /
+// PanesPerSlide windows.
+func (s Spec) WindowsOfPane(p PaneID) (rmin, rmax int) {
+	pps := s.PanesPerSlide()
+	ppw := s.PanesPerWindow()
+	// Window r covers panes [r*pps, r*pps+ppw-1]; p is inside iff
+	// r*pps <= p and p <= r*pps+ppw-1, i.e.
+	// ceil((p-ppw+1)/pps) <= r <= floor(p/pps).
+	rmax = int(int64(p) / pps)
+	num := int64(p) - ppw + 1
+	if num <= 0 {
+		rmin = 0
+	} else {
+		rmin = int((num + pps - 1) / pps)
+	}
+	return rmin, rmax
+}
+
+// Lifespan returns the inclusive pane range of the partner source that
+// pane p must be processed with (paper §4.2): the union of the partner's
+// pane ranges over every window that contains p. Redoop's binary
+// operators pair sources that share a recurrence cadence, so the partner
+// range is computed against the same spec's window sequence.
+func (s Spec) Lifespan(p PaneID) (lo, hi PaneID) {
+	rmin, rmax := s.WindowsOfPane(p)
+	lo, _ = s.WindowRange(rmin)
+	_, hi = s.WindowRange(rmax)
+	return lo, hi
+}
+
+// InLifespan reports whether partner pane q falls within pane p's
+// lifespan.
+func (s Spec) InLifespan(p, q PaneID) bool {
+	lo, hi := s.Lifespan(p)
+	return q >= lo && q <= hi
+}
+
+// ExpiredAfter reports whether pane p is no longer part of any window at
+// or after recurrence r, i.e. whether the current window of recurrence r
+// has slid completely past it (first condition of the paper's pane
+// expiration test; the second — lifespan completion — is tracked by the
+// cache status matrix).
+func (s Spec) ExpiredAfter(p PaneID, r int) bool {
+	lo, _ := s.WindowRange(r)
+	return p < lo
+}
+
+// SubSpec returns a spec whose pane unit is divided by factor (>1),
+// used by the adaptive analyzer to produce finer sub-pane plans. Win and
+// slide are unchanged; only the implied pane granularity differs, which
+// SubSpec encodes by returning the sub-pane unit alongside the spec.
+func (s Spec) SubPaneUnit(factor int64) int64 {
+	if factor < 1 {
+		factor = 1
+	}
+	unit := s.PaneUnit() / factor
+	if unit < 1 {
+		unit = 1
+	}
+	return unit
+}

@@ -1,0 +1,230 @@
+// Package workload generates the synthetic stand-ins for the paper's
+// two real datasets (§6.1):
+//
+//   - WCC — the 1998 WorldCup Click dataset (236 GB of web-server
+//     access logs). The generator emits records in the WorldCup access
+//     log schema (client, object, bytes, method, status, type, server)
+//     with Zipf-distributed clients and objects, the skew that makes
+//     the aggregation query's groups realistic.
+//   - FFG — the RedFIR football-field sensor dataset from the Nuremberg
+//     stadium (26 GB of high-velocity position samples). The generator
+//     emits position/velocity/acceleration samples per sensor, plus a
+//     correlated event stream for the join query, with configurable
+//     join selectivity.
+//
+// Both generators are deterministic per seed and parameterized by a
+// records-per-slide rate, so experiments reproduce exactly and the
+// Figure 8 rate fluctuations are expressible as per-slide multipliers.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+)
+
+// WCCConfig parameterizes the WorldCup click generator.
+type WCCConfig struct {
+	// Seed drives the deterministic stream.
+	Seed int64
+	// Clients and Objects size the Zipf populations (the real trace
+	// has ~2.7M clients and ~90K objects; scale to taste).
+	Clients int
+	// Objects is the number of distinct requested URLs.
+	Objects int
+	// Skew is the Zipf s parameter (>1); higher is more skewed.
+	Skew float64
+}
+
+// DefaultWCC returns the generator configuration used by the
+// experiments.
+func DefaultWCC(seed int64) WCCConfig {
+	return WCCConfig{Seed: seed, Clients: 50000, Objects: 800, Skew: 1.2}
+}
+
+// WCC generates n WorldCup click records with timestamps uniform in
+// [startUnit, endUnit). Payload format (CSV):
+//
+//	client,object,bytes,method,status,type,server
+func WCC(cfg WCCConfig, startUnit, endUnit int64, n int) []records.Record {
+	if n <= 0 || endUnit <= startUnit {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ startUnit))
+	clients := newZipf(rng, cfg.Clients, cfg.Skew)
+	objects := newZipf(rng, cfg.Objects, cfg.Skew)
+	methods := []string{"GET", "GET", "GET", "HEAD", "POST"}
+	types := []string{"HTML", "IMAGE", "IMAGE", "DYNAMIC", "DIRECTORY"}
+	statuses := []int{200, 200, 200, 200, 304, 404}
+	out := make([]records.Record, n)
+	span := endUnit - startUnit
+	for i := range out {
+		ts := startUnit + rng.Int63n(span)
+		payload := fmt.Sprintf("c%d,obj%d,%d,%s,%d,%s,srv%d",
+			clients.Uint64(), objects.Uint64(), 200+rng.Intn(20000),
+			methods[rng.Intn(len(methods))], statuses[rng.Intn(len(statuses))],
+			types[rng.Intn(len(types))], rng.Intn(30))
+		out[i] = records.Record{Ts: ts, Data: []byte(payload)}
+	}
+	sortByTs(out)
+	return out
+}
+
+// FFGConfig parameterizes the football-sensor generator.
+type FFGConfig struct {
+	Seed int64
+	// Sensors is the number of tracked transmitters (the RedFIR setup
+	// tracks balls and players; ~200 signals).
+	Sensors int
+	// EventKeys narrows the event stream's sensor population; a
+	// smaller value raises join selectivity.
+	EventKeys int
+}
+
+// DefaultFFG returns the experiments' configuration.
+func DefaultFFG(seed int64) FFGConfig {
+	return FFGConfig{Seed: seed, Sensors: 1000, EventKeys: 1000}
+}
+
+// FFGReadings generates n position samples across [startUnit, endUnit):
+//
+//	sensor,x,y,z,|v|,|a|
+func FFGReadings(cfg FFGConfig, startUnit, endUnit int64, n int) []records.Record {
+	if n <= 0 || endUnit <= startUnit {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (startUnit * 31)))
+	out := make([]records.Record, n)
+	span := endUnit - startUnit
+	for i := range out {
+		ts := startUnit + rng.Int63n(span)
+		payload := fmt.Sprintf("s%03d,%.2f,%.2f,%.2f,%.2f,%.2f",
+			rng.Intn(cfg.Sensors),
+			rng.Float64()*105, rng.Float64()*68, rng.Float64()*5,
+			rng.Float64()*12, rng.Float64()*40)
+		out[i] = records.Record{Ts: ts, Data: []byte(payload)}
+	}
+	sortByTs(out)
+	return out
+}
+
+// FFGEvents generates n game events (possession, shot, pass) keyed by
+// sensor, the join partner of the readings stream:
+//
+//	sensor,event,intensity
+func FFGEvents(cfg FFGConfig, startUnit, endUnit int64, n int) []records.Record {
+	if n <= 0 || endUnit <= startUnit {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ (startUnit*17 + 7)))
+	events := []string{"possession", "pass", "shot", "tackle", "interrupt"}
+	keys := cfg.EventKeys
+	if keys <= 0 || keys > cfg.Sensors {
+		keys = cfg.Sensors
+	}
+	out := make([]records.Record, n)
+	span := endUnit - startUnit
+	for i := range out {
+		ts := startUnit + rng.Int63n(span)
+		payload := fmt.Sprintf("s%03d,%s,%d",
+			rng.Intn(keys), events[rng.Intn(len(events))], rng.Intn(100))
+		out[i] = records.Record{Ts: ts, Data: []byte(payload)}
+	}
+	sortByTs(out)
+	return out
+}
+
+// RateSchedule yields the per-slide workload multiplier for the
+// Figure 8 fluctuation experiment: slides feeding windows 1, 4, 7 and
+// 10 (1-based) carry the normal load and the rest are doubled.
+type RateSchedule func(slideIdx int) float64
+
+// SteadyRate is the constant schedule.
+func SteadyRate(int) float64 { return 1 }
+
+// PaperFluctuation reproduces §6.3's workload: with one new slide per
+// window, the slide feeding window w (1-based) is normal for w ∈
+// {1,4,7,10} and doubled otherwise. slidesPerWindow anchors the
+// mapping from slide index to the first window it feeds.
+func PaperFluctuation(slidesPerWindow int) RateSchedule {
+	return func(slideIdx int) float64 {
+		// Slide s (0-based) first contributes to 1-based window
+		// max(1, s-slidesPerWindow+2); fluctuation follows that
+		// window's parity in the paper's pattern.
+		w := slideIdx - slidesPerWindow + 2
+		if w < 1 {
+			w = 1
+		}
+		switch (w - 1) % 3 {
+		case 0:
+			return 1 // windows 1, 4, 7, 10
+		default:
+			return 2
+		}
+	}
+}
+
+// Batches generates per-slide batches for `slides` slides of the given
+// slide duration, calling gen for each range with the scheduled record
+// count.
+func Batches(slides int, slide simtime.Duration, base int, sched RateSchedule,
+	gen func(startUnit, endUnit int64, n int) []records.Record) [][]records.Record {
+	out := make([][]records.Record, slides)
+	for s := 0; s < slides; s++ {
+		start := int64(s) * int64(slide)
+		end := start + int64(slide)
+		n := int(float64(base) * sched(s))
+		out[s] = gen(start, end, n)
+	}
+	return out
+}
+
+// sortByTs orders a batch by (timestamp, payload) so generated batches
+// are fully deterministic per seed.
+func sortByTs(recs []records.Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Ts != recs[j].Ts {
+			return recs[i].Ts < recs[j].Ts
+		}
+		return bytes.Compare(recs[i].Data, recs[j].Data) < 0
+	})
+}
+
+// newZipf builds a seeded Zipf sampler over [0, n).
+func newZipf(rng *rand.Rand, n int, skew float64) *rand.Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if skew <= 1 {
+		skew = 1.01
+	}
+	return rand.NewZipf(rng, skew, 1, uint64(n-1))
+}
+
+// Diurnal returns a day-night rate schedule: the multiplier follows a
+// sinusoid over `period` slides, swinging between 1-amplitude and
+// 1+amplitude with the peak centred at peakSlide. Log volumes in the
+// paper's motivating applications (web traffic, news feeds,
+// clickstreams) follow this shape; pair it with an Adaptive query to
+// exercise §3.3 under smooth rather than stepped load changes.
+func Diurnal(period int, amplitude float64, peakSlide int) RateSchedule {
+	if period < 1 {
+		period = 1
+	}
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	return func(slideIdx int) float64 {
+		phase := 2 * math.Pi * float64(slideIdx-peakSlide) / float64(period)
+		m := 1 + amplitude*math.Cos(phase)
+		if m < 0.05 {
+			m = 0.05 // a quiet site still trickles
+		}
+		return m
+	}
+}

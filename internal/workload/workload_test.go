@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+)
+
+func TestWCCDeterministicAndInRange(t *testing.T) {
+	cfg := DefaultWCC(7)
+	a := WCC(cfg, 100, 200, 500)
+	b := WCC(cfg, 100, 200, 500)
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("got %d/%d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Ts != b[i].Ts || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatal("generator must be deterministic per seed")
+		}
+		if a[i].Ts < 100 || a[i].Ts >= 200 {
+			t.Fatalf("timestamp %d outside [100,200)", a[i].Ts)
+		}
+		if i > 0 && a[i].Ts < a[i-1].Ts {
+			t.Fatal("batch must be timestamp-ordered")
+		}
+	}
+}
+
+func TestWCCSchema(t *testing.T) {
+	recs := WCC(DefaultWCC(1), 0, 1000, 50)
+	for _, r := range recs {
+		fields := strings.Split(string(r.Data), ",")
+		if len(fields) != 7 {
+			t.Fatalf("WCC record %q has %d fields, want 7", r.Data, len(fields))
+		}
+		if !strings.HasPrefix(fields[0], "c") || !strings.HasPrefix(fields[1], "obj") {
+			t.Fatalf("WCC record %q has wrong client/object fields", r.Data)
+		}
+	}
+}
+
+func TestWCCSkew(t *testing.T) {
+	recs := WCC(DefaultWCC(3), 0, int64(simtime.Hour), 20000)
+	counts := map[string]int{}
+	for _, r := range recs {
+		obj := strings.Split(string(r.Data), ",")[1]
+		counts[obj]++
+	}
+	if counts["obj0"] < counts["obj9"]*2 {
+		t.Errorf("Zipf skew missing: obj0=%d obj9=%d", counts["obj0"], counts["obj9"])
+	}
+}
+
+func TestWCCEmptyInputs(t *testing.T) {
+	if got := WCC(DefaultWCC(1), 0, 100, 0); got != nil {
+		t.Error("zero records should yield nil")
+	}
+	if got := WCC(DefaultWCC(1), 200, 100, 10); got != nil {
+		t.Error("inverted range should yield nil")
+	}
+}
+
+func TestFFGSchemas(t *testing.T) {
+	cfg := DefaultFFG(5)
+	readings := FFGReadings(cfg, 0, 1000, 100)
+	for _, r := range readings {
+		fields := strings.Split(string(r.Data), ",")
+		if len(fields) != 6 {
+			t.Fatalf("reading %q has %d fields, want 6", r.Data, len(fields))
+		}
+		if !strings.HasPrefix(fields[0], "s") {
+			t.Fatalf("reading %q missing sensor field", r.Data)
+		}
+	}
+	events := FFGEvents(cfg, 0, 1000, 100)
+	for _, r := range events {
+		fields := strings.Split(string(r.Data), ",")
+		if len(fields) != 3 {
+			t.Fatalf("event %q has %d fields, want 3", r.Data, len(fields))
+		}
+	}
+}
+
+func TestFFGEventKeysNarrowPopulation(t *testing.T) {
+	cfg := DefaultFFG(9)
+	cfg.EventKeys = 5
+	events := FFGEvents(cfg, 0, int64(simtime.Hour), 2000)
+	seen := map[string]bool{}
+	for _, r := range events {
+		seen[strings.Split(string(r.Data), ",")[0]] = true
+	}
+	if len(seen) > 5 {
+		t.Errorf("event keys should be capped at 5, saw %d", len(seen))
+	}
+}
+
+func TestSteadyRate(t *testing.T) {
+	for s := 0; s < 5; s++ {
+		if SteadyRate(s) != 1 {
+			t.Fatal("steady rate must be 1")
+		}
+	}
+}
+
+// §6.3: windows 1, 4, 7 and 10 carry the normal workload; the rest are
+// doubled. With one slide per window, slide s first feeds window
+// s-slidesPerWindow+2.
+func TestPaperFluctuation(t *testing.T) {
+	sched := PaperFluctuation(10)
+	// Slides 0..9 feed window 1: normal.
+	for s := 0; s < 10; s++ {
+		if sched(s) != 1 {
+			t.Errorf("slide %d should be normal", s)
+		}
+	}
+	// Slides 10..18 feed windows 2..10.
+	want := map[int]float64{
+		10: 2, 11: 2, // windows 2, 3
+		12: 1,        // window 4
+		13: 2, 14: 2, // windows 5, 6
+		15: 1,        // window 7
+		16: 2, 17: 2, // windows 8, 9
+		18: 1, // window 10
+	}
+	for s, m := range want {
+		if got := sched(s); got != m {
+			t.Errorf("slide %d multiplier = %v, want %v", s, got, m)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	cfg := DefaultWCC(11)
+	sched := func(s int) float64 {
+		if s == 1 {
+			return 2
+		}
+		return 1
+	}
+	batches := Batches(3, 10*simtime.Second, 100, sched,
+		func(start, end int64, n int) []records.Record {
+			return WCC(cfg, start, end, n)
+		})
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	if len(batches[0]) != 100 || len(batches[1]) != 200 || len(batches[2]) != 100 {
+		t.Errorf("batch sizes = %d/%d/%d, want 100/200/100",
+			len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	// Each batch covers its own slide interval.
+	for i, b := range batches {
+		lo := int64(i) * int64(10*simtime.Second)
+		hi := lo + int64(10*simtime.Second)
+		for _, r := range b {
+			if r.Ts < lo || r.Ts >= hi {
+				t.Fatalf("batch %d record at %d outside [%d,%d)", i, r.Ts, lo, hi)
+			}
+		}
+	}
+}
+
+// Property: generated volumes always match the request and stay within
+// the covered range.
+func TestGeneratorBoundsProperty(t *testing.T) {
+	f := func(seed int64, nU uint16, spanU uint16) bool {
+		n := int(nU%500) + 1
+		span := int64(spanU%1000) + 1
+		recs := WCC(DefaultWCC(seed), 0, span, n)
+		if len(recs) != n {
+			return false
+		}
+		for _, r := range recs {
+			if r.Ts < 0 || r.Ts >= span {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	sched := Diurnal(24, 0.5, 12)
+	// Peak at slide 12, trough at slide 0/24.
+	if p := sched(12); p < 1.49 || p > 1.51 {
+		t.Errorf("peak multiplier = %v, want ≈1.5", p)
+	}
+	if tr := sched(0); tr < 0.49 || tr > 0.51 {
+		t.Errorf("trough multiplier = %v, want ≈0.5", tr)
+	}
+	if sched(36) != sched(12) {
+		t.Error("schedule should repeat with its period")
+	}
+	// Extreme amplitude floors at a trickle rather than zero.
+	deep := Diurnal(24, 2.0, 12)
+	if m := deep(0); m < 0.05 {
+		t.Errorf("floored multiplier = %v, want >= 0.05", m)
+	}
+	// Degenerate inputs clamp.
+	if Diurnal(0, -1, 0)(5) != 1 {
+		t.Error("degenerate schedule should be flat 1")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"redoop/internal/experiments"
 	"redoop/internal/forecast"
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
 	"redoop/internal/records"
 	"redoop/internal/window"
 	"redoop/internal/workload"
@@ -264,6 +265,43 @@ func BenchmarkPairEncoding(b *testing.B) {
 		if err != nil || len(dec) != len(pairs) {
 			b.Fatal("round trip failed")
 		}
+	}
+}
+
+// BenchmarkObsDisabled measures the instrumentation call sites with no
+// observer configured — nil receivers all the way down. This is the
+// price every un-instrumented run pays for the observability layer and
+// must stay at roughly a nil check per call (and zero allocations).
+func BenchmarkObsDisabled(b *testing.B) {
+	var o *obs.Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Counter("redoop_map_tasks_total").Inc()
+		o.Counter("redoop_shuffle_bytes_total", obs.L("locality", "local")).Add(128)
+		o.Histogram("redoop_map_task_seconds").Observe(0.5)
+		o.Span("node:1", "map", "map S1P1", 0, 1)
+	}
+}
+
+// BenchmarkObsEnabled measures the same call sites with a live
+// observer, for comparison against BenchmarkObsDisabled.
+func BenchmarkObsEnabled(b *testing.B) {
+	o := obs.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Counter("redoop_map_tasks_total").Inc()
+		o.Counter("redoop_shuffle_bytes_total", obs.L("locality", "local")).Add(128)
+		o.Histogram("redoop_map_task_seconds").Observe(0.5)
+	}
+}
+
+// BenchmarkObsCounterHot measures the registry-bypassing fast path: a
+// pre-resolved counter handle under repeated increments.
+func BenchmarkObsCounterHot(b *testing.B) {
+	c := obs.NewRegistry().Counter("redoop_map_tasks_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
 	}
 }
 

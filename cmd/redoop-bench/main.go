@@ -7,6 +7,14 @@
 //
 //	redoop-bench [-fig 6|7|8|9|all] [-windows N] [-records N]
 //	             [-workers N] [-reducers N] [-seed N]
+//	             [-metrics-out FILE] [-trace-out FILE]
+//
+// -metrics-out writes the Prometheus text exposition of every metric
+// the run produced (cache hits/misses, placement outcomes, shuffle
+// bytes, task latencies); -trace-out writes a Chrome trace-event JSON
+// loadable in Perfetto (https://ui.perfetto.dev) showing recurrence,
+// phase and task spans per query and node. Both artifacts are written
+// even when a figure fails, so partial runs remain inspectable.
 //
 // See EXPERIMENTS.md for how the printed numbers map onto the paper's
 // plots.
@@ -19,6 +27,7 @@ import (
 	"time"
 
 	"redoop/internal/experiments"
+	"redoop/internal/obs"
 )
 
 func main() {
@@ -31,6 +40,8 @@ func main() {
 		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 		csvPath  = flag.String("csv", "", "also append every series as tidy CSV to this file")
+		metrics  = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
+		trace    = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
 	)
 	flag.Parse()
 
@@ -49,6 +60,39 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	var ob *obs.Observer
+	if *metrics != "" || *trace != "" {
+		ob = obs.New()
+		cfg.Obs = ob
+	}
+	// Artifacts are flushed on every exit path — including figure
+	// failures — so a crashed or fault-injected run still leaves its
+	// metrics and trace behind for inspection. Returns false when an
+	// artifact could not be written, so callers exit nonzero rather
+	// than letting scripts assume the file exists.
+	writeArtifacts := func() bool {
+		if ob == nil {
+			return true
+		}
+		ok := true
+		if *metrics != "" {
+			if err := ob.Metrics.WriteMetricsFile(*metrics); err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: metrics-out: %v\n", err)
+				ok = false
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "[metrics written to %s]\n", *metrics)
+			}
+		}
+		if *trace != "" {
+			if err := ob.Tracer.WriteTraceFile(*trace); err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: trace-out: %v\n", err)
+				ok = false
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "[trace written to %s; open at https://ui.perfetto.dev]\n", *trace)
+			}
+		}
+		return ok
 	}
 
 	type figure struct {
@@ -83,6 +127,7 @@ func main() {
 		res, err := f.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "redoop-bench: figure %s: %v\n", f.id, err)
+			writeArtifacts()
 			os.Exit(1)
 		}
 		if !*quiet {
@@ -119,5 +164,8 @@ func main() {
 	if fig6 != nil && fig7 != nil {
 		fmt.Printf("headline: best steady-state speedup over plain Hadoop = %.1fx (paper: up to 9x)\n",
 			experiments.Headline(fig6, fig7))
+	}
+	if !writeArtifacts() {
+		os.Exit(1)
 	}
 }

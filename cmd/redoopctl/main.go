@@ -4,18 +4,28 @@
 //
 // Usage:
 //
-//	redoopctl [-query agg|join] [-overlap 0.9] [-windows 10]
+//	redoopctl [metrics] [-query agg|join] [-overlap 0.9] [-windows 10]
 //	          [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-top K] [-seed N]
+//	          [-metrics-out FILE] [-trace-out FILE]
 //
 // -query agg runs the WCC click-ranking aggregation (the paper's Q1);
 // -query join runs the FFG sensor join (Q2). -baseline executes the
 // same query with the plain-Hadoop driver instead of Redoop.
+//
+// The "metrics" subcommand runs the query and dumps the full
+// Prometheus text exposition of its metrics to stdout (the per-window
+// table moves to stderr), so `redoopctl metrics | grep cache` works.
+// Independently, -metrics-out and -trace-out write the exposition and
+// a Perfetto-loadable Chrome trace JSON to files; both are written
+// even when the run fails partway (e.g. under -failnode or
+// -dropcaches fault injection), so the partial run stays inspectable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -23,6 +33,7 @@ import (
 	"redoop/internal/core"
 	"redoop/internal/experiments"
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
 	"redoop/internal/queries"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -31,30 +42,88 @@ import (
 
 func main() {
 	var (
-		queryKind = flag.String("query", "agg", "query to run: agg (Q1, WCC) or join (Q2, FFG)")
-		overlap   = flag.Float64("overlap", 0.9, "window overlap factor (win-slide)/win")
-		windows   = flag.Int("windows", 10, "number of recurrences")
-		recs      = flag.Int("records", 120000, "records per window")
-		adaptive  = flag.Bool("adaptive", false, "enable adaptive input partitioning")
-		useBase   = flag.Bool("baseline", false, "run the plain-Hadoop baseline instead of Redoop")
-		failNode  = flag.Int("failnode", -1, "kill this node before window 3")
-		dropCache = flag.Bool("dropcaches", false, "drop one node's caches before every window")
-		topK      = flag.Int("top", 5, "print the top-K results of the final window")
-		seed      = flag.Int64("seed", 42, "generator seed")
+		queryKind  = flag.String("query", "agg", "query to run: agg (Q1, WCC) or join (Q2, FFG)")
+		overlap    = flag.Float64("overlap", 0.9, "window overlap factor (win-slide)/win")
+		windows    = flag.Int("windows", 10, "number of recurrences")
+		recs       = flag.Int("records", 120000, "records per window")
+		adaptive   = flag.Bool("adaptive", false, "enable adaptive input partitioning")
+		useBase    = flag.Bool("baseline", false, "run the plain-Hadoop baseline instead of Redoop")
+		failNode   = flag.Int("failnode", -1, "kill this node before window 3")
+		dropCache  = flag.Bool("dropcaches", false, "drop one node's caches before every window")
+		topK       = flag.Int("top", 5, "print the top-K results of the final window")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		metricsOut = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
 	)
-	flag.Parse()
+	args := os.Args[1:]
+	metricsMode := len(args) > 0 && args[0] == "metrics"
+	if metricsMode {
+		args = args[1:]
+	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics)\n", args[0])
+		os.Exit(2)
+	}
+	flag.CommandLine.Parse(args)
+	if flag.CommandLine.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "redoopctl: unexpected argument %q\n", flag.CommandLine.Arg(0))
+		os.Exit(2)
+	}
 
 	cfg := experiments.Default()
 	cfg.Windows = *windows
 	cfg.RecordsPerWindow = *recs
 	cfg.Seed = *seed
-	if err := run(cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK); err != nil {
-		fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+
+	var ob *obs.Observer
+	if metricsMode || *metricsOut != "" || *traceOut != "" {
+		ob = obs.New()
+		cfg.Obs = ob
+	}
+
+	// In metrics mode the exposition owns stdout; the table moves to
+	// stderr so both remain usable.
+	tableOut := io.Writer(os.Stdout)
+	if metricsMode {
+		tableOut = os.Stderr
+	}
+
+	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK)
+
+	// Artifacts and the metrics dump are emitted even on failure so
+	// fault-injected runs leave their partial series behind. A failed
+	// artifact write is itself a failure: scripts must not read a
+	// clean exit as "the artifact exists".
+	artifactErr := false
+	if ob != nil {
+		if metricsMode {
+			if err := ob.Metrics.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: metrics dump: %v\n", err)
+				artifactErr = true
+			}
+		}
+		if *metricsOut != "" {
+			if err := ob.Metrics.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: metrics-out: %v\n", err)
+				artifactErr = true
+			}
+		}
+		if *traceOut != "" {
+			if err := ob.Tracer.WriteTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: trace-out: %v\n", err)
+				artifactErr = true
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "redoopctl: %v\n", runErr)
+		os.Exit(1)
+	}
+	if artifactErr {
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK int) error {
+func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK int) error {
 	mr := cfg.NewRuntime(7)
 	slide := cfg.SlideFor(overlap)
 
@@ -85,7 +154,7 @@ func run(cfg experiments.Config, kind string, overlap float64, adaptive, useBase
 	spec := q.Spec()
 	pane := spec.PaneUnit()
 	perPane := int(float64(cfg.RecordsPerWindow) / float64(spec.PanesPerWindow()))
-	fmt.Printf("query=%s overlap=%.2f win=%v slide=%v pane=%v records/window=%d system=%s adaptive=%v\n\n",
+	fmt.Fprintf(w, "query=%s overlap=%.2f win=%v slide=%v pane=%v records/window=%d system=%s adaptive=%v\n\n",
 		kind, overlap, time.Duration(spec.Win), time.Duration(spec.Slide),
 		time.Duration(pane), cfg.RecordsPerWindow, systemName(useBase), adaptive)
 
@@ -108,7 +177,7 @@ func run(cfg experiments.Config, kind string, overlap float64, adaptive, useBase
 		return eng.Ingest(src, rs)
 	}
 
-	fmt.Printf("%-7s %14s %12s %12s %12s %s\n", "window", "response", "shuffle", "reduce", "read(B)", "notes")
+	fmt.Fprintf(w, "%-7s %14s %12s %12s %12s %s\n", "window", "response", "shuffle", "reduce", "read(B)", "notes")
 	fed := 0
 	var lastOut []records.Pair
 	for r := 0; r < cfg.Windows; r++ {
@@ -157,22 +226,22 @@ func run(cfg experiments.Config, kind string, overlap float64, adaptive, useBase
 				notes += fmt.Sprintf(" proactive(sub=%d)", res.SubPanes)
 			}
 		}
-		fmt.Printf("%-7d %14s %12s %12s %12d %s\n", r+1,
+		fmt.Fprintf(w, "%-7d %14s %12s %12s %12d %s\n", r+1,
 			fmtMS(resp), fmtMS(shuffle), fmtMS(reduce), read, notes)
 	}
 
 	if topK > 0 && len(lastOut) > 0 {
-		fmt.Printf("\nfinal window: %d output pairs", len(lastOut))
+		fmt.Fprintf(w, "\nfinal window: %d output pairs", len(lastOut))
 		if kind == "agg" {
-			fmt.Printf("; top %d by count:\n", topK)
+			fmt.Fprintf(w, "; top %d by count:\n", topK)
 			for _, r := range queries.RankTopK(lastOut, topK) {
-				fmt.Printf("  %-12s %d\n", r.Key, r.Count)
+				fmt.Fprintf(w, "  %-12s %d\n", r.Key, r.Count)
 			}
 		} else {
-			fmt.Printf("; a sample:\n")
+			fmt.Fprintf(w, "; a sample:\n")
 			mapreduce.SortPairs(lastOut)
 			for i := 0; i < topK && i < len(lastOut); i++ {
-				fmt.Printf("  %s = %s\n", lastOut[i].Key, lastOut[i].Value)
+				fmt.Fprintf(w, "  %s = %s\n", lastOut[i].Key, lastOut[i].Value)
 			}
 		}
 	}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
+	"redoop/internal/obs"
 	"redoop/internal/simtime"
 )
 
@@ -79,6 +81,12 @@ type Controller struct {
 	groups     map[string][]int      // cache-sharing groups: scope -> query indices
 	sigs       map[string]*Signature // keyed by pid|type
 	registries map[int]*Registry
+
+	// obs counts signature registrations, purge notifications, ready
+	// downgrades (cache loss rollbacks) and drops; log mirrors the purge
+	// and rollback events as Debug lines. Both may be nil.
+	obs *obs.Observer
+	log *slog.Logger
 }
 
 // NewController builds an empty controller.
@@ -88,6 +96,21 @@ func NewController() *Controller {
 		sigs:       make(map[string]*Signature),
 		registries: make(map[int]*Registry),
 	}
+}
+
+// SetObserver attaches the observability layer; nil detaches it.
+func (c *Controller) SetObserver(o *obs.Observer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obs = o
+}
+
+// SetLogger attaches a logger for cache lifecycle Debug events; nil
+// detaches it.
+func (c *Controller) SetLogger(l *slog.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log = l
 }
 
 // AttachRegistry registers a task node's local cache registry with the
@@ -169,6 +192,8 @@ func (c *Controller) Register(pid string, typ CacheType, nid int, ready Ready, r
 		s = &Signature{PID: pid, Type: typ, doneQueryMask: mask}
 		c.sigs[entryKey(pid, typ)] = s
 	}
+	c.obs.Counter("redoop_cache_registrations_total", obs.L("type", typ.String())).Inc()
+	c.obs.Counter("redoop_cache_registered_bytes_total", obs.L("type", typ.String())).Add(float64(bytes))
 	s.NID = nid
 	s.Ready = ready
 	s.ReadyAt = readyAt
@@ -228,6 +253,16 @@ func (c *Controller) SetReady(pid string, typ CacheType, ready Ready, at simtime
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if s, ok := c.sigs[entryKey(pid, typ)]; ok {
+		if ready < s.Ready {
+			// A downgrade is the §5 failure-recovery rollback: the cache
+			// was lost and consumers must fall back to HDFS or recompute.
+			c.obs.Counter("redoop_cache_rollbacks_total", obs.L("type", typ.String())).Inc()
+			if c.log != nil {
+				c.log.Debug("cache ready state rolled back",
+					"pid", pid, "type", typ.String(),
+					"from", s.Ready.String(), "to", ready.String(), "node", nid)
+			}
+		}
 		s.Ready = ready
 		s.ReadyAt = at
 		s.NID = nid
@@ -256,6 +291,11 @@ func (c *Controller) MarkQueryDone(pid string, typ CacheType, q int) bool {
 		reg.MarkExpired(pid, typ)
 	}
 	delete(c.sigs, entryKey(pid, typ))
+	c.obs.Counter("redoop_cache_purge_notices_total", obs.L("type", typ.String())).Inc()
+	if c.log != nil {
+		c.log.Debug("cache purge notification sent",
+			"pid", pid, "type", typ.String(), "node", s.NID, "bytes", s.Bytes)
+	}
 	return true
 }
 
@@ -264,5 +304,8 @@ func (c *Controller) MarkQueryDone(pid string, typ CacheType, q int) bool {
 func (c *Controller) Drop(pid string, typ CacheType) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.sigs[entryKey(pid, typ)]; ok {
+		c.obs.Counter("redoop_cache_drops_total", obs.L("type", typ.String())).Inc()
+	}
 	delete(c.sigs, entryKey(pid, typ))
 }

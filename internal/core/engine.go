@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
@@ -43,8 +44,16 @@ type Config struct {
 	CacheObliviousPlacement bool
 	// Logger receives the engine's operational events (recurrence
 	// summaries, cache recoveries, adaptive re-planning) at
-	// Debug/Info levels. Nil disables logging.
+	// Debug/Info levels. Nil disables logging. The logger is also
+	// propagated to the scheduler and cache controller for their
+	// placement and purge Debug events.
 	Logger *slog.Logger
+	// Obs receives the engine's metrics and trace spans (recurrence
+	// spans, cache hit/miss counters, Equation 4 placement outcomes).
+	// Nil falls back to MR.Obs so one observer set on the MapReduce
+	// runtime covers the whole stack; if both are nil, instrumentation
+	// is disabled at ~zero cost.
+	Obs *obs.Observer
 	// Hub optionally provides shared sources: a source whose CacheKey
 	// names a source declared on the hub is packed once hub-side and
 	// ingested through the hub rather than through this engine.
@@ -113,6 +122,13 @@ type Engine struct {
 	frames []window.Frame // per-source window alignment
 
 	log *slog.Logger
+	obs *obs.Observer
+
+	// lastForecast is the profiler's previous next-recurrence forecast,
+	// compared against the realized response time to expose the Holt
+	// model's error as a metric.
+	lastForecast simtime.Duration
+	haveForecast bool
 
 	qIdx      int
 	adaptive  bool
@@ -182,6 +198,27 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.expiredBound = make([]window.PaneID, len(q.Sources))
 	e.sched.CacheOblivious = cfg.CacheObliviousPlacement
 	e.log = cfg.Logger
+	e.obs = cfg.Obs
+	if e.obs == nil {
+		e.obs = cfg.MR.Obs
+	}
+	if cfg.MR.Obs == nil {
+		// One observer covers the whole stack: map/reduce task metrics
+		// flow to the same registry as the engine's recurrence series.
+		cfg.MR.Obs = e.obs
+	}
+	e.sched.SetObserver(e.obs)
+	e.sched.SetLogger(cfg.Logger)
+	// A shared controller keeps whatever observer/logger it already has;
+	// an engine only fills in a missing one so a later un-instrumented
+	// sibling cannot detach an earlier sibling's instrumentation.
+	if e.obs != nil {
+		ctrl.SetObserver(e.obs)
+	}
+	if cfg.Logger != nil {
+		ctrl.SetLogger(cfg.Logger)
+	}
+	matrix.SetObserver(e.obs, q.Name)
 	e.qIdx = ctrl.RegisterQuery(q.Name)
 	for i, src := range q.Sources {
 		if src.CacheKey != "" {
@@ -350,6 +387,23 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	}
 	res.Proactive = e.proactive
 	res.SubPanes = e.plans[0].SubPanes
+	qname := e.query.Name
+	mode := "reactive"
+	if res.Proactive {
+		mode = "proactive"
+	}
+	e.obs.Counter("redoop_recurrences_total", obs.L("query", qname), obs.L("mode", mode)).Inc()
+	e.obs.Histogram("redoop_recurrence_seconds", obs.L("query", qname)).Observe(res.ResponseTime.Seconds())
+	e.obs.Counter("redoop_panes_total", obs.L("query", qname), obs.L("kind", "new")).Add(float64(res.NewPanes))
+	e.obs.Counter("redoop_panes_total", obs.L("query", qname), obs.L("kind", "reused")).Add(float64(res.ReusedPanes))
+	e.obs.Counter("redoop_pane_pairs_total", obs.L("query", qname), obs.L("kind", "new")).Add(float64(res.NewPairs))
+	e.obs.Counter("redoop_pane_pairs_total", obs.L("query", qname), obs.L("kind", "reused")).Add(float64(res.ReusedPairs))
+	e.obs.Counter("redoop_cache_recoveries_total", obs.L("query", qname)).Add(float64(res.CacheRecoveries))
+	e.obs.Span(obs.QueryTrack(qname), "recurrence", fmt.Sprintf("recurrence %d", r),
+		trigger, res.CompletedAt,
+		obs.L("mode", mode),
+		obs.L("newPanes", fmt.Sprint(res.NewPanes)),
+		obs.L("reusedPanes", fmt.Sprint(res.ReusedPanes)))
 	if e.log != nil {
 		e.log.Info("recurrence complete",
 			"query", e.query.Name, "recurrence", r,
@@ -368,6 +422,7 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	for _, m := range e.managers {
 		purged += m.Tick()
 	}
+	e.obs.Counter("redoop_cache_purges_total").Add(float64(purged))
 	if e.log != nil && purged > 0 {
 		e.log.Debug("purged expired caches", "query", e.query.Name, "count", purged)
 	}
@@ -386,6 +441,17 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	// starts observing from the second recurrence.
 	if r > 0 {
 		e.profiler.Observe(r, res.ResponseTime, windowBytes)
+		if e.haveForecast {
+			errSec := (e.lastForecast - res.ResponseTime).Seconds()
+			if errSec < 0 {
+				errSec = -errSec
+			}
+			e.obs.Histogram("redoop_forecast_error_seconds", obs.L("query", qname)).Observe(errSec)
+		}
+	}
+	if e.profiler.Ready() {
+		e.lastForecast = e.profiler.Forecast(1)
+		e.haveForecast = true
 	}
 	if e.adaptive && e.profiler.Ready() && spec.Kind == window.TimeBased {
 		deadline := simtime.Duration(spec.Slide)
@@ -399,6 +465,11 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 				if err := e.srcs[i].SetPlan(plan); err != nil {
 					return nil, err
 				}
+				e.obs.Counter("redoop_replans_total", obs.L("query", qname)).Inc()
+				e.obs.Instant(obs.QueryTrack(qname), "adapt", "re-plan", res.CompletedAt,
+					obs.L("source", fmt.Sprint(i)),
+					obs.L("subPanes", fmt.Sprint(plan.SubPanes)),
+					obs.L("proactive", fmt.Sprint(proactive)))
 				if e.log != nil {
 					e.log.Info("adaptive re-plan",
 						"query", e.query.Name, "source", i,
@@ -465,18 +536,26 @@ func (e *Engine) rinUsers(src int) []int {
 func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 	sig, ok := e.ctrl.Lookup(pid, typ)
 	if !ok || sig.Ready != CacheAvailable {
+		e.obs.Counter("redoop_cache_lookups_total",
+			obs.L("result", "miss"), obs.L("type", typ.String())).Inc()
 		return cacheRef{}, false
 	}
 	reg := e.ctrl.Registry(sig.NID)
 	if reg == nil || !reg.Has(pid, typ) {
 		// Cache loss: roll back the ready bit and pull dependent
 		// tasks; the caller re-inserts the rebuild into the map list.
+		e.obs.Counter("redoop_cache_lookups_total",
+			obs.L("result", "lost"), obs.L("type", typ.String())).Inc()
+		e.obs.Instant(obs.NodeTrack(sig.NID), "failure", "cache lost "+pid,
+			sig.ReadyAt, obs.L("type", typ.String()))
 		e.ctrl.SetReady(pid, typ, HDFSAvailable, sig.ReadyAt, sig.NID)
 		e.sched.ReduceTasks.RemoveMatching(func(id string) bool {
 			return containsPID(id, pid)
 		})
 		return cacheRef{}, false
 	}
+	e.obs.Counter("redoop_cache_lookups_total",
+		obs.L("result", "hit"), obs.L("type", typ.String())).Inc()
 	e.ctrl.ClaimUser(pid, typ, e.qIdx)
 	return cacheRef{pid: pid, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
 }
@@ -520,6 +599,10 @@ func (e *Engine) runPaneMapPhase(src int, p window.PaneID, trigger simtime.Time,
 	}
 	merged := mapreduce.MergeMapPhases(parts, e.query.NumReducers, earliest)
 	stats.Accumulate(merged.Stats)
+	e.obs.Span(obs.QueryTrack(e.query.Name), "phase",
+		fmt.Sprintf("map %s pane %d", e.query.Sources[src].Name, p),
+		earliest, merged.LastMapEnd,
+		obs.L("segments", fmt.Sprint(len(ins))))
 	return merged, nil
 }
 
@@ -554,6 +637,15 @@ func (e *Engine) runCacheTask(ready simtime.Time, caches []cacheRef, work simtim
 	dur := e.sched.CacheCost(node.ID, locs) + work
 	start, end := node.Reduce.Acquire(ready, dur)
 	node.AddLoad(dur)
+	for _, c := range caches {
+		locality := "remote"
+		if c.node == node.ID {
+			locality = "local"
+		}
+		e.obs.Counter("redoop_cache_read_bytes_total", obs.L("locality", locality)).Add(float64(c.bytes))
+	}
+	e.obs.Span(obs.NodeTrack(node.ID), "cachetask", "cache task "+e.query.Name,
+		start, end, obs.L("caches", fmt.Sprint(len(caches))))
 	return node.ID, start, end, dur
 }
 

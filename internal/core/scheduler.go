@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 
 	"redoop/internal/cluster"
 	"redoop/internal/iocost"
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
 	"redoop/internal/simtime"
 )
 
@@ -41,6 +43,12 @@ type Scheduler struct {
 
 	homes map[int]int // reduce partition -> home node ID
 
+	// obs receives Equation 4 outcomes (cache-local vs. remote vs.
+	// load-balanced placements) and observed queueing delays; log
+	// mirrors them as Debug events. Both may be nil.
+	obs *obs.Observer
+	log *slog.Logger
+
 	// MapTasks and ReduceTasks are the two scheduling lists of
 	// Algorithm 2: entries enter MapTasks when a data partition's
 	// ready bit turns 1 (newly arrived in HDFS) and ReduceTasks when
@@ -61,16 +69,26 @@ func NewScheduler(cl *cluster.Cluster, cost iocost.Model) *Scheduler {
 	}
 }
 
+// SetObserver attaches the observability layer; nil detaches it.
+func (s *Scheduler) SetObserver(o *obs.Observer) { s.obs = o }
+
+// SetLogger attaches a logger for placement-decision Debug events; nil
+// detaches it.
+func (s *Scheduler) SetLogger(l *slog.Logger) { s.log = l }
+
 // HomeNode returns the node that hosts reduce partition part's caches,
 // assigning one on first use (least-loaded alive node) and reassigning
 // if the previous home died. The mapping is otherwise fixed across
 // recurrences, as §4.3 requires.
 func (s *Scheduler) HomeNode(part int) *cluster.Node {
+	reassigned := false
 	if id, ok := s.homes[part]; ok {
 		if n := s.cl.Node(id); n != nil && n.Alive() {
 			return n
 		}
 		delete(s.homes, part) // home died; reassign below
+		reassigned = true
+		s.obs.Counter("redoop_home_reassignments_total").Inc()
 	}
 	alive := s.cl.AliveNodes()
 	if len(alive) == 0 {
@@ -91,6 +109,10 @@ func (s *Scheduler) HomeNode(part int) *cluster.Node {
 		}
 	}
 	s.homes[part] = best.ID
+	if s.log != nil {
+		s.log.Debug("home node assigned",
+			"partition", part, "node", best.ID, "reassigned", reassigned)
+	}
 	return best
 }
 
@@ -122,18 +144,52 @@ func (s *Scheduler) PickCacheTaskNode(ready simtime.Time, caches []CacheLoc) *cl
 		return nil
 	}
 	var best *cluster.Node
-	var bestCost simtime.Duration
+	var bestCost, bestLoad simtime.Duration
+	loads := make(map[int]simtime.Duration, len(alive))
 	for _, n := range alive {
 		load := n.Reduce.EarliestStart(ready).Sub(ready)
+		loads[n.ID] = load
 		cost := load
 		if !s.CacheOblivious {
 			cost += s.CacheCost(n.ID, caches)
 		}
 		if best == nil || cost < bestCost {
-			best, bestCost = n, cost
+			best, bestCost, bestLoad = n, cost, load
 		}
 	}
+	outcome := s.classifyPlacement(best.ID, caches, loads)
+	s.obs.Counter("redoop_placements_total", obs.L("outcome", outcome)).Inc()
+	s.obs.Histogram("redoop_placement_queue_seconds").Observe(bestLoad.Seconds())
+	if s.log != nil {
+		s.log.Debug("cache task placed",
+			"node", best.ID, "outcome", outcome,
+			"caches", len(caches), "queue_delay", bestLoad)
+	}
 	return best
+}
+
+// classifyPlacement names the Equation 4 outcome for metrics: the task
+// had no caches to load ("no-cache"), landed where at least one of its
+// caches lives ("cache-local"), was pushed off a busier cache holder
+// ("load-balanced"), or simply ran remote from all its caches
+// ("remote").
+func (s *Scheduler) classifyPlacement(chosen int, caches []CacheLoc, loads map[int]simtime.Duration) string {
+	if len(caches) == 0 {
+		return "no-cache"
+	}
+	holderBusier := false
+	for _, c := range caches {
+		if c.Node == chosen {
+			return "cache-local"
+		}
+		if l, ok := loads[c.Node]; ok && l > loads[chosen] {
+			holderBusier = true
+		}
+	}
+	if holderBusier {
+		return "load-balanced"
+	}
+	return "remote"
 }
 
 // PlaceMap implements mapreduce.Placement: map tasks over newly arrived

@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"redoop/internal/obs"
 )
 
 // Config parameterizes a DFS instance.
@@ -74,6 +76,16 @@ type DFS struct {
 	// rereplicated accumulates the bytes copied by failure-driven
 	// re-replication, for experiment accounting.
 	rereplicated int64
+	// obs optionally receives file-operation metrics (read/write/delete
+	// counts and volumes, stored bytes, re-replication traffic).
+	obs *obs.Observer
+}
+
+// SetObserver attaches the observability layer; nil detaches it.
+func (d *DFS) SetObserver(o *obs.Observer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.obs = o
 }
 
 // New creates an empty DFS.
@@ -159,6 +171,15 @@ func (d *DFS) Write(path string, data []byte) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var replaced int64
+	if old, ok := d.files[path]; ok {
+		replaced = int64(len(old.data))
+	} else {
+		d.obs.Gauge("redoop_dfs_files").Add(1)
+	}
+	d.obs.Counter("redoop_dfs_writes_total").Inc()
+	d.obs.Counter("redoop_dfs_write_bytes_total").Add(float64(len(data)))
+	d.obs.Gauge("redoop_dfs_bytes").Add(float64(int64(len(data)) - replaced))
 	f := &file{data: append([]byte(nil), data...)}
 	for off := int64(0); off < int64(len(data)); off += d.cfg.BlockSize {
 		size := d.cfg.BlockSize
@@ -188,6 +209,8 @@ func (d *DFS) Read(path string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("dfs: no such file %q", path)
 	}
+	d.obs.Counter("redoop_dfs_reads_total").Inc()
+	d.obs.Counter("redoop_dfs_read_bytes_total").Add(float64(len(f.data)))
 	return append([]byte(nil), f.data...), nil
 }
 
@@ -203,6 +226,8 @@ func (d *DFS) ReadBlock(path string, index int) ([]byte, error) {
 		return nil, fmt.Errorf("dfs: %q has no block %d", path, index)
 	}
 	b := f.blocks[index]
+	d.obs.Counter("redoop_dfs_reads_total").Inc()
+	d.obs.Counter("redoop_dfs_read_bytes_total").Add(float64(b.Size))
 	return append([]byte(nil), f.data[b.Offset:b.Offset+b.Size]...), nil
 }
 
@@ -246,9 +271,13 @@ func (d *DFS) Exists(path string) bool {
 func (d *DFS) Delete(path string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.files[path]; !ok {
+	f, ok := d.files[path]
+	if !ok {
 		return fmt.Errorf("dfs: no such file %q", path)
 	}
+	d.obs.Counter("redoop_dfs_deletes_total").Inc()
+	d.obs.Gauge("redoop_dfs_files").Add(-1)
+	d.obs.Gauge("redoop_dfs_bytes").Add(-float64(len(f.data)))
 	delete(d.files, path)
 	return nil
 }
@@ -322,6 +351,8 @@ func (d *DFS) FailNode(node int) int64 {
 		}
 	}
 	d.rereplicated += moved
+	d.obs.Counter("redoop_dfs_node_failures_total").Inc()
+	d.obs.Counter("redoop_dfs_rereplicated_bytes_total").Add(float64(moved))
 	return moved
 }
 

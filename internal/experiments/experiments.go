@@ -23,6 +23,7 @@ import (
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/workload"
@@ -53,6 +54,9 @@ type Config struct {
 	Reducers int
 	// Seed drives all generators.
 	Seed int64
+	// Obs optionally instruments every runtime built by NewRuntime
+	// (metrics registry + trace spans); nil disables observability.
+	Obs *obs.Observer
 }
 
 // Default returns the calibrated scale-model configuration.
@@ -257,7 +261,10 @@ func (c Config) NewRuntime(seedShift int64) *mapreduce.Engine {
 		Nodes:       ids,
 		Seed:        c.Seed + seedShift,
 	})
-	return mapreduce.MustNew(cl, d, c.Cost)
+	d.SetObserver(c.Obs)
+	mr := mapreduce.MustNew(cl, d, c.Cost)
+	mr.Obs = c.Obs
+	return mr
 }
 
 // feeder incrementally delivers batches to a consumer. Batches arrive

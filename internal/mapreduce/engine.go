@@ -8,6 +8,7 @@ import (
 	"redoop/internal/cluster"
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
+	"redoop/internal/obs"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 )
@@ -24,6 +25,10 @@ type Engine struct {
 	Place Placement
 	// Faults optionally injects task-attempt failures.
 	Faults FaultPlan
+	// Obs receives task-level metrics (attempt counts, durations,
+	// spill/shuffle/read volumes) and per-attempt trace spans on the
+	// virtual timeline. Nil disables instrumentation at ~zero cost.
+	Obs *obs.Observer
 	// MaxAttempts bounds attempts per task before the job fails
 	// (Hadoop's mapred.map.max.attempts; default 4).
 	MaxAttempts int
@@ -323,10 +328,16 @@ func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*Map
 		res.Stats.FailedAttempts += attempts - 1
 		res.Stats.MapTime += spent
 		res.Stats.BytesRead += s.Size()
+		locality := "remote"
 		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, node.ID) {
 			res.Stats.BytesReadLocal += s.Size()
+			locality = "local"
 		}
 		res.Stats.BytesSpilled += outBytes
+		e.Obs.Counter("redoop_map_tasks_total").Inc()
+		e.Obs.Counter("redoop_dfs_block_reads_total", obs.L("locality", locality)).Inc()
+		e.Obs.Counter("redoop_map_input_bytes_total", obs.L("locality", locality)).Add(float64(s.Size()))
+		e.Obs.Counter("redoop_spill_bytes_total").Add(float64(outBytes))
 		if !firstSet || end < first {
 			first, firstSet = end, true
 		}
@@ -369,12 +380,19 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 		node.AddLoad(dur)
 		spent += dur
 		if e.Faults != nil && e.Faults.MapAttemptFails(job.Name, s.ID(), attempt) {
+			e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "failed")).Inc()
+			e.Obs.Span(obs.NodeTrack(node.ID), "map", "map "+s.ID(), start, end,
+				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed"))
 			// The failed attempt occupied the slot for its full
 			// duration; the retry becomes schedulable when the
 			// failure is detected, i.e. at the attempt's end.
 			ready = end
 			continue
 		}
+		e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "ok")).Inc()
+		e.Obs.Histogram("redoop_map_task_seconds").Observe(dur.Seconds())
+		e.Obs.Span(obs.NodeTrack(node.ID), "map", "map "+s.ID(), start, end,
+			obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("job", job.Name))
 		if e.Speculative && float64(dur) > speculationThreshold*float64(base) {
 			// A straggler: launch a backup attempt once the original
 			// has clearly fallen behind; the earlier finisher wins,
@@ -383,9 +401,12 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 			detect := start.Add(simtime.Duration(speculationThreshold * float64(base)))
 			if backup := e.placeBackup(s, detect, node.ID); backup != nil {
 				bdur := e.jittered(fmt.Sprintf("backup|%s|%s|%d", job.Name, s.ID(), attempt), base)
-				_, bend := backup.Map.Acquire(detect, bdur)
+				bstart, bend := backup.Map.Acquire(detect, bdur)
 				backup.AddLoad(bdur)
 				spent += bdur
+				e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "speculative")).Inc()
+				e.Obs.Span(obs.NodeTrack(backup.ID), "map", "backup "+s.ID(), bstart, bend,
+					obs.L("job", job.Name))
 				if bend < end {
 					node, end = backup, bend
 				}
@@ -473,6 +494,8 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 		stats.ReduceTime += rr.End.Sub(rr.Start) // sort + group + reduce calls + write
 		stats.BytesShuffled += rr.InBytes
 		stats.BytesOutput += rr.OutBytes
+		e.Obs.Counter("redoop_reduce_tasks_total").Inc()
+		e.Obs.Counter("redoop_output_bytes_total").Add(float64(rr.OutBytes))
 		if rr.End > stats.End {
 			stats.End = rr.End
 		}
@@ -533,6 +556,9 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 		start, end := node.Reduce.Acquire(shuffleEnd, dur)
 		node.AddLoad(dur)
 		if e.Faults != nil && e.Faults.ReduceAttemptFails(job.Name, part, attempt) {
+			e.Obs.Counter("redoop_reduce_attempts_total", obs.L("result", "failed")).Inc()
+			e.Obs.Span(obs.NodeTrack(node.ID), "reduce", fmt.Sprintf("reduce p%d", part), start, end,
+				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed"))
 			// A reduce failure entails retrieving the map outputs
 			// again and re-executing (paper §2.2): the retry is
 			// re-placed and re-pays the shuffle from its new start.
@@ -540,6 +566,17 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 			node = nil
 			continue
 		}
+		e.Obs.Counter("redoop_reduce_attempts_total", obs.L("result", "ok")).Inc()
+		e.Obs.Counter("redoop_shuffle_bytes_total", obs.L("locality", "local")).Add(float64(local))
+		e.Obs.Counter("redoop_shuffle_bytes_total", obs.L("locality", "remote")).Add(float64(remote))
+		e.Obs.Histogram("redoop_shuffle_seconds").Observe(shuffleDur.Seconds())
+		e.Obs.Histogram("redoop_reduce_task_seconds").Observe(dur.Seconds())
+		if shuffleDur > 0 {
+			e.Obs.Span(obs.NodeTrack(node.ID), "shuffle", fmt.Sprintf("shuffle p%d", part),
+				shuffleStart, shuffleEnd, obs.L("job", job.Name))
+		}
+		e.Obs.Span(obs.NodeTrack(node.ID), "reduce", fmt.Sprintf("reduce p%d", part), start, end,
+			obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("job", job.Name))
 		return ReducerResult{
 			Part:     part,
 			Node:     node.ID,

@@ -1,0 +1,97 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"redoop/internal/simtime"
+)
+
+// TestAccumulateIntoZero checks the zero-value special case: folding a
+// phase into a fresh Stats adopts the phase's span verbatim instead of
+// keeping the zero Start as a fake "the job began at t=0".
+func TestAccumulateIntoZero(t *testing.T) {
+	var s Stats
+	s.Accumulate(Stats{
+		Start: 100, End: 200,
+		MapTasks: 3, BytesRead: 64,
+	})
+	if s.Start != 100 || s.End != 200 {
+		t.Errorf("span = [%d,%d], want [100,200]", s.Start, s.End)
+	}
+	if s.MapTasks != 3 || s.BytesRead != 64 {
+		t.Errorf("counters = %+v", s)
+	}
+	if s.Makespan() != simtime.Duration(100) {
+		t.Errorf("makespan = %v, want 100", s.Makespan())
+	}
+}
+
+// TestAccumulateOutOfOrder checks that folding phases in reverse start
+// order still yields the union span: a later phase accumulated first
+// must not pin Start forward.
+func TestAccumulateOutOfOrder(t *testing.T) {
+	var s Stats
+	s.Accumulate(Stats{Start: 500, End: 900, ReduceTasks: 1})
+	s.Accumulate(Stats{Start: 100, End: 300, MapTasks: 2})
+	if s.Start != 100 || s.End != 900 {
+		t.Errorf("span = [%d,%d], want [100,900]", s.Start, s.End)
+	}
+	// A fully contained phase changes neither bound.
+	s.Accumulate(Stats{Start: 200, End: 400})
+	if s.Start != 100 || s.End != 900 {
+		t.Errorf("span after contained phase = [%d,%d], want [100,900]", s.Start, s.End)
+	}
+}
+
+// TestAccumulateZeroStartPhase checks a genuine t=0 phase is not
+// mistaken for "no span yet" once the accumulator has real work: the
+// union must extend back to zero.
+func TestAccumulateZeroStartPhase(t *testing.T) {
+	var s Stats
+	s.Accumulate(Stats{Start: 100, End: 200, MapTasks: 1})
+	s.Accumulate(Stats{Start: 0, End: 50, MapTasks: 1})
+	if s.Start != 0 || s.End != 200 {
+		t.Errorf("span = [%d,%d], want [0,200]", s.Start, s.End)
+	}
+}
+
+// TestAccumulateEmptyStats checks folding an all-zero Stats is a
+// no-op on every field, in particular the time span: merging "no work"
+// must not drag Start to zero or create a phantom span.
+func TestAccumulateEmptyStats(t *testing.T) {
+	s := Stats{Start: 100, End: 200, MapTasks: 2, BytesShuffled: 10}
+	s.Accumulate(Stats{})
+	want := Stats{Start: 100, End: 200, MapTasks: 2, BytesShuffled: 10}
+	if s != want {
+		t.Errorf("accumulating zero Stats changed %+v", s)
+	}
+}
+
+// TestAccumulateRepeated checks counters are additive (twice the same
+// phase doubles work) while the span is idempotent (re-folding the
+// same interval does not widen it).
+func TestAccumulateRepeated(t *testing.T) {
+	phase := Stats{
+		Start: 10, End: 20,
+		MapTasks: 2, ReduceTasks: 1, FailedAttempts: 1,
+		MapTime: 5, ShuffleTime: 3, ReduceTime: 2,
+		BytesRead: 100, BytesReadLocal: 40, BytesSpilled: 50,
+		BytesShuffled: 60, BytesCacheRead: 30, BytesOutput: 20,
+	}
+	var s Stats
+	s.Accumulate(phase)
+	s.Accumulate(phase)
+	if s.Start != 10 || s.End != 20 {
+		t.Errorf("span = [%d,%d], want [10,20]", s.Start, s.End)
+	}
+	if s.MapTasks != 4 || s.ReduceTasks != 2 || s.FailedAttempts != 2 {
+		t.Errorf("task counts = %+v", s)
+	}
+	if s.MapTime != 10 || s.ShuffleTime != 6 || s.ReduceTime != 4 {
+		t.Errorf("times = %+v", s)
+	}
+	if s.BytesRead != 200 || s.BytesReadLocal != 80 || s.BytesSpilled != 100 ||
+		s.BytesShuffled != 120 || s.BytesCacheRead != 60 || s.BytesOutput != 40 {
+		t.Errorf("bytes = %+v", s)
+	}
+}

@@ -184,13 +184,20 @@ func (s Stats) Makespan() simtime.Duration { return s.End.Sub(s.Start) }
 // a recurrence built from several phase-level operations report one
 // combined Stats.
 func (s *Stats) Accumulate(o Stats) {
-	if s.MapTasks == 0 && s.ReduceTasks == 0 && s.Start == 0 && s.End == 0 {
-		s.Start = o.Start
-	} else if o.Start < s.Start {
-		s.Start = o.Start
+	// A Stats with no tasks and a zero span carries no timing; merging
+	// it must not drag the accumulated Start back to t=0.
+	zeroSpan := func(x Stats) bool {
+		return x.MapTasks == 0 && x.ReduceTasks == 0 && x.Start == 0 && x.End == 0
 	}
-	if o.End > s.End {
-		s.End = o.End
+	if !zeroSpan(o) {
+		if zeroSpan(*s) {
+			s.Start = o.Start
+		} else if o.Start < s.Start {
+			s.Start = o.Start
+		}
+		if o.End > s.End {
+			s.End = o.End
+		}
 	}
 	s.MapTasks += o.MapTasks
 	s.ReduceTasks += o.ReduceTasks

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+)
+
+// --- Prometheus text exposition ---
+
+// promFloat formats a value the way the Prometheus text format expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// bucketLabels appends the `le` label to a histogram's label set.
+func bucketLabels(labels []Label, ub float64) string {
+	ls := append(append([]Label(nil), labels...), L("le", promFloat(ub)))
+	return labelString(ls)
+}
+
+// WritePrometheus writes every registered series in the Prometheus
+// text exposition format (sorted by series key; one # TYPE line per
+// metric name). A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	writeType := func(name, typ string) {
+		if !typed[name] {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+			typed[name] = true
+		}
+	}
+	for _, c := range r.Counters() {
+		writeType(c.Name(), "counter")
+		fmt.Fprintf(bw, "%s%s %s\n", c.Name(), labelString(c.Labels()), promFloat(c.Value()))
+	}
+	for _, g := range r.Gauges() {
+		writeType(g.Name(), "gauge")
+		fmt.Fprintf(bw, "%s%s %s\n", g.Name(), labelString(g.Labels()), promFloat(g.Value()))
+	}
+	for _, h := range r.Histograms() {
+		writeType(h.Name(), "histogram")
+		for _, b := range h.Buckets() {
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", h.Name(), bucketLabels(h.Labels(), b.UpperBound), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n", h.Name(), labelString(h.Labels()), promFloat(h.Sum()))
+		fmt.Fprintf(bw, "%s_count%s %d\n", h.Name(), labelString(h.Labels()), h.Count())
+	}
+	return bw.Flush()
+}
+
+// --- JSON snapshot ---
+
+// SeriesSnapshot is one counter or gauge in the JSON snapshot.
+type SeriesSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnapshot is one histogram in the JSON snapshot, with
+// pre-computed quantiles so downstream tooling needs no bucket math.
+type HistogramSnapshot struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	P50     float64           `json:"p50"`
+	P90     float64           `json:"p90"`
+	P99     float64           `json:"p99"`
+	Buckets []BucketJSON      `json:"buckets"`
+}
+
+// BucketJSON is one cumulative bucket; Le is "+Inf" for the last.
+type BucketJSON struct {
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot is the registry's full JSON snapshot document.
+type Snapshot struct {
+	Counters   []SeriesSnapshot    `json:"counters"`
+	Gauges     []SeriesSnapshot    `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot captures every registered series. A nil registry yields an
+// empty (but non-nil-fielded) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   []SeriesSnapshot{},
+		Gauges:     []SeriesSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, c := range r.Counters() {
+		s.Counters = append(s.Counters, SeriesSnapshot{Name: c.Name(), Labels: labelMap(c.Labels()), Value: c.Value()})
+	}
+	for _, g := range r.Gauges() {
+		s.Gauges = append(s.Gauges, SeriesSnapshot{Name: g.Name(), Labels: labelMap(g.Labels()), Value: g.Value()})
+	}
+	for _, h := range r.Histograms() {
+		hs := HistogramSnapshot{
+			Name: h.Name(), Labels: labelMap(h.Labels()),
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+		}
+		for _, b := range h.Buckets() {
+			hs.Buckets = append(hs.Buckets, BucketJSON{Le: promFloat(b.UpperBound), Count: b.Count})
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// --- Chrome trace-event JSON ---
+
+// traceEventJSON is the on-the-wire Chrome trace event. Timestamps and
+// durations are microseconds (fractional values carry the simulation's
+// nanosecond precision).
+type traceEventJSON struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON-object trace container Perfetto accepts.
+type traceDoc struct {
+	TraceEvents     []traceEventJSON `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// WriteTraceJSON serializes the recorded events as a Chrome trace
+// document: one metadata event names each track, then every span as a
+// complete ("X") event and every marker as an instant ("i") event on
+// its track's tid. A nil tracer writes an empty but valid document.
+func (t *Tracer) WriteTraceJSON(w io.Writer) error {
+	doc := traceDoc{TraceEvents: []traceEventJSON{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		tracks := append([]string(nil), t.tracks...)
+		events := append([]Event(nil), t.events...)
+		tids := make(map[string]int, len(t.tids))
+		for k, v := range t.tids {
+			tids[k] = v
+		}
+		t.mu.Unlock()
+
+		doc.TraceEvents = append(doc.TraceEvents, traceEventJSON{
+			Name: "process_name", Ph: "M", Pid: tracePid,
+			Args: map[string]any{"name": "redoop (virtual time)"},
+		})
+		for tid, track := range tracks {
+			doc.TraceEvents = append(doc.TraceEvents, traceEventJSON{
+				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+				Args: map[string]any{"name": track},
+			})
+		}
+		for _, e := range events {
+			ev := traceEventJSON{
+				Name: e.Name, Cat: e.Cat, Pid: tracePid, Tid: tids[e.Track],
+				Ts: float64(e.Start) / 1e3,
+			}
+			if e.Instant {
+				ev.Ph = "i"
+				ev.S = "t" // thread-scoped marker
+			} else {
+				ev.Ph = "X"
+				dur := float64(e.End.Sub(e.Start)) / 1e3
+				ev.Dur = &dur
+			}
+			if len(e.Args) > 0 {
+				ev.Args = make(map[string]any, len(e.Args))
+				for _, a := range e.Args {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// --- file helpers shared by the CLIs ---
+
+// WriteMetricsFile writes the registry's Prometheus text exposition to
+// a file (overwriting). A nil registry still produces the (empty)
+// file, so callers can rely on the artifact existing.
+func (r *Registry) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTraceFile writes the Chrome trace JSON to a file (overwriting).
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTraceJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,89 @@
+// Package obs is the simulation-time observability layer: a
+// concurrency-safe metrics registry (counters, gauges, histograms
+// keyed by name + labels), a lightweight span tracer that emits Chrome
+// trace-event JSON viewable in Perfetto / about:tracing, and exporters
+// for a Prometheus-style text exposition and a JSON snapshot.
+//
+// All timestamps come from internal/simtime, so a simulated run
+// produces one coherent series on the virtual clock — the quantities
+// the paper's evaluation plots (per-recurrence cache hit ratios,
+// shuffle volumes, Equation 4 placement decisions, Holt forecast
+// error) become observable from a running system instead of living in
+// ad-hoc prints.
+//
+// Every type in the package is nil-safe: methods on a nil *Registry,
+// *Tracer, *Observer, *Counter, *Gauge or *Histogram are no-ops, so
+// library code instruments unconditionally and un-configured users pay
+// only a nil check (benchmark-verified in the repository root's
+// bench_test.go).
+package obs
+
+import "fmt"
+
+// Label is one name dimension of a metric or span attribute.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelString serializes labels in Prometheus form, e.g.
+// `{locality="local",source="S1"}`; empty input yields "".
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return s + "}"
+}
+
+// NodeTrack names the trace track of one cluster node's task slots.
+func NodeTrack(id int) string { return fmt.Sprintf("node:%d", id) }
+
+// QueryTrack names the trace track of one query's recurrence/phase
+// spans.
+func QueryTrack(name string) string { return "query:" + name }
+
+// Observer bundles the metrics registry and the span tracer that
+// instrumented components share. A nil *Observer (or nil fields)
+// disables the corresponding instrument with ~zero overhead.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New returns an Observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Counter resolves a counter on the bundled registry; nil-safe.
+func (o *Observer) Counter(name string, labels ...Label) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, labels...)
+}
+
+// Gauge resolves a gauge on the bundled registry; nil-safe.
+func (o *Observer) Gauge(name string, labels ...Label) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, labels...)
+}
+
+// Histogram resolves a histogram on the bundled registry; nil-safe.
+func (o *Observer) Histogram(name string, labels ...Label) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, labels...)
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds all metric instruments of one run, keyed by metric
+// name plus its label set. Instruments are created lazily on first
+// use and live for the registry's lifetime. All methods are safe for
+// concurrent use; a nil *Registry is a valid no-op registry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// seriesKey is the map key of one (name, labels) series.
+func seriesKey(name string, labels []Label) string {
+	return name + labelString(labels)
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{name: name, labels: append([]Label(nil), labels...)}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first
+// use. Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{name: name, labels: append([]Label(nil), labels...)}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram for (name, labels) with the default
+// exponential buckets, creating it on first use. Returns nil (a no-op
+// histogram) on a nil registry.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.HistogramBuckets(name, nil, labels...)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds
+// (ascending; +Inf is implicit). Bounds apply only on first creation
+// of the series; nil bounds select DefBuckets.
+func (r *Registry) HistogramBuckets(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		if bounds == nil {
+			bounds = DefBuckets
+		}
+		h = newHistogram(name, labels, bounds)
+		r.hists[key] = h
+	}
+	return h
+}
+
+// snapshot views, sorted by series key for deterministic export.
+
+// Counters returns the registered counters sorted by series key.
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series() < out[j].Series() })
+	return out
+}
+
+// Gauges returns the registered gauges sorted by series key.
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series() < out[j].Series() })
+	return out
+}
+
+// Histograms returns the registered histograms sorted by series key.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Series() < out[j].Series() })
+	return out
+}
+
+// Counter is a monotonically increasing metric (task counts, byte
+// volumes). Add is lock-free; a nil *Counter is a no-op.
+type Counter struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64 // float64 bits
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Labels returns the series' labels.
+func (c *Counter) Labels() []Label { return c.labels }
+
+// Series returns the full series identity, name plus label string.
+func (c *Counter) Series() string { return seriesKey(c.name, c.labels) }
+
+// Add increases the counter by v (negative deltas are ignored to keep
+// the counter monotone).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current value (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a point-in-time metric (current cache bytes, current
+// sub-pane factor). A nil *Gauge is a no-op.
+type Gauge struct {
+	name   string
+	labels []Label
+	bits   atomic.Uint64
+}
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Labels returns the series' labels.
+func (g *Gauge) Labels() []Label { return g.labels }
+
+// Series returns the full series identity, name plus label string.
+func (g *Gauge) Series() string { return seriesKey(g.name, g.labels) }
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by a (possibly negative) delta.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

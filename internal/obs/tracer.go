@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+
+	"redoop/internal/simtime"
+)
+
+// Tracer records completed spans and instant events on named tracks of
+// the virtual timeline and serializes them as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing). Because the simulation
+// knows every span's start and end when it is recorded, the API takes
+// closed spans rather than begin/end pairs: one call per span, safe
+// for concurrent use. A nil *Tracer is a no-op.
+//
+// Tracks become trace "threads" (one tid per track, named via metadata
+// events); nesting inside a track follows virtual-time containment, so
+// a recurrence span contains its phase spans, which contain their task
+// spans when recorded on the same track.
+type Tracer struct {
+	mu     sync.Mutex
+	tids   map[string]int
+	tracks []string // tid order
+	events []Event
+}
+
+// Event is one recorded trace event.
+type Event struct {
+	Track string
+	Cat   string
+	Name  string
+	Start simtime.Time
+	// End is the span's end instant; for instant events End == Start
+	// and Instant is set.
+	End     simtime.Time
+	Instant bool
+	Args    []Label
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{tids: make(map[string]int)}
+}
+
+func (t *Tracer) tid(track string) int {
+	id, ok := t.tids[track]
+	if !ok {
+		id = len(t.tracks)
+		t.tids[track] = id
+		t.tracks = append(t.tracks, track)
+	}
+	return id
+}
+
+// Span records a completed span on a track. Spans whose end precedes
+// their start are clamped to zero duration rather than dropped, so
+// bookkeeping bugs stay visible in the trace.
+func (t *Tracer) Span(track, cat, name string, start, end simtime.Time, args ...Label) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tid(track)
+	t.events = append(t.events, Event{
+		Track: track, Cat: cat, Name: name,
+		Start: start, End: end, Args: args,
+	})
+}
+
+// Instant records a zero-duration marker (re-plan decisions, cache
+// losses, node failures) on a track.
+func (t *Tracer) Instant(track, cat, name string, at simtime.Time, args ...Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tid(track)
+	t.events = append(t.events, Event{
+		Track: track, Cat: cat, Name: name,
+		Start: at, End: at, Instant: true, Args: args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot of the recorded events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Tracks returns the track names in tid order.
+func (t *Tracer) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.tracks...)
+}
+
+// Span records a completed span via the bundled tracer; nil-safe.
+func (o *Observer) Span(track, cat, name string, start, end simtime.Time, args ...Label) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Span(track, cat, name, start, end, args...)
+}
+
+// Instant records an instant event via the bundled tracer; nil-safe.
+func (o *Observer) Instant(track, cat, name string, at simtime.Time, args ...Label) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Instant(track, cat, name, at, args...)
+}

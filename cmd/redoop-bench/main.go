@@ -8,6 +8,7 @@
 //	redoop-bench [-fig 6|7|8|9|all] [-windows N] [-records N]
 //	             [-workers N] [-reducers N] [-seed N]
 //	             [-metrics-out FILE] [-trace-out FILE]
+//	             [-json-out FILE] [-serve ADDR]
 //
 // -metrics-out writes the Prometheus text exposition of every metric
 // the run produced (cache hits/misses, placement outcomes, shuffle
@@ -16,6 +17,16 @@
 // phase and task spans per query and node. Both artifacts are written
 // even when a figure fails, so partial runs remain inspectable.
 //
+// -json-out writes a machine-readable run summary (configuration,
+// per-figure series with per-window timings, makespans, shuffle
+// totals, the headline speedup, and cache hit/shuffle aggregates) so
+// bench trajectories can accumulate across commits.
+//
+// -serve ADDR starts the live introspection HTTP server (/metrics,
+// /debug/events, /debug/cache, /debug/panes, /debug/stream) before the
+// figures run; every engine the experiments build attaches to it, so
+// the endpoints can be polled while a figure is in flight.
+//
 // See EXPERIMENTS.md for how the printed numbers map onto the paper's
 // plots.
 package main
@@ -23,11 +34,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"redoop/internal/core"
 	"redoop/internal/experiments"
 	"redoop/internal/obs"
+	"redoop/internal/obsserver"
 )
 
 func main() {
@@ -42,6 +56,8 @@ func main() {
 		csvPath  = flag.String("csv", "", "also append every series as tidy CSV to this file")
 		metrics  = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
 		trace    = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
+		jsonOut  = flag.String("json-out", "", "write a machine-readable JSON run summary to this file")
+		serve    = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) while figures run")
 	)
 	flag.Parse()
 
@@ -62,9 +78,19 @@ func main() {
 		cfg.Seed = *seed
 	}
 	var ob *obs.Observer
-	if *metrics != "" || *trace != "" {
+	if *metrics != "" || *trace != "" || *jsonOut != "" || *serve != "" {
 		ob = obs.New()
 		cfg.Obs = ob
+	}
+	if *serve != "" {
+		srv := obsserver.New(ob)
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoop-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[introspection server on http://%s]\n", addr)
+		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
 	}
 	// Artifacts are flushed on every exit path — including figure
 	// failures — so a crashed or fault-injected run still leaves its
@@ -113,6 +139,7 @@ func main() {
 	}
 
 	var fig6, fig7 *experiments.FigResult
+	var results []*experiments.FigResult
 	ran := false
 	paperFigures := map[string]bool{"6": true, "7": true, "8": true, "9": true}
 	for _, f := range figures {
@@ -150,6 +177,7 @@ func main() {
 			}
 			out.Close()
 		}
+		results = append(results, res)
 		switch f.id {
 		case "6":
 			fig6 = res
@@ -161,9 +189,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "redoop-bench: unknown figure %q (want 6, 7, 8, 9, ablation-caching, ablation-scheduling, sweep or all)\n", *fig)
 		os.Exit(2)
 	}
+	var headline *float64
 	if fig6 != nil && fig7 != nil {
-		fmt.Printf("headline: best steady-state speedup over plain Hadoop = %.1fx (paper: up to 9x)\n",
-			experiments.Headline(fig6, fig7))
+		h := experiments.Headline(fig6, fig7)
+		headline = &h
+		fmt.Printf("headline: best steady-state speedup over plain Hadoop = %.1fx (paper: up to 9x)\n", h)
+	}
+	if *jsonOut != "" {
+		sum := buildSummary(cfg, results, headline, ob.Metrics)
+		if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
+			return writeSummary(w, sum)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "redoop-bench: json-out: %v\n", err)
+			os.Exit(1)
+		} else if !*quiet {
+			fmt.Fprintf(os.Stderr, "[run summary written to %s]\n", *jsonOut)
+		}
 	}
 	if !writeArtifacts() {
 		os.Exit(1)

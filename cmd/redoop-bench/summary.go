@@ -1,0 +1,174 @@
+package main
+
+// The -json-out run summary: a stable, machine-readable record of one
+// bench invocation, designed so successive runs can accumulate into a
+// trajectory (one JSON document per commit) without parsing the text
+// tables.
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"redoop/internal/experiments"
+	"redoop/internal/obs"
+)
+
+type windowJSON struct {
+	Window     int   `json:"window"`
+	ResponseNS int64 `json:"responseNS"`
+	ShuffleNS  int64 `json:"shuffleNS"`
+	ReduceNS   int64 `json:"reduceNS"`
+}
+
+type seriesJSON struct {
+	System string `json:"system"`
+	// MakespanNS sums every window's response time; MeanSteadyNS
+	// averages from window 2 onward (the paper's speedup basis).
+	MakespanNS     int64        `json:"makespanNS"`
+	MeanSteadyNS   int64        `json:"meanSteadyNS"`
+	TotalShuffleNS int64        `json:"totalShuffleNS"`
+	TotalReduceNS  int64        `json:"totalReduceNS"`
+	Windows        []windowJSON `json:"windows"`
+}
+
+type panelJSON struct {
+	Overlap float64      `json:"overlap"`
+	Series  []seriesJSON `json:"series"`
+}
+
+type figureJSON struct {
+	Name   string      `json:"name"`
+	Query  string      `json:"query"`
+	Panels []panelJSON `json:"panels"`
+}
+
+type configJSON struct {
+	Workers          int   `json:"workers"`
+	MapSlots         int   `json:"mapSlots"`
+	ReduceSlots      int   `json:"reduceSlots"`
+	Reducers         int   `json:"reducers"`
+	Windows          int   `json:"windows"`
+	WindowDurNS      int64 `json:"windowDurNS"`
+	RecordsPerWindow int   `json:"recordsPerWindow"`
+	BlockSize        int64 `json:"blockSize"`
+	Seed             int64 `json:"seed"`
+}
+
+// metricsJSON aggregates the run's registry across every series label:
+// the cache economy and the data-movement totals in one glance.
+type metricsJSON struct {
+	CacheHits     float64 `json:"cacheHits"`
+	CacheMisses   float64 `json:"cacheMisses"`
+	CacheLost     float64 `json:"cacheLost"`
+	CacheHitRatio float64 `json:"cacheHitRatio"`
+	ShuffleBytes  float64 `json:"shuffleBytes"`
+	MapTasks      float64 `json:"mapTasks"`
+	ReduceTasks   float64 `json:"reduceTasks"`
+	DFSReadBytes  float64 `json:"dfsReadBytes"`
+	DFSWriteBytes float64 `json:"dfsWriteBytes"`
+}
+
+type summaryJSON struct {
+	Tool            string       `json:"tool"`
+	Config          configJSON   `json:"config"`
+	Figures         []figureJSON `json:"figures"`
+	HeadlineSpeedup *float64     `json:"headlineSpeedup,omitempty"`
+	Metrics         *metricsJSON `json:"metrics,omitempty"`
+}
+
+func seriesSummary(s experiments.Series) seriesJSON {
+	out := seriesJSON{
+		System:         s.System,
+		MakespanNS:     int64(s.TotalResponse()),
+		MeanSteadyNS:   int64(s.MeanResponse(2)),
+		TotalShuffleNS: int64(s.TotalShuffle()),
+		TotalReduceNS:  int64(s.TotalReduce()),
+	}
+	for _, w := range s.Windows {
+		out.Windows = append(out.Windows, windowJSON{
+			Window:     w.Window,
+			ResponseNS: int64(w.Response),
+			ShuffleNS:  int64(w.Shuffle),
+			ReduceNS:   int64(w.Reduce),
+		})
+	}
+	return out
+}
+
+func buildSummary(cfg experiments.Config, figs []*experiments.FigResult, headline *float64, reg *obs.Registry) summaryJSON {
+	sum := summaryJSON{
+		Tool: "redoop-bench",
+		Config: configJSON{
+			Workers:          cfg.Workers,
+			MapSlots:         cfg.MapSlots,
+			ReduceSlots:      cfg.ReduceSlots,
+			Reducers:         cfg.Reducers,
+			Windows:          cfg.Windows,
+			WindowDurNS:      int64(cfg.WindowDur),
+			RecordsPerWindow: cfg.RecordsPerWindow,
+			BlockSize:        cfg.BlockSize,
+			Seed:             cfg.Seed,
+		},
+		Figures:         []figureJSON{},
+		HeadlineSpeedup: headline,
+	}
+	for _, f := range figs {
+		fj := figureJSON{Name: f.Name, Query: f.Query}
+		for _, p := range f.Panels {
+			pj := panelJSON{Overlap: p.Overlap}
+			for _, s := range p.Series {
+				pj.Series = append(pj.Series, seriesSummary(s))
+			}
+			fj.Panels = append(fj.Panels, pj)
+		}
+		sum.Figures = append(sum.Figures, fj)
+	}
+	if reg != nil {
+		m := metricsJSON{}
+		for _, c := range reg.Counters() {
+			v := c.Value()
+			switch c.Name() {
+			case "redoop_cache_lookups_total":
+				switch labelValue(c.Labels(), "result") {
+				case "hit":
+					m.CacheHits += v
+				case "miss":
+					m.CacheMisses += v
+				case "lost":
+					m.CacheLost += v
+				}
+			case "redoop_shuffle_bytes_total":
+				m.ShuffleBytes += v
+			case "redoop_map_tasks_total":
+				m.MapTasks += v
+			case "redoop_reduce_tasks_total":
+				m.ReduceTasks += v
+			case "redoop_dfs_read_bytes_total":
+				m.DFSReadBytes += v
+			case "redoop_dfs_write_bytes_total":
+				m.DFSWriteBytes += v
+			}
+		}
+		if total := m.CacheHits + m.CacheMisses + m.CacheLost; total > 0 {
+			m.CacheHitRatio = m.CacheHits / total
+		}
+		sum.Metrics = &m
+	}
+	return sum
+}
+
+func labelValue(labels []obs.Label, key string) string {
+	for _, l := range labels {
+		if strings.EqualFold(l.Key, key) {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+func writeSummary(w io.Writer, sum summaryJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}

@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	redoopctl [metrics] [-query agg|join] [-overlap 0.9] [-windows 10]
-//	          [-records 120000] [-adaptive] [-baseline]
+//	redoopctl [metrics|explain] [-query agg|join] [-overlap 0.9]
+//	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-top K] [-seed N]
-//	          [-metrics-out FILE] [-trace-out FILE]
+//	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
 //
 // -query agg runs the WCC click-ranking aggregation (the paper's Q1);
 // -query join runs the FFG sensor join (Q2). -baseline executes the
@@ -15,7 +15,21 @@
 //
 // The "metrics" subcommand runs the query and dumps the full
 // Prometheus text exposition of its metrics to stdout (the per-window
-// table moves to stderr), so `redoopctl metrics | grep cache` works.
+// table moves to stderr), so `redoopctl metrics | grep cache` works; a
+// p50/p90/p99 quantile table of every histogram follows on stderr.
+//
+// The "explain" subcommand runs the query and renders a per-recurrence
+// decision report from the flight recorder: the Equation 4 placement
+// audit (each candidate node's Load_i + C_task,i and the chosen node),
+// cache hit/miss/lost attribution per pane, and the Holt forecast vs.
+// actual response times with re-plan markers. The per-window table
+// moves to stderr.
+//
+// -serve ADDR starts the live introspection HTTP server (endpoints:
+// /metrics, /debug/events, /debug/cache, /debug/panes, /debug/stream)
+// before the run and keeps the process alive after it finishes, until
+// interrupted, so the final state stays inspectable.
+//
 // Independently, -metrics-out and -trace-out write the exposition and
 // a Perfetto-loadable Chrome trace JSON to files; both are written
 // even when the run fails partway (e.g. under -failnode or
@@ -27,13 +41,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"redoop/internal/baseline"
 	"redoop/internal/core"
 	"redoop/internal/experiments"
+	"redoop/internal/explain"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
+	"redoop/internal/obsserver"
 	"redoop/internal/queries"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -54,13 +73,15 @@ func main() {
 		seed       = flag.Int64("seed", 42, "generator seed")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
 		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
+		serveAddr  = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) during the run, then until interrupted")
 	)
 	args := os.Args[1:]
 	metricsMode := len(args) > 0 && args[0] == "metrics"
-	if metricsMode {
+	explainMode := len(args) > 0 && args[0] == "explain"
+	if metricsMode || explainMode {
 		args = args[1:]
 	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics)\n", args[0])
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics or explain)\n", args[0])
 		os.Exit(2)
 	}
 	flag.CommandLine.Parse(args)
@@ -75,15 +96,27 @@ func main() {
 	cfg.Seed = *seed
 
 	var ob *obs.Observer
-	if metricsMode || *metricsOut != "" || *traceOut != "" {
+	if metricsMode || explainMode || *serveAddr != "" || *metricsOut != "" || *traceOut != "" {
 		ob = obs.New()
 		cfg.Obs = ob
 	}
 
-	// In metrics mode the exposition owns stdout; the table moves to
-	// stderr so both remain usable.
+	var srv *obsserver.Server
+	if *serveAddr != "" {
+		srv = obsserver.New(ob)
+		addr, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[introspection server on http://%s]\n", addr)
+		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
+	}
+
+	// In metrics and explain mode the report owns stdout; the table
+	// moves to stderr so both remain usable.
 	tableOut := io.Writer(os.Stdout)
-	if metricsMode {
+	if metricsMode || explainMode {
 		tableOut = os.Stderr
 	}
 
@@ -98,6 +131,18 @@ func main() {
 		if metricsMode {
 			if err := ob.Metrics.WritePrometheus(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "redoopctl: metrics dump: %v\n", err)
+				artifactErr = true
+			}
+			fmt.Fprintln(os.Stderr)
+			if err := ob.Metrics.WriteQuantileTable(os.Stderr); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: quantile table: %v\n", err)
+				artifactErr = true
+			}
+		}
+		if explainMode {
+			rep := explain.FromLog(ob.Events, queryName(*queryKind))
+			if err := rep.Write(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: explain: %v\n", err)
 				artifactErr = true
 			}
 		}
@@ -121,6 +166,21 @@ func main() {
 	if artifactErr {
 		os.Exit(1)
 	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "[run finished; introspection server still up — Ctrl-C to exit]\n")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// queryName maps the -query flag onto the query name the run
+// constructs, for event-log filtering.
+func queryName(kind string) string {
+	if kind == "join" {
+		return "q2"
+	}
+	return "q1"
 }
 
 func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK int) error {
@@ -169,6 +229,9 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	if err != nil {
 		return err
 	}
+	if eng != nil && cfg.OnEngine != nil {
+		cfg.OnEngine(eng)
+	}
 
 	ingest := func(src int, rs []records.Record) error {
 		if useBase {
@@ -193,6 +256,8 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 		if failNode >= 0 && r == 2 {
 			mr.DFS.FailNode(failNode)
 			mr.Cluster.FailNode(failNode)
+			cfg.Obs.Emit(simtime.Time(spec.WindowClose(r-1)), eventlog.NodeFailure, q.Name,
+				eventlog.NodeFailureData{Node: failNode})
 		}
 		if dropCache && r > 0 && !useBase {
 			mr.Cluster.DropLocal(r%mr.Cluster.Config().Workers, "cache/")

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
 	"redoop/internal/simtime"
 )
 
@@ -257,6 +258,10 @@ func (c *Controller) SetReady(pid string, typ CacheType, ready Ready, at simtime
 			// A downgrade is the §5 failure-recovery rollback: the cache
 			// was lost and consumers must fall back to HDFS or recompute.
 			c.obs.Counter("redoop_cache_rollbacks_total", obs.L("type", typ.String())).Inc()
+			c.obs.Emit(at, eventlog.CacheRollback, "", eventlog.CacheData{
+				PID: pid, CacheType: typ.String(), Node: nid,
+				Bytes: s.Bytes, Recurrence: -1,
+			})
 			if c.log != nil {
 				c.log.Debug("cache ready state rolled back",
 					"pid", pid, "type", typ.String(),
@@ -292,6 +297,10 @@ func (c *Controller) MarkQueryDone(pid string, typ CacheType, q int) bool {
 	}
 	delete(c.sigs, entryKey(pid, typ))
 	c.obs.Counter("redoop_cache_purge_notices_total", obs.L("type", typ.String())).Inc()
+	c.obs.Emit(s.ReadyAt, eventlog.CachePurge, "", eventlog.CacheData{
+		PID: pid, CacheType: typ.String(), Node: s.NID,
+		Bytes: s.Bytes, Recurrence: -1,
+	})
 	if c.log != nil {
 		c.log.Debug("cache purge notification sent",
 			"pid", pid, "type", typ.String(), "node", s.NID, "bytes", s.Bytes)

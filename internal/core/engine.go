@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
@@ -106,6 +108,11 @@ type paneSource interface {
 }
 
 type Engine struct {
+	// mu guards the engine state a concurrent debug server reads —
+	// plans, proactive, next, curTrigger, expiredBound and the forecast
+	// pair. RunNext is the sole writer; it takes the lock only around
+	// its writes, readers take it around every access.
+	mu       sync.Mutex
 	mr       *mapreduce.Engine
 	query    *Query
 	ctrl     *Controller
@@ -129,6 +136,11 @@ type Engine struct {
 	// model's error as a metric.
 	lastForecast simtime.Duration
 	haveForecast bool
+
+	// curTrigger is the trigger instant of the recurrence in flight —
+	// the timestamp stamped on cache lookup/registration events, whose
+	// call sites have no better notion of "now".
+	curTrigger simtime.Time
 
 	qIdx      int
 	adaptive  bool
@@ -209,6 +221,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.sched.SetObserver(e.obs)
 	e.sched.SetLogger(cfg.Logger)
+	e.sched.SetQuery(q.Name)
 	// A shared controller keeps whatever observer/logger it already has;
 	// an engine only fills in a missing one so a later un-instrumented
 	// sibling cannot detach an earlier sibling's instrumentation.
@@ -259,6 +272,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		pk.SetObserver(e.obs, q.Name)
 		e.plans = append(e.plans, plan)
 		e.packers = append(e.packers, pk)
 		e.srcs = append(e.srcs, pk)
@@ -291,6 +305,8 @@ func (e *Engine) ForceProactive(subPanes int) error {
 	if subPanes < 1 {
 		return fmt.Errorf("core: sub-pane factor must be >= 1, got %d", subPanes)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i := range e.plans {
 		if e.shared[i] {
 			continue // shared sources keep their declared granularity
@@ -329,14 +345,26 @@ func (e *Engine) PaneInputs(src int, p window.PaneID) ([]PaneInput, bool) {
 }
 
 // Plans returns the current partition plans per source.
-func (e *Engine) Plans() []PartitionPlan { return append([]PartitionPlan(nil), e.plans...) }
+func (e *Engine) Plans() []PartitionPlan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]PartitionPlan(nil), e.plans...)
+}
 
 // Proactive reports whether the next recurrence will run proactively.
-func (e *Engine) Proactive() bool { return e.proactive }
+func (e *Engine) Proactive() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.proactive
+}
 
 // NextRecurrence returns the index of the next recurrence RunNext will
 // execute.
-func (e *Engine) NextRecurrence() int { return e.next }
+func (e *Engine) NextRecurrence() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.next
+}
 
 // Ingest feeds a batch of records into source src's packer. Per the
 // data model (§2.1), batches arrive in timestamp order with
@@ -374,6 +402,22 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		}
 	}
 	trigger := e.timeOfUnit(closeUnit)
+	e.mu.Lock()
+	e.curTrigger = trigger
+	e.mu.Unlock()
+	e.sched.SetRecurrence(r)
+	// The forecast made for THIS recurrence at the end of the previous
+	// one, captured before the profiler moves on — paired with the
+	// realized response time in the recurrence.finish event so forecast
+	// error is auditable per recurrence.
+	prevForecast := int64(-1)
+	if e.haveForecast {
+		prevForecast = int64(e.lastForecast)
+	}
+	winLo, winHi := e.frames[0].WindowRange(r)
+	e.obs.Emit(trigger, eventlog.RecurrenceStart, e.query.Name, eventlog.RecurrenceStartData{
+		Recurrence: r, WindowLo: int64(winLo), WindowHi: int64(winHi),
+	})
 
 	var res *RecurrenceResult
 	var err error
@@ -404,6 +448,18 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		obs.L("mode", mode),
 		obs.L("newPanes", fmt.Sprint(res.NewPanes)),
 		obs.L("reusedPanes", fmt.Sprint(res.ReusedPanes)))
+	e.obs.Emit(res.CompletedAt, eventlog.RecurrenceFinish, qname, eventlog.RecurrenceFinishData{
+		Recurrence:      r,
+		ResponseNS:      int64(res.ResponseTime),
+		ForecastNS:      prevForecast,
+		NewPanes:        res.NewPanes,
+		ReusedPanes:     res.ReusedPanes,
+		NewPairs:        res.NewPairs,
+		ReusedPairs:     res.ReusedPairs,
+		CacheRecoveries: res.CacheRecoveries,
+		Proactive:       res.Proactive,
+		SubPanes:        res.SubPanes,
+	})
 	if e.log != nil {
 		e.log.Info("recurrence complete",
 			"query", e.query.Name, "recurrence", r,
@@ -450,8 +506,10 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		}
 	}
 	if e.profiler.Ready() {
+		e.mu.Lock()
 		e.lastForecast = e.profiler.Forecast(1)
 		e.haveForecast = true
+		e.mu.Unlock()
 	}
 	if e.adaptive && e.profiler.Ready() && spec.Kind == window.TimeBased {
 		deadline := simtime.Duration(spec.Slide)
@@ -470,19 +528,33 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 					obs.L("source", fmt.Sprint(i)),
 					obs.L("subPanes", fmt.Sprint(plan.SubPanes)),
 					obs.L("proactive", fmt.Sprint(proactive)))
+				e.obs.Emit(res.CompletedAt, eventlog.Replan, qname, eventlog.ReplanData{
+					Recurrence: r,
+					Source:     i,
+					SubPanes:   plan.SubPanes,
+					Proactive:  proactive,
+					ForecastNS: int64(forecast),
+					DeadlineNS: int64(deadline),
+				})
 				if e.log != nil {
 					e.log.Info("adaptive re-plan",
 						"query", e.query.Name, "source", i,
 						"forecast", forecast, "deadline", deadline,
 						"subPanes", plan.SubPanes, "proactive", proactive)
 				}
+				e.mu.Lock()
 				e.plans[i] = plan
+				e.mu.Unlock()
 			}
+			e.mu.Lock()
 			e.proactive = proactive
+			e.mu.Unlock()
 		}
 	}
 
+	e.mu.Lock()
 	e.next++
+	e.mu.Unlock()
 	return res, nil
 }
 
@@ -512,6 +584,10 @@ func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt s
 	reg := e.ctrl.Registry(node)
 	reg.Add(pid, typ, data)
 	e.ctrl.Register(pid, typ, node, CacheAvailable, readyAt, int64(len(data)), usedBy)
+	e.obs.Emit(readyAt, eventlog.CacheRegister, e.query.Name, eventlog.CacheData{
+		PID: pid, CacheType: typ.String(), Node: node,
+		Bytes: int64(len(data)), Recurrence: e.NextRecurrence(),
+	})
 	return cacheRef{pid: pid, typ: typ, node: node, readyAt: readyAt, bytes: int64(len(data))}
 }
 
@@ -538,6 +614,9 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 	if !ok || sig.Ready != CacheAvailable {
 		e.obs.Counter("redoop_cache_lookups_total",
 			obs.L("result", "miss"), obs.L("type", typ.String())).Inc()
+		e.obs.Emit(e.curTrigger, eventlog.CacheMiss, e.query.Name, eventlog.CacheData{
+			PID: pid, CacheType: typ.String(), Node: -1, Recurrence: e.NextRecurrence(),
+		})
 		return cacheRef{}, false
 	}
 	reg := e.ctrl.Registry(sig.NID)
@@ -548,6 +627,10 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 			obs.L("result", "lost"), obs.L("type", typ.String())).Inc()
 		e.obs.Instant(obs.NodeTrack(sig.NID), "failure", "cache lost "+pid,
 			sig.ReadyAt, obs.L("type", typ.String()))
+		e.obs.Emit(e.curTrigger, eventlog.CacheLost, e.query.Name, eventlog.CacheData{
+			PID: pid, CacheType: typ.String(), Node: sig.NID,
+			Bytes: sig.Bytes, Recurrence: e.NextRecurrence(),
+		})
 		e.ctrl.SetReady(pid, typ, HDFSAvailable, sig.ReadyAt, sig.NID)
 		e.sched.ReduceTasks.RemoveMatching(func(id string) bool {
 			return containsPID(id, pid)
@@ -556,6 +639,10 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 	}
 	e.obs.Counter("redoop_cache_lookups_total",
 		obs.L("result", "hit"), obs.L("type", typ.String())).Inc()
+	e.obs.Emit(e.curTrigger, eventlog.CacheHit, e.query.Name, eventlog.CacheData{
+		PID: pid, CacheType: typ.String(), Node: sig.NID,
+		Bytes: sig.Bytes, Recurrence: e.NextRecurrence(),
+	})
 	e.ctrl.ClaimUser(pid, typ, e.qIdx)
 	return cacheRef{pid: pid, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
 }
@@ -691,7 +778,17 @@ func (e *Engine) retireExpired(r int) {
 			_ = e.srcs[d].DropPaneFiles(p)
 		}
 		if p > e.expiredBound[d] {
+			if e.obs.EmitEnabled() {
+				panes := make([]int64, 0, int(p-e.expiredBound[d]))
+				for q := e.expiredBound[d]; q < p; q++ {
+					panes = append(panes, int64(q))
+				}
+				e.obs.Emit(e.curTrigger, eventlog.PaneRetire, e.query.Name,
+					eventlog.PaneRetireData{Source: d, Panes: panes})
+			}
+			e.mu.Lock()
 			e.expiredBound[d] = p
+			e.mu.Unlock()
 		}
 	}
 	e.matrix.Shift(r + 1)

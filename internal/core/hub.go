@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"redoop/internal/dfs"
+	"redoop/internal/obs"
 	"redoop/internal/records"
 	"redoop/internal/window"
 )
@@ -26,6 +27,7 @@ type SourceHub struct {
 	blockSize int64
 
 	mu      sync.Mutex
+	obs     *obs.Observer
 	sources map[string]*sharedSource
 }
 
@@ -80,6 +82,9 @@ func (h *SourceHub) Share(key, name string, spec window.Spec, rate float64) erro
 	if err != nil {
 		return err
 	}
+	if h.obs != nil {
+		pk.SetObserver(h.obs, "shared/"+key)
+	}
 	h.sources[key] = &sharedSource{
 		key:    key,
 		packer: pk,
@@ -87,6 +92,18 @@ func (h *SourceHub) Share(key, name string, spec window.Spec, rate float64) erro
 		bounds: make(map[int]window.PaneID),
 	}
 	return nil
+}
+
+// SetObserver attaches the observability layer to the hub and every
+// shared source's packer (present and future); shared pane-ingest
+// events are labeled "shared/<key>" since no single query owns them.
+func (h *SourceHub) SetObserver(o *obs.Observer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.obs = o
+	for key, src := range h.sources {
+		src.packer.SetObserver(o, "shared/"+key)
+	}
 }
 
 // Has reports whether a shared source exists under key.

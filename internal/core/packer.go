@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"redoop/internal/dfs"
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
@@ -41,11 +44,19 @@ type PaneInput struct {
 // covered data has arrived, so the packer charges no query-time cost
 // beyond the per-pane header lookup for shared files.
 type Packer struct {
+	// mu guards all mutable state so the debug server can read pane
+	// inventories while the engine loads and flushes data.
+	mu    sync.Mutex
 	dfs   *dfs.DFS
 	name  string // source name used in paths, e.g. "S1"
 	dir   string // DFS directory, e.g. "/data/q1"
 	frame window.Frame
 	plan  PartitionPlan
+
+	// obs receives a flight-recorder PaneIngest event per pane segment
+	// written; obsQuery labels those events. Both may be zero.
+	obs      *obs.Observer
+	obsQuery string
 
 	// timeOfUnit maps a window-unit offset to a virtual instant. For
 	// time-based windows units are virtual nanoseconds (identity); for
@@ -97,15 +108,34 @@ func NewPacker(d *dfs.DFS, sourceName, dir string, frame window.Frame, plan Part
 
 // SetTimeOfUnit overrides the unit→instant mapping (needed for
 // count-based windows where record ordinals are not instants).
-func (p *Packer) SetTimeOfUnit(fn func(int64) simtime.Time) { p.timeOfUnit = fn }
+func (p *Packer) SetTimeOfUnit(fn func(int64) simtime.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.timeOfUnit = fn
+}
+
+// SetObserver attaches the observability layer and the query name used
+// to label pane-ingest events; a nil observer detaches it.
+func (p *Packer) SetObserver(o *obs.Observer, query string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = o
+	p.obsQuery = query
+}
 
 // Plan returns the packer's current partition plan.
-func (p *Packer) Plan() PartitionPlan { return p.plan }
+func (p *Packer) Plan() PartitionPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.plan
+}
 
 // SetPlan adopts a new plan (adaptive re-planning, §3.3). It affects
 // panes whose data has not started arriving; panes already buffered
 // keep the granularity they were bound to.
 func (p *Packer) SetPlan(plan PartitionPlan) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if err := plan.Validate(); err != nil {
 		return err
 	}
@@ -125,6 +155,8 @@ func (p *Packer) SourceName() string { return p.name }
 // rejected: the data model (paper §2.1) guarantees in-order,
 // non-overlapping batch files.
 func (p *Packer) Ingest(recs []records.Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, r := range recs {
 		if r.Ts < p.flushedThrough {
 			return fmt.Errorf("core: packer %s: record at unit %d arrives after flush bound %d",
@@ -164,6 +196,8 @@ func (p *Packer) Ingest(recs []records.Record) error {
 // of up to PanesPerFile panes, force-flushed at the bound so windows
 // never wait on an incomplete group.
 func (p *Packer) FlushThrough(unit int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if unit <= p.flushedThrough {
 		return nil
 	}
@@ -224,18 +258,24 @@ func (p *Packer) flushPane(pane window.PaneID) error {
 			if sub > 1 {
 				path = fmt.Sprintf("%s.%d", path, s)
 			}
-			if err := p.dfs.Write(path, records.Encode(recs)); err != nil {
+			data := records.Encode(recs)
+			if err := p.dfs.Write(path, data); err != nil {
 				return err
 			}
 			availUnit := p.frame.PaneStart(pane) + (int64(s)+1)*p.frame.Pane/int64(sub)
 			if s == sub-1 {
 				availUnit = p.frame.PaneEnd(pane)
 			}
+			availAt := p.timeOfUnit(availUnit)
 			p.flushed[pane] = append(p.flushed[pane], PaneInput{
 				Input:       mapreduce.WholeFile(path),
 				Pane:        pane,
 				SubPane:     s,
-				AvailableAt: p.timeOfUnit(availUnit),
+				AvailableAt: availAt,
+			})
+			p.obs.Emit(availAt, eventlog.PaneIngest, p.obsQuery, eventlog.PaneIngestData{
+				Source: p.name, Pane: int64(pane), SubPane: s,
+				Path: path, Bytes: int64(len(data)),
 			})
 		}
 		if _, ok := p.flushed[pane]; !ok {
@@ -313,12 +353,17 @@ func (p *Packer) flushGroup() error {
 			}
 			continue
 		}
+		availAt := p.timeOfUnit(p.frame.PaneEnd(pane))
 		p.flushed[pane] = append(p.flushed[pane], PaneInput{
 			Input:       mapreduce.Input{Path: path, Offset: rng[0], Length: rng[1]},
 			Pane:        pane,
 			SubPane:     0,
-			AvailableAt: p.timeOfUnit(p.frame.PaneEnd(pane)),
+			AvailableAt: availAt,
 			HeaderBytes: int64(len(hdrBytes)),
+		})
+		p.obs.Emit(availAt, eventlog.PaneIngest, p.obsQuery, eventlog.PaneIngestData{
+			Source: p.name, Pane: int64(pane),
+			Path: path, Bytes: rng[1],
 		})
 	}
 	return nil
@@ -328,6 +373,8 @@ func (p *Packer) flushGroup() error {
 // order. The second result is false if the pane has not been flushed —
 // its data has not arrived or FlushThrough was not called past its end.
 func (p *Packer) PaneInputs(pane window.PaneID) ([]PaneInput, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ins, ok := p.flushed[pane]
 	if !ok {
 		return nil, false
@@ -339,6 +386,8 @@ func (p *Packer) PaneInputs(pane window.PaneID) ([]PaneInput, bool) {
 
 // PaneBytes returns the total flushed bytes of a pane.
 func (p *Packer) PaneBytes(pane window.PaneID) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var total int64
 	for _, in := range p.flushed[pane] {
 		if in.Input.Length >= 0 {
@@ -354,6 +403,8 @@ func (p *Packer) PaneBytes(pane window.PaneID) int64 {
 // need them again. Shared multi-pane files are only deleted when every
 // contained pane has been dropped (tracked via the header file).
 func (p *Packer) DropPaneFiles(pane window.PaneID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	ins, ok := p.flushed[pane]
 	if !ok {
 		return nil

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"sync"
 
 	"redoop/internal/cluster"
 	"redoop/internal/iocost"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
 	"redoop/internal/simtime"
 )
 
@@ -33,6 +35,9 @@ type CacheLoc struct {
 // even if its cache is there" — and C_task,i is the I/O cost of loading
 // the task's caches from node i's perspective.
 type Scheduler struct {
+	// mu guards homes and the event labels so the debug server can read
+	// placements while the engine schedules.
+	mu   sync.Mutex
 	cl   *cluster.Cluster
 	cost iocost.Model
 
@@ -45,9 +50,13 @@ type Scheduler struct {
 
 	// obs receives Equation 4 outcomes (cache-local vs. remote vs.
 	// load-balanced placements) and observed queueing delays; log
-	// mirrors them as Debug events. Both may be nil.
-	obs *obs.Observer
-	log *slog.Logger
+	// mirrors them as Debug events. Both may be nil. obsQuery and
+	// recurrence label the flight-recorder placement events with the
+	// owning query and the recurrence in flight.
+	obs        *obs.Observer
+	log        *slog.Logger
+	obsQuery   string
+	recurrence int
 
 	// MapTasks and ReduceTasks are the two scheduling lists of
 	// Algorithm 2: entries enter MapTasks when a data partition's
@@ -72,6 +81,22 @@ func NewScheduler(cl *cluster.Cluster, cost iocost.Model) *Scheduler {
 // SetObserver attaches the observability layer; nil detaches it.
 func (s *Scheduler) SetObserver(o *obs.Observer) { s.obs = o }
 
+// SetQuery labels the scheduler's flight-recorder events with the
+// owning query's name.
+func (s *Scheduler) SetQuery(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsQuery = name
+}
+
+// SetRecurrence labels subsequent placement events with the recurrence
+// currently in flight.
+func (s *Scheduler) SetRecurrence(r int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recurrence = r
+}
+
 // SetLogger attaches a logger for placement-decision Debug events; nil
 // detaches it.
 func (s *Scheduler) SetLogger(l *slog.Logger) { s.log = l }
@@ -81,6 +106,8 @@ func (s *Scheduler) SetLogger(l *slog.Logger) { s.log = l }
 // if the previous home died. The mapping is otherwise fixed across
 // recurrences, as §4.3 requires.
 func (s *Scheduler) HomeNode(part int) *cluster.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	reassigned := false
 	if id, ok := s.homes[part]; ok {
 		if n := s.cl.Node(id); n != nil && n.Alive() {
@@ -118,6 +145,8 @@ func (s *Scheduler) HomeNode(part int) *cluster.Node {
 
 // Homes returns a copy of the current partition→node mapping.
 func (s *Scheduler) Homes() map[int]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[int]int, len(s.homes))
 	for p, n := range s.homes {
 		out[p] = n
@@ -146,12 +175,26 @@ func (s *Scheduler) PickCacheTaskNode(ready simtime.Time, caches []CacheLoc) *cl
 	var best *cluster.Node
 	var bestCost, bestLoad simtime.Duration
 	loads := make(map[int]simtime.Duration, len(alive))
+	var audit []eventlog.PlacementCandidate
+	if s.obs.EmitEnabled() {
+		audit = make([]eventlog.PlacementCandidate, 0, len(alive))
+	}
 	for _, n := range alive {
 		load := n.Reduce.EarliestStart(ready).Sub(ready)
 		loads[n.ID] = load
 		cost := load
+		var cacheCost simtime.Duration
 		if !s.CacheOblivious {
-			cost += s.CacheCost(n.ID, caches)
+			cacheCost = s.CacheCost(n.ID, caches)
+			cost += cacheCost
+		}
+		if audit != nil {
+			audit = append(audit, eventlog.PlacementCandidate{
+				Node:        n.ID,
+				LoadNS:      int64(load),
+				CacheCostNS: int64(cacheCost),
+				TotalNS:     int64(cost),
+			})
 		}
 		if best == nil || cost < bestCost {
 			best, bestCost, bestLoad = n, cost, load
@@ -160,6 +203,18 @@ func (s *Scheduler) PickCacheTaskNode(ready simtime.Time, caches []CacheLoc) *cl
 	outcome := s.classifyPlacement(best.ID, caches, loads)
 	s.obs.Counter("redoop_placements_total", obs.L("outcome", outcome)).Inc()
 	s.obs.Histogram("redoop_placement_queue_seconds").Observe(bestLoad.Seconds())
+	if audit != nil {
+		s.mu.Lock()
+		query, rec := s.obsQuery, s.recurrence
+		s.mu.Unlock()
+		s.obs.Emit(ready, eventlog.Placement, query, eventlog.PlacementData{
+			Recurrence: rec,
+			Chosen:     best.ID,
+			Outcome:    outcome,
+			Caches:     len(caches),
+			Candidates: audit,
+		})
+	}
 	if s.log != nil {
 		s.log.Debug("cache task placed",
 			"node", best.ID, "outcome", outcome,

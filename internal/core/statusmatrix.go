@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"redoop/internal/obs"
 	"redoop/internal/window"
@@ -23,6 +24,9 @@ import (
 // case each dimension's pane unit and window ranges follow its own
 // frame (window.Frame).
 type StatusMatrix struct {
+	// mu guards base/n/done so the debug server can render the matrix
+	// while the engine updates and shifts it.
+	mu     sync.Mutex
 	frames []window.Frame
 	dims   int
 	base   []window.PaneID // lowest tracked pane per dimension
@@ -38,6 +42,8 @@ type StatusMatrix struct {
 // SetObserver attaches the observability layer, labeling this matrix's
 // series with the owning query's name; nil detaches it.
 func (m *StatusMatrix) SetObserver(o *obs.Observer, query string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.obs = o
 	m.obsQuery = query
 }
@@ -92,6 +98,8 @@ func (m *StatusMatrix) Dims() int { return m.dims }
 
 // Range returns the tracked pane range [lo, hi] of a dimension.
 func (m *StatusMatrix) Range(dim int) (lo, hi window.PaneID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.base[dim], m.base[dim] + window.PaneID(m.n[dim]) - 1
 }
 
@@ -165,6 +173,8 @@ func (m *StatusMatrix) each(fn func(coords []window.PaneID, idx int)) {
 // whenever the reduce task over that pane combination completes. The
 // tracked range grows as needed to admit new panes.
 func (m *StatusMatrix) Update(coords ...window.PaneID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(coords) != m.dims {
 		return fmt.Errorf("core: status matrix update with %d coords, want %d", len(coords), m.dims)
 	}
@@ -179,6 +189,12 @@ func (m *StatusMatrix) Update(coords ...window.PaneID) error {
 // shifted out precisely because their work completed); coordinates
 // beyond the tracked high end are not yet done.
 func (m *StatusMatrix) Done(coords ...window.PaneID) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.doneLocked(coords)
+}
+
+func (m *StatusMatrix) doneLocked(coords []window.PaneID) (bool, error) {
 	if len(coords) != m.dims {
 		return false, fmt.Errorf("core: status matrix query with %d coords, want %d", len(coords), m.dims)
 	}
@@ -199,15 +215,21 @@ func (m *StatusMatrix) Done(coords ...window.PaneID) (bool, error) {
 // lifespan is the pane itself. A pane preceding the dimension's first
 // window participates in no operation and is vacuously exhausted.
 func (m *StatusMatrix) Exhausted(dim int, p window.PaneID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.exhaustedLocked(dim, p)
+}
+
+func (m *StatusMatrix) exhaustedLocked(dim int, p window.PaneID) bool {
 	if m.dims == 1 {
-		done, _ := m.Done(p)
+		done, _ := m.doneLocked([]window.PaneID{p})
 		return done
 	}
 	coords := make([]window.PaneID, m.dims)
 	var rec func(d int) bool
 	rec = func(d int) bool {
 		if d == m.dims {
-			done, _ := m.Done(coords...)
+			done, _ := m.doneLocked(coords)
 			return done
 		}
 		if d == dim {
@@ -234,7 +256,13 @@ func (m *StatusMatrix) Exhausted(dim int, p window.PaneID) bool {
 // every entry within its lifespan is done (the paper's two-condition
 // test).
 func (m *StatusMatrix) Expired(dim int, p window.PaneID, r int) bool {
-	return m.frames[dim].ExpiredAfter(p, r) && m.Exhausted(dim, p)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.expiredLocked(dim, p, r)
+}
+
+func (m *StatusMatrix) expiredLocked(dim int, p window.PaneID, r int) bool {
+	return m.frames[dim].ExpiredAfter(p, r) && m.exhaustedLocked(dim, p)
 }
 
 // Shift performs the periodic purge of matrix meta-data (Figure 4(c)):
@@ -243,10 +271,12 @@ func (m *StatusMatrix) Expired(dim int, p window.PaneID, r int) bool {
 // number of fresh panes at the high end (initialized to zero). It
 // returns the panes retired per dimension.
 func (m *StatusMatrix) Shift(r int) [][]window.PaneID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	retired := make([][]window.PaneID, m.dims)
 	for d := 0; d < m.dims; d++ {
 		k := 0
-		for k < m.n[d] && m.Expired(d, m.base[d]+window.PaneID(k), r) {
+		for k < m.n[d] && m.expiredLocked(d, m.base[d]+window.PaneID(k), r) {
 			retired[d] = append(retired[d], m.base[d]+window.PaneID(k))
 			k++
 		}
@@ -309,6 +339,8 @@ func (m *StatusMatrix) indexWithBase(coords []window.PaneID, d int, oldBase wind
 // String renders a 1- or 2-dimensional matrix for debugging, in the
 // style of the paper's Table 3.
 func (m *StatusMatrix) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var b strings.Builder
 	switch m.dims {
 	case 1:

@@ -39,6 +39,7 @@ func (c Config) runVariant(spec runSpec, v ablationVariant) (Series, error) {
 	if err != nil {
 		return Series{}, err
 	}
+	c.notifyEngine(eng)
 	f := newFeeder(c, spec)
 	series := Series{System: v.name, Overlap: spec.overlap}
 	winSpec := q.Spec()
@@ -251,6 +252,7 @@ func AblationSpeculation(cfg Config) (*FigResult, error) {
 		if err != nil {
 			return Series{}, err
 		}
+		cfg.notifyEngine(eng)
 		f := newFeeder(cfg, mkSpec())
 		s := Series{System: name, Overlap: overlap}
 		spec := mkSpec()
@@ -325,6 +327,7 @@ func MultiQuerySharing(cfg Config) (*FigResult, error) {
 		mr := cfg.NewRuntime(6)
 		ctrl := core.NewController()
 		hub := core.NewSourceHub(mr.DFS, mr.DFS.BlockSize())
+		hub.SetObserver(cfg.Obs)
 		if shared {
 			if err := hub.Share("wcc", "wcc", queries.WCCAggregation("spec", cfg.WindowDur, slide, cfg.Reducers).Sources[0].Spec, 0); err != nil {
 				return Series{}, err
@@ -336,6 +339,7 @@ func MultiQuerySharing(cfg Config) (*FigResult, error) {
 			if err != nil {
 				return Series{}, err
 			}
+			cfg.notifyEngine(eng)
 			engines = append(engines, eng)
 		}
 		series := Series{System: name}

@@ -57,6 +57,18 @@ type Config struct {
 	// Obs optionally instruments every runtime built by NewRuntime
 	// (metrics registry + trace spans); nil disables observability.
 	Obs *obs.Observer
+	// OnEngine, when non-nil, receives every Redoop engine an
+	// experiment builds, as soon as it exists — the hook a live
+	// introspection server uses to attach its /debug endpoints to
+	// runs in flight.
+	OnEngine func(*core.Engine)
+}
+
+// notifyEngine invokes the OnEngine hook if set.
+func (c Config) notifyEngine(e *core.Engine) {
+	if c.OnEngine != nil {
+		c.OnEngine(e)
+	}
 }
 
 // Default returns the calibrated scale-model configuration.
@@ -323,6 +335,7 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 	if err != nil {
 		return Series{}, err
 	}
+	c.notifyEngine(eng)
 	f := newFeeder(c, spec)
 	series := Series{System: systemName, Overlap: spec.overlap}
 	winSpec := q.Spec()

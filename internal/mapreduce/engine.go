@@ -9,6 +9,7 @@ import (
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
 	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 )
@@ -383,6 +384,9 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 			e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "failed")).Inc()
 			e.Obs.Span(obs.NodeTrack(node.ID), "map", "map "+s.ID(), start, end,
 				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed"))
+			e.Obs.Emit(end, eventlog.TaskRetry, job.Name, eventlog.TaskRetryData{
+				Job: job.Name, Task: s.ID(), Phase: "map", Attempt: attempt + 1,
+			})
 			// The failed attempt occupied the slot for its full
 			// duration; the retry becomes schedulable when the
 			// failure is detected, i.e. at the attempt's end.
@@ -559,6 +563,9 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 			e.Obs.Counter("redoop_reduce_attempts_total", obs.L("result", "failed")).Inc()
 			e.Obs.Span(obs.NodeTrack(node.ID), "reduce", fmt.Sprintf("reduce p%d", part), start, end,
 				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed"))
+			e.Obs.Emit(end, eventlog.TaskRetry, job.Name, eventlog.TaskRetryData{
+				Job: job.Name, Task: fmt.Sprintf("p%d", part), Phase: "reduce", Attempt: attempt + 1,
+			})
 			// A reduce failure entails retrieving the map outputs
 			// again and re-executing (paper §2.2): the retry is
 			// re-placed and re-pays the shuffle from its new start.

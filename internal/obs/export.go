@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 )
 
@@ -60,8 +61,57 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "%s_sum%s %s\n", h.Name(), labelString(h.Labels()), promFloat(h.Sum()))
 		fmt.Fprintf(bw, "%s_count%s %d\n", h.Name(), labelString(h.Labels()), h.Count())
+		// Pre-computed quantiles as a companion gauge series, so
+		// `grep _quantile` answers latency questions without bucket
+		// math. (Real Prometheus would derive these with
+		// histogram_quantile; the text artifact has no query engine.)
+		writeType(h.Name()+"_quantile", "gauge")
+		for _, q := range exportQuantiles {
+			ls := append(append([]Label(nil), h.Labels()...), L("quantile", q.label))
+			fmt.Fprintf(bw, "%s_quantile%s %s\n", h.Name(), labelString(ls), promFloat(h.Quantile(q.q)))
+		}
 	}
 	return bw.Flush()
+}
+
+// exportQuantiles are the quantiles materialized in the exposition and
+// the CLI table.
+var exportQuantiles = []struct {
+	label string
+	q     float64
+}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}}
+
+// WriteQuantileTable renders every histogram as one table row — count,
+// p50/p90/p99 and max — the human-readable companion the `redoopctl
+// metrics` subcommand prints to stderr. A nil registry writes nothing.
+func (r *Registry) WriteQuantileTable(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	hists := r.Histograms()
+	if len(hists) == 0 {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-52s %8s %12s %12s %12s %12s\n", "histogram", "count", "p50", "p90", "p99", "max")
+	for _, h := range hists {
+		fmt.Fprintf(bw, "%-52s %8d %12s %12s %12s %12s\n",
+			h.Series(), h.Count(),
+			promFloat(round6(h.Quantile(0.5))),
+			promFloat(round6(h.Quantile(0.9))),
+			promFloat(round6(h.Quantile(0.99))),
+			promFloat(round6(h.Max())))
+	}
+	return bw.Flush()
+}
+
+// round6 trims quantile interpolation noise for display.
+func round6(v float64) float64 {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	scale := math.Pow(10, 6-math.Ceil(math.Log10(math.Abs(v))))
+	return math.Round(v*scale) / scale
 }
 
 // --- JSON snapshot ---
@@ -229,30 +279,46 @@ func (t *Tracer) WriteTraceJSON(w io.Writer) error {
 
 // --- file helpers shared by the CLIs ---
 
-// WriteMetricsFile writes the registry's Prometheus text exposition to
-// a file (overwriting). A nil registry still produces the (empty)
-// file, so callers can rely on the artifact existing.
-func (r *Registry) WriteMetricsFile(path string) error {
-	f, err := os.Create(path)
+// WriteFileAtomic writes an artifact through `write` into a temp file
+// next to path, then renames it into place, creating parent
+// directories as needed. Readers never see a partial file and a failed
+// write leaves any previous artifact untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := r.WritePrometheus(f); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
-// WriteTraceFile writes the Chrome trace JSON to a file (overwriting).
+// WriteMetricsFile writes the registry's Prometheus text exposition to
+// a file, atomically, creating parent directories. A nil registry
+// still produces the (empty) file, so callers can rely on the artifact
+// existing.
+func (r *Registry) WriteMetricsFile(path string) error {
+	return WriteFileAtomic(path, r.WritePrometheus)
+}
+
+// WriteTraceFile writes the Chrome trace JSON to a file, atomically,
+// creating parent directories.
 func (t *Tracer) WriteTraceFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteTraceJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, t.WriteTraceJSON)
 }

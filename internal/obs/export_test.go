@@ -3,6 +3,10 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -39,6 +43,10 @@ func TestWritePrometheus(t *testing.T) {
 		`redoop_task_seconds_bucket{le="+Inf"} 3`,
 		"redoop_task_seconds_sum 5.55",
 		"redoop_task_seconds_count 3",
+		"# TYPE redoop_task_seconds_quantile gauge",
+		`redoop_task_seconds_quantile{quantile="0.5"}`,
+		`redoop_task_seconds_quantile{quantile="0.9"}`,
+		`redoop_task_seconds_quantile{quantile="0.99"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n---\n%s", want, out)
@@ -55,6 +63,131 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if buf2.String() != out {
 		t.Error("exposition is not deterministic")
+	}
+}
+
+// TestQuantileLinesOrdered checks the exposed quantile estimates are
+// monotone (p50 <= p90 <= p99) and clamped to the observed range.
+func TestQuantileLinesOrdered(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("lat", []float64{1, 10, 100})
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v % 90))
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	if p99 > h.Max() || p50 < h.Min() {
+		t.Errorf("quantiles leave the observed range: p50=%v p99=%v min=%v max=%v",
+			p50, p99, h.Min(), h.Max())
+	}
+}
+
+// TestWriteQuantileTable checks the stderr table: header, one row per
+// histogram series, nothing for an empty or nil registry.
+func TestWriteQuantileTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("only_counter").Inc()
+	var buf bytes.Buffer
+	if err := r.WriteQuantileTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("table with no histograms = %q", buf.String())
+	}
+
+	r.Histogram("a_seconds", L("phase", "map")).Observe(2)
+	r.Histogram("a_seconds", L("phase", "reduce")).Observe(3)
+	buf.Reset()
+	if err := r.WriteQuantileTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d, want header + 2 rows:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"p50", "p90", "p99", `a_seconds{phase="map"}`, `a_seconds{phase="reduce"}`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilReg *Registry
+	buf.Reset()
+	if err := nilReg.WriteQuantileTable(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry table: err=%v out=%q", err, buf.String())
+	}
+}
+
+// TestWriteFilesAtomicCreatesDirs checks the artifact writers create
+// missing parent directories and leave no temp files behind.
+func TestWriteFilesAtomicCreatesDirs(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	mpath := filepath.Join(dir, "out", "nested", "metrics.prom")
+	if err := r.WriteMetricsFile(mpath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "c 1") {
+		t.Errorf("metrics file content = %q", data)
+	}
+
+	tr := NewTracer()
+	tr.Instant("t", "c", "m", 0)
+	tpath := filepath.Join(dir, "traces", "run.trace.json")
+	if err := tr.WriteTraceFile(tpath); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	raw, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+
+	for _, d := range []string{filepath.Dir(mpath), filepath.Dir(tpath)} {
+		ents, err := os.ReadDir(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 1 {
+			t.Errorf("%s holds %d entries, want only the artifact", d, len(ents))
+		}
+	}
+}
+
+// TestWriteFileAtomicFailureKeepsOld checks a failing write leaves the
+// previous artifact intact.
+func TestWriteFileAtomicFailureKeepsOld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "art.txt")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "good" {
+		t.Errorf("artifact = %q after failed rewrite, want %q", data, "good")
 	}
 }
 

@@ -18,7 +18,12 @@
 // bench_test.go).
 package obs
 
-import "fmt"
+import (
+	"fmt"
+
+	"redoop/internal/obs/eventlog"
+	"redoop/internal/simtime"
+)
 
 // Label is one name dimension of a metric or span attribute.
 type Label struct {
@@ -51,17 +56,43 @@ func NodeTrack(id int) string { return fmt.Sprintf("node:%d", id) }
 // spans.
 func QueryTrack(name string) string { return "query:" + name }
 
-// Observer bundles the metrics registry and the span tracer that
-// instrumented components share. A nil *Observer (or nil fields)
-// disables the corresponding instrument with ~zero overhead.
+// Observer bundles the metrics registry, the span tracer and the
+// flight-recorder event log that instrumented components share. A nil
+// *Observer (or nil fields) disables the corresponding instrument with
+// ~zero overhead.
 type Observer struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	// Events is the bounded flight recorder of structured decision
+	// events (cache lookups, Equation 4 placements, re-plans); the
+	// debug server's /debug/events and /debug/stream read from it.
+	Events *eventlog.Log
 }
 
-// New returns an Observer with a fresh registry and tracer.
+// New returns an Observer with a fresh registry, tracer, and a
+// default-capacity event log.
 func New() *Observer {
-	return &Observer{Metrics: NewRegistry(), Tracer: NewTracer()}
+	return &Observer{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(),
+		Events:  eventlog.NewLog(eventlog.DefaultCapacity),
+	}
+}
+
+// Emit appends a structured event to the bundled flight recorder;
+// nil-safe, returns the stamped event.
+func (o *Observer) Emit(at simtime.Time, typ eventlog.Type, query string, data any) eventlog.Event {
+	if o == nil {
+		return eventlog.Event{}
+	}
+	return o.Events.Append(at, typ, query, data)
+}
+
+// EmitEnabled reports whether an event log is attached — emitters that
+// must build a payload (e.g. the per-candidate placement breakdown)
+// check it first to skip the work when recording is off.
+func (o *Observer) EmitEnabled() bool {
+	return o != nil && o.Events != nil
 }
 
 // Counter resolves a counter on the bundled registry; nil-safe.

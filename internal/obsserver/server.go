@@ -1,0 +1,270 @@
+// Package obsserver is Redoop's live-introspection HTTP server: it
+// exposes the observability layer of a running (or finished)
+// simulation so operators can watch a recurring query work instead of
+// waiting for post-run artifacts.
+//
+// Endpoints:
+//
+//	GET /               endpoint index (JSON)
+//	GET /metrics        Prometheus text exposition of the metrics registry
+//	GET /debug/events   flight-recorder events as JSON;
+//	                    ?type=cache.hit&query=q1&since=SEQ&limit=N filter
+//	GET /debug/cache    live cache controller state: signatures with
+//	                    doneQueryMask bits plus every node's local
+//	                    cache registry
+//	GET /debug/panes    per-engine partition plans, pane inventories,
+//	                    home assignments and the cache status matrix
+//	GET /debug/stream   Server-Sent Events feed of the flight recorder:
+//	                    replays retained events (?since=SEQ resumes)
+//	                    then streams live ones until the client leaves
+//
+// The server holds no state of its own — every request snapshots the
+// live components under their own locks — so it can be attached to a
+// run mid-flight and polled while recurrences execute.
+package obsserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"redoop/internal/core"
+	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
+)
+
+// Server serves the introspection endpoints for one observer and any
+// number of attached engines.
+type Server struct {
+	obs *obs.Observer
+
+	mu      sync.Mutex
+	engines []*core.Engine
+	ctrls   []*core.Controller
+}
+
+// New builds a server over an observer. A nil observer is allowed: the
+// metrics and event endpoints serve empty documents.
+func New(o *obs.Observer) *Server {
+	return &Server{obs: o}
+}
+
+// Attach registers an engine (and its cache controller, deduplicated —
+// engines may share one) with the debug endpoints. Safe to call while
+// the server is running.
+func (s *Server) Attach(engines ...*core.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range engines {
+		if e == nil {
+			continue
+		}
+		s.engines = append(s.engines, e)
+		ctrl := e.Controller()
+		seen := false
+		for _, c := range s.ctrls {
+			if c == ctrl {
+				seen = true
+				break
+			}
+		}
+		if !seen && ctrl != nil {
+			s.ctrls = append(s.ctrls, ctrl)
+		}
+	}
+}
+
+// Handler returns the server's route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/events", s.handleEvents)
+	mux.HandleFunc("/debug/cache", s.handleCache)
+	mux.HandleFunc("/debug/panes", s.handlePanes)
+	mux.HandleFunc("/debug/stream", s.handleStream)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine, returning the bound address. The listener
+// lives until the process exits — the debug server is an attachment to
+// a run, not a managed service.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obsserver: listen %s: %w", addr, err)
+	}
+	go func() {
+		_ = http.Serve(ln, s.Handler())
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, map[string]string{
+		"/metrics":      "Prometheus text exposition of the metrics registry",
+		"/debug/events": "flight-recorder events (?type=&query=&since=&limit=)",
+		"/debug/cache":  "cache controller signatures and node registries",
+		"/debug/panes":  "partition plans, pane files, homes and status matrix",
+		"/debug/stream": "Server-Sent Events live feed (?since=SEQ resumes)",
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.obs == nil || s.obs.Metrics == nil {
+		return
+	}
+	_ = s.obs.Metrics.WritePrometheus(w)
+}
+
+// eventsPage is the /debug/events response envelope.
+type eventsPage struct {
+	// Seq is the recorder's latest sequence number — pass it back as
+	// ?since= to poll for only newer events.
+	Seq uint64 `json:"seq"`
+	// Dropped counts events lost to ring wraparound since the start.
+	Dropped uint64           `json:"dropped"`
+	Events  []eventlog.Event `json:"events"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var log *eventlog.Log
+	if s.obs != nil {
+		log = s.obs.Events
+	}
+	f := eventlog.Filter{
+		Type:  eventlog.Type(r.URL.Query().Get("type")),
+		Query: r.URL.Query().Get("query"),
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.SinceSeq = n
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	page := eventsPage{Seq: log.Seq(), Dropped: log.Dropped(), Events: log.Select(f)}
+	if page.Events == nil {
+		page.Events = []eventlog.Event{}
+	}
+	writeJSON(w, page)
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ctrls := append([]*core.Controller(nil), s.ctrls...)
+	s.mu.Unlock()
+	dumps := make([]core.ControllerDump, 0, len(ctrls))
+	for _, c := range ctrls {
+		dumps = append(dumps, c.Dump())
+	}
+	writeJSON(w, map[string]any{"controllers": dumps})
+}
+
+func (s *Server) handlePanes(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	engines := append([]*core.Engine(nil), s.engines...)
+	s.mu.Unlock()
+	dumps := make([]core.EngineDump, 0, len(engines))
+	for _, e := range engines {
+		dumps = append(dumps, e.Dump())
+	}
+	writeJSON(w, map[string]any{"engines": dumps})
+}
+
+// handleStream serves the flight recorder as Server-Sent Events: the
+// retained backlog first (so a client attaching after a fast run still
+// sees the lifecycle), then live events as they are appended. Each
+// frame carries the sequence number as its SSE id, the event type as
+// its event name, and the JSON event as data.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var log *eventlog.Log
+	if s.obs != nil {
+		log = s.obs.Events
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before replaying so no event falls between the backlog
+	// snapshot and the live feed; duplicates from the overlap are
+	// filtered by sequence number.
+	ch, cancel := log.Subscribe(256)
+	defer cancel()
+	last := since
+	for _, e := range log.Since(since) {
+		if err := writeSSE(w, e); err != nil {
+			return
+		}
+		last = e.Seq
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if e.Seq <= last {
+				continue
+			}
+			if err := writeSSE(w, e); err != nil {
+				return
+			}
+			last = e.Seq
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE emits one event in SSE framing: id, event name, data.
+func writeSSE(w http.ResponseWriter, e eventlog.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

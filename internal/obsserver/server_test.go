@@ -1,0 +1,405 @@
+package obsserver_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"redoop/internal/cluster"
+	"redoop/internal/core"
+	"redoop/internal/dfs"
+	"redoop/internal/iocost"
+	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
+	"redoop/internal/obsserver"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+const (
+	testWin   = 30 * simtime.Second
+	testSlide = 10 * simtime.Second
+)
+
+func newRig(workers int, ob *obs.Observer) *mapreduce.Engine {
+	cost := iocost.Default()
+	cost.TaskOverhead = 200 * time.Microsecond
+	cl := cluster.MustNew(cluster.Config{Workers: workers, MapSlots: 2, ReduceSlots: 2})
+	ids := make([]int, workers)
+	for i := range ids {
+		ids[i] = i
+	}
+	d := dfs.MustNew(dfs.Config{BlockSize: 32 << 10, Replication: 2, Nodes: ids, Seed: 7})
+	mr := mapreduce.MustNew(cl, d, cost)
+	mr.Obs = ob
+	return mr
+}
+
+func sumReduce(key []byte, values [][]byte, emit mapreduce.Emitter) {
+	total := 0
+	for _, v := range values {
+		n, _ := strconv.Atoi(string(v))
+		total += n
+	}
+	emit(key, []byte(strconv.Itoa(total)))
+}
+
+func countQuery(name string) *core.Query {
+	return &core.Query{
+		Name: name,
+		Sources: []core.Source{{
+			Name: "S1",
+			Spec: window.NewTimeSpec(testWin, testSlide),
+		}},
+		Maps: []mapreduce.MapFunc{func(_ int64, payload []byte, emit mapreduce.Emitter) {
+			emit(append([]byte(nil), payload...), []byte("1"))
+		}},
+		Reduce:      sumReduce,
+		Combine:     sumReduce,
+		Merge:       sumReduce,
+		NumReducers: 2,
+	}
+}
+
+func genWords(seed int64, slideIdx, n int) []records.Record {
+	rng := rand.New(rand.NewSource(seed + int64(slideIdx)))
+	base := int64(slideIdx) * int64(testSlide)
+	out := make([]records.Record, n)
+	for i := range out {
+		ts := base + rng.Int63n(int64(testSlide))
+		out[i] = records.Record{Ts: ts, Data: []byte(fmt.Sprintf("w%02d", rng.Intn(10)))}
+	}
+	return out
+}
+
+// runRecurrences drives a fresh engine through n recurrences and
+// returns it with its observer and server.
+func runRecurrences(t *testing.T, n int) (*obsserver.Server, *obs.Observer, *core.Engine) {
+	t.Helper()
+	ob := obs.New()
+	mr := newRig(4, ob)
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: countQuery("q1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slidesPerWin := int(testWin / testSlide)
+	fed := 0
+	for r := 0; r < n; r++ {
+		for ; fed < slidesPerWin+r; fed++ {
+			if err := eng.Ingest(0, genWords(11, fed, 200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.RunNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := obsserver.New(ob)
+	srv.Attach(eng)
+	return srv, ob, eng
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _, _ := runRecurrences(t, 2)
+	rec := get(t, srv.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"redoop_recurrences_total", "redoop_cache_lookups_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+func TestEventsEndpointFilters(t *testing.T) {
+	ob := obs.New()
+	ob.Emit(1, eventlog.CacheHit, "q1", eventlog.CacheData{PID: "a", Node: 0})
+	ob.Emit(2, eventlog.CacheMiss, "q1", eventlog.CacheData{PID: "b", Node: -1})
+	ob.Emit(3, eventlog.CacheHit, "q2", eventlog.CacheData{PID: "c", Node: 1})
+	srv := obsserver.New(ob)
+	h := srv.Handler()
+
+	var page struct {
+		Seq     uint64           `json:"seq"`
+		Dropped uint64           `json:"dropped"`
+		Events  []eventlog.Event `json:"events"`
+	}
+	rec := get(t, h, "/debug/events")
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Seq != 3 || len(page.Events) != 3 {
+		t.Fatalf("unfiltered: seq=%d events=%d, want 3/3", page.Seq, len(page.Events))
+	}
+
+	rec = get(t, h, "/debug/events?type=cache.hit&query=q1")
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 1 || page.Events[0].Seq != 1 {
+		t.Fatalf("filtered: %+v, want just seq 1", page.Events)
+	}
+
+	rec = get(t, h, "/debug/events?since=2")
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Events) != 1 || page.Events[0].Seq != 3 {
+		t.Fatalf("since: %+v, want just seq 3", page.Events)
+	}
+
+	if rec := get(t, h, "/debug/events?since=zap"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad since: status %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/debug/events?limit=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d, want 400", rec.Code)
+	}
+}
+
+func TestCacheEndpoint(t *testing.T) {
+	srv, _, _ := runRecurrences(t, 3)
+	rec := get(t, srv.Handler(), "/debug/cache")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body struct {
+		Controllers []core.ControllerDump `json:"controllers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Controllers) != 1 {
+		t.Fatalf("controllers = %d, want 1", len(body.Controllers))
+	}
+	c := body.Controllers[0]
+	if len(c.Queries) != 1 || c.Queries[0] != "q1" {
+		t.Errorf("queries = %v", c.Queries)
+	}
+	if len(c.Signatures) == 0 {
+		t.Fatal("no live signatures after 3 recurrences")
+	}
+	for _, s := range c.Signatures {
+		if s.PID == "" || s.Type == "" || s.Ready == "" {
+			t.Errorf("incomplete signature %+v", s)
+		}
+		if len(s.DoneQueryMask) != 1 {
+			t.Errorf("doneQueryMask size %d, want 1", len(s.DoneQueryMask))
+		}
+	}
+	if len(c.Registries) == 0 {
+		t.Fatal("no node registries")
+	}
+}
+
+func TestPanesEndpoint(t *testing.T) {
+	srv, _, eng := runRecurrences(t, 3)
+	rec := get(t, srv.Handler(), "/debug/panes")
+	var body struct {
+		Engines []core.EngineDump `json:"engines"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Engines) != 1 {
+		t.Fatalf("engines = %d, want 1", len(body.Engines))
+	}
+	d := body.Engines[0]
+	if d.Query != "q1" || d.NextRecurrence != eng.NextRecurrence() {
+		t.Errorf("dump header %+v", d)
+	}
+	if len(d.Sources) != 1 || d.Sources[0].Name != "S1" {
+		t.Fatalf("sources = %+v", d.Sources)
+	}
+	if len(d.Sources[0].Panes) == 0 {
+		t.Error("no flushed panes listed")
+	}
+	for _, p := range d.Sources[0].Panes {
+		for _, seg := range p.Segments {
+			if seg.Path == "" {
+				t.Errorf("pane %d has a segment without a path", p.Pane)
+			}
+		}
+	}
+	if d.Matrix == "" {
+		t.Error("empty matrix rendering")
+	}
+}
+
+// TestStreamSSE verifies the /debug/stream framing end to end: backlog
+// replay, then live delivery of a later event, with id/event/data
+// lines per frame.
+func TestStreamSSE(t *testing.T) {
+	ob := obs.New()
+	ob.Emit(1, eventlog.RecurrenceStart, "q1", eventlog.RecurrenceStartData{Recurrence: 0})
+	ob.Emit(2, eventlog.RecurrenceFinish, "q1", eventlog.RecurrenceFinishData{Recurrence: 0, ResponseNS: 42})
+	srv := obsserver.New(ob)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	rd := bufio.NewReader(resp.Body)
+	frame := func() (id, event, data string) {
+		t.Helper()
+		for {
+			line, err := rd.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream read: %v", err)
+			}
+			line = strings.TrimRight(line, "\n")
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				return id, event, data
+			}
+		}
+	}
+
+	id, event, data := frame()
+	if id != "1" || event != "recurrence.start" {
+		t.Fatalf("frame 1 = id %q event %q", id, event)
+	}
+	var ev eventlog.Event
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatalf("frame 1 data %q: %v", data, err)
+	}
+	if ev.Seq != 1 || ev.Query != "q1" {
+		t.Fatalf("frame 1 decoded %+v", ev)
+	}
+	if id, event, _ = frame(); id != "2" || event != "recurrence.finish" {
+		t.Fatalf("frame 2 = id %q event %q", id, event)
+	}
+
+	// An event emitted after the client attached must arrive live.
+	ob.Emit(3, eventlog.NodeFailure, "q1", eventlog.NodeFailureData{Node: 2})
+	if id, event, _ = frame(); id != "3" || event != "node.failure" {
+		t.Fatalf("live frame = id %q event %q", id, event)
+	}
+}
+
+// TestStreamSince verifies ?since= skips the already-seen backlog.
+func TestStreamSince(t *testing.T) {
+	ob := obs.New()
+	for i := 0; i < 5; i++ {
+		ob.Emit(simtime.Time(i), eventlog.CacheHit, "q1", nil)
+	}
+	srv := obsserver.New(ob)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/stream?since=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(line); got != "id: 4" {
+		t.Fatalf("first line = %q, want id: 4", got)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	srv := obsserver.New(obs.New())
+	h := srv.Handler()
+	if rec := get(t, h, "/"); rec.Code != http.StatusOK {
+		t.Errorf("index status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+}
+
+// TestServeDuringRun attaches the server before any recurrence runs and
+// polls /debug/events while recurrences execute on another goroutine —
+// the mid-run usability the flight recorder exists for (run with -race
+// to exercise the locking).
+func TestServeDuringRun(t *testing.T) {
+	ob := obs.New()
+	mr := newRig(4, ob)
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: countQuery("q1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := obsserver.New(ob)
+	srv.Attach(eng)
+	h := srv.Handler()
+
+	done := make(chan error, 1)
+	go func() {
+		slidesPerWin := int(testWin / testSlide)
+		fed := 0
+		for r := 0; r < 4; r++ {
+			for ; fed < slidesPerWin+r; fed++ {
+				if err := eng.Ingest(0, genWords(23, fed, 200)); err != nil {
+					done <- err
+					return
+				}
+			}
+			if _, err := eng.RunNext(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One final pass over every endpoint after the run.
+			for _, p := range []string{"/metrics", "/debug/events", "/debug/cache", "/debug/panes"} {
+				if rec := get(t, h, p); rec.Code != http.StatusOK {
+					t.Errorf("%s status = %d", p, rec.Code)
+				}
+			}
+			return
+		default:
+		}
+		for _, p := range []string{"/metrics", "/debug/events", "/debug/cache", "/debug/panes"} {
+			if rec := get(t, h, p); rec.Code != http.StatusOK {
+				t.Fatalf("%s status = %d mid-run", p, rec.Code)
+			}
+		}
+	}
+}

@@ -9,6 +9,8 @@
 //	             [-workers N] [-reducers N] [-seed N]
 //	             [-metrics-out FILE] [-trace-out FILE]
 //	             [-json-out FILE] [-serve ADDR]
+//	             [-bench-dir DIR] [-rev REV]
+//	             [-regress-soft PCT] [-regress-hard PCT]
 //
 // -metrics-out writes the Prometheus text exposition of every metric
 // the run produced (cache hits/misses, placement outcomes, shuffle
@@ -22,10 +24,19 @@
 // totals, the headline speedup, and cache hit/shuffle aggregates) so
 // bench trajectories can accumulate across commits.
 //
+// -bench-dir DIR enables trajectory mode: the run summary (with
+// per-query SLO health aggregates) is written to DIR/BENCH_<rev>.json
+// and compared against the newest prior BENCH_*.json in DIR. Series
+// that slowed by more than -regress-soft percent (default 5) are
+// flagged; more than -regress-hard percent (default 15) makes the
+// process exit 3 so CI can gate on hard regressions. -rev labels the
+// entry (default: git short hash, else a timestamp).
+//
 // -serve ADDR starts the live introspection HTTP server (/metrics,
-// /debug/events, /debug/cache, /debug/panes, /debug/stream) before the
-// figures run; every engine the experiments build attaches to it, so
-// the endpoints can be polled while a figure is in flight.
+// /debug/events, /debug/cache, /debug/panes, /debug/health,
+// /debug/stream) before the figures run; every engine the experiments
+// build attaches to it, so the endpoints can be polled while a figure
+// is in flight.
 //
 // See EXPERIMENTS.md for how the printed numbers map onto the paper's
 // plots.
@@ -36,10 +47,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"redoop/internal/core"
 	"redoop/internal/experiments"
+	"redoop/internal/health"
 	"redoop/internal/obs"
 	"redoop/internal/obsserver"
 )
@@ -58,6 +72,10 @@ func main() {
 		trace    = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
 		jsonOut  = flag.String("json-out", "", "write a machine-readable JSON run summary to this file")
 		serve    = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) while figures run")
+		benchDir = flag.String("bench-dir", "", "trajectory mode: write BENCH_<rev>.json here and compare against the newest prior entry")
+		rev      = flag.String("rev", "", "revision label for the trajectory entry (default: git short hash, else a timestamp)")
+		softPct  = flag.Float64("regress-soft", 5, "trajectory: warn when a series slows by more than this percent")
+		hardPct  = flag.Float64("regress-hard", 15, "trajectory: exit 3 when a series slows by more than this percent")
 	)
 	flag.Parse()
 
@@ -78,9 +96,17 @@ func main() {
 		cfg.Seed = *seed
 	}
 	var ob *obs.Observer
-	if *metrics != "" || *trace != "" || *jsonOut != "" || *serve != "" {
+	if *metrics != "" || *trace != "" || *jsonOut != "" || *serve != "" || *benchDir != "" {
 		ob = obs.New()
 		cfg.Obs = ob
+	}
+	// One shared SLO monitor across every engine the figures build, so
+	// the trajectory entry carries per-query health aggregates.
+	var mon *health.Monitor
+	if ob != nil {
+		mon = health.NewMonitor(health.DefaultConfig())
+		mon.SetObserver(ob)
+		cfg.Health = mon
 	}
 	if *serve != "" {
 		srv := obsserver.New(ob)
@@ -195,18 +221,87 @@ func main() {
 		headline = &h
 		fmt.Printf("headline: best steady-state speedup over plain Hadoop = %.1fx (paper: up to 9x)\n", h)
 	}
-	if *jsonOut != "" {
+	if *jsonOut != "" || *benchDir != "" {
 		sum := buildSummary(cfg, results, headline, ob.Metrics)
-		if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
-			return writeSummary(w, sum)
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "redoop-bench: json-out: %v\n", err)
-			os.Exit(1)
-		} else if !*quiet {
-			fmt.Fprintf(os.Stderr, "[run summary written to %s]\n", *jsonOut)
+		sum.Health = healthSummary(mon)
+		if *jsonOut != "" {
+			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
+				return writeSummary(w, sum)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: json-out: %v\n", err)
+				os.Exit(1)
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "[run summary written to %s]\n", *jsonOut)
+			}
+		}
+		if *benchDir != "" {
+			hard, err := runTrajectory(os.Stdout, *benchDir, *rev, sum, *softPct, *hardPct, *quiet)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: trajectory: %v\n", err)
+				os.Exit(1)
+			}
+			if !writeArtifacts() {
+				os.Exit(1)
+			}
+			if hard {
+				os.Exit(3)
+			}
+			return
 		}
 	}
 	if !writeArtifacts() {
 		os.Exit(1)
 	}
+}
+
+// runTrajectory writes the BENCH_<rev>.json entry and compares it
+// against the newest prior entry. Returns whether a hard regression
+// was found.
+func runTrajectory(w io.Writer, dir, rev string, sum summaryJSON, softPct, hardPct float64, quiet bool) (bool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, err
+	}
+	if rev == "" {
+		rev = defaultRev()
+	}
+	sum.Rev = rev
+	path := benchFileFor(dir, rev)
+	// Find the prior entry before writing ours, so re-running the same
+	// revision compares against the previous revision, not itself.
+	prior, err := findPriorBench(dir, path)
+	if err != nil {
+		return false, err
+	}
+	if err := obs.WriteFileAtomic(path, func(w io.Writer) error {
+		return writeSummary(w, sum)
+	}); err != nil {
+		return false, err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "[trajectory entry written to %s]\n", path)
+	}
+	if prior == "" {
+		fmt.Fprintf(w, "\ntrajectory: first entry (%s); nothing to compare against\n", rev)
+		return false, nil
+	}
+	old, err := readSummary(prior)
+	if err != nil {
+		return false, err
+	}
+	rows := compareSummaries(old, sum)
+	hrows := compareHealth(old, sum)
+	_, hard := regressReport(w, old.Rev, rev, rows, hrows, softPct, hardPct)
+	return hard, nil
+}
+
+// defaultRev labels a trajectory entry when -rev is not given: the git
+// short hash when available, else a wall-clock timestamp.
+func defaultRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			return rev
+		}
+	}
+	return time.Now().UTC().Format("20060102T150405Z")
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"redoop/internal/experiments"
+	"redoop/internal/health"
 	"redoop/internal/obs"
 )
 
@@ -69,12 +70,32 @@ type metricsJSON struct {
 	DFSWriteBytes float64 `json:"dfsWriteBytes"`
 }
 
+// queryHealthJSON is one query's SLO aggregate over the whole run —
+// the health monitor's end-of-run snapshot, folded into the bench
+// trajectory so regressions in deadline behaviour and forecast
+// quality are visible across commits, not just raw timings.
+type queryHealthJSON struct {
+	Query            string `json:"query"`
+	Status           string `json:"status"`
+	Recurrences      int    `json:"recurrences"`
+	DeadlineMisses   int    `json:"deadlineMisses"`
+	MaxMissStreak    int    `json:"maxMissStreak"`
+	Anomalies        int    `json:"anomalies"`
+	AdaptivityMisses int    `json:"adaptivityMisses"`
+	MinHeadroomNS    int64  `json:"minHeadroomNS"`
+	LastLagUnits     int64  `json:"lastLagUnits"`
+}
+
 type summaryJSON struct {
-	Tool            string       `json:"tool"`
-	Config          configJSON   `json:"config"`
-	Figures         []figureJSON `json:"figures"`
-	HeadlineSpeedup *float64     `json:"headlineSpeedup,omitempty"`
-	Metrics         *metricsJSON `json:"metrics,omitempty"`
+	Tool string `json:"tool"`
+	// Rev identifies the revision a trajectory entry was measured at
+	// (set in trajectory mode; empty for plain -json-out).
+	Rev             string            `json:"rev,omitempty"`
+	Config          configJSON        `json:"config"`
+	Figures         []figureJSON      `json:"figures"`
+	HeadlineSpeedup *float64          `json:"headlineSpeedup,omitempty"`
+	Metrics         *metricsJSON      `json:"metrics,omitempty"`
+	Health          []queryHealthJSON `json:"health,omitempty"`
 }
 
 func seriesSummary(s experiments.Series) seriesJSON {
@@ -156,6 +177,29 @@ func buildSummary(cfg experiments.Config, figs []*experiments.FigResult, headlin
 		sum.Metrics = &m
 	}
 	return sum
+}
+
+// healthSummary folds the monitor's end-of-run snapshot into the
+// trajectory schema.
+func healthSummary(mon *health.Monitor) []queryHealthJSON {
+	if mon == nil {
+		return nil
+	}
+	var out []queryHealthJSON
+	for _, st := range mon.Snapshot() {
+		out = append(out, queryHealthJSON{
+			Query:            st.Query,
+			Status:           string(st.Status),
+			Recurrences:      st.Recurrences,
+			DeadlineMisses:   st.DeadlineMisses,
+			MaxMissStreak:    st.MaxMissStreak,
+			Anomalies:        st.Anomalies,
+			AdaptivityMisses: st.AdaptivityMisses,
+			MinHeadroomNS:    st.MinHeadroomNS,
+			LastLagUnits:     st.WindowLagUnits,
+		})
+	}
+	return out
 }
 
 func labelValue(labels []obs.Label, key string) string {

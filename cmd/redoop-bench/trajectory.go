@@ -1,0 +1,266 @@
+package main
+
+// Trajectory mode: every invocation with -bench-dir writes one
+// BENCH_<rev>.json into the directory and compares it against the
+// newest prior entry, printing a per-series regression report. The
+// directory accumulates one file per revision — a measured trajectory
+// of the implementation over time, read against the paper's Figures
+// 6–9 (see EXPERIMENTS.md).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// benchFileFor names the trajectory entry of one revision.
+func benchFileFor(dir, rev string) string {
+	return filepath.Join(dir, "BENCH_"+sanitizeRev(rev)+".json")
+}
+
+// sanitizeRev keeps revision strings filesystem-safe.
+func sanitizeRev(rev string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '-'
+	}, rev)
+}
+
+// findPriorBench returns the newest BENCH_*.json in dir by
+// modification time, excluding the given path (the entry being
+// written). Empty string when there is no prior entry.
+func findPriorBench(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	type cand struct {
+		path string
+		mod  int64
+	}
+	var cands []cand
+	for _, m := range matches {
+		if sameFile(m, exclude) {
+			continue
+		}
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, cand{m, fi.ModTime().UnixNano()})
+	}
+	if len(cands) == 0 {
+		return "", nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mod != cands[j].mod {
+			return cands[i].mod > cands[j].mod
+		}
+		return cands[i].path > cands[j].path // stable tie-break
+	})
+	return cands[0].path, nil
+}
+
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
+}
+
+func readSummary(path string) (summaryJSON, error) {
+	var sum summaryJSON
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sum, err
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return sum, fmt.Errorf("%s: %w", path, err)
+	}
+	return sum, nil
+}
+
+// seriesKey addresses one measured series across summaries.
+type seriesKey struct {
+	Figure  string
+	Overlap float64
+	System  string
+}
+
+func (k seriesKey) String() string {
+	return fmt.Sprintf("%s/overlap=%.2f/%s", k.Figure, k.Overlap, k.System)
+}
+
+// deltaRow is one metric's old-vs-new comparison.
+type deltaRow struct {
+	Key    seriesKey
+	Metric string // "makespan" or "meanSteady"
+	OldNS  int64
+	NewNS  int64
+	Pct    float64 // signed; positive = slower (regression)
+}
+
+// compareSummaries pairs up every series present in both summaries and
+// computes the signed percentage change of its makespan and
+// steady-state mean. Series present in only one side are skipped —
+// trajectory entries may cover different figure subsets.
+func compareSummaries(old, cur summaryJSON) []deltaRow {
+	index := func(sum summaryJSON) map[seriesKey]seriesJSON {
+		out := make(map[seriesKey]seriesJSON)
+		for _, f := range sum.Figures {
+			for _, p := range f.Panels {
+				for _, s := range p.Series {
+					out[seriesKey{f.Name, p.Overlap, s.System}] = s
+				}
+			}
+		}
+		return out
+	}
+	oldIdx := index(old)
+	var rows []deltaRow
+	for _, f := range cur.Figures {
+		for _, p := range f.Panels {
+			for _, s := range p.Series {
+				k := seriesKey{f.Name, p.Overlap, s.System}
+				o, ok := oldIdx[k]
+				if !ok {
+					continue
+				}
+				if o.MakespanNS > 0 {
+					rows = append(rows, deltaRow{
+						Key: k, Metric: "makespan",
+						OldNS: o.MakespanNS, NewNS: s.MakespanNS,
+						Pct: pctChange(o.MakespanNS, s.MakespanNS),
+					})
+				}
+				if o.MeanSteadyNS > 0 {
+					rows = append(rows, deltaRow{
+						Key: k, Metric: "meanSteady",
+						OldNS: o.MeanSteadyNS, NewNS: s.MeanSteadyNS,
+						Pct: pctChange(o.MeanSteadyNS, s.MeanSteadyNS),
+					})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+func pctChange(old, cur int64) float64 {
+	return 100 * float64(cur-old) / float64(old)
+}
+
+// healthDeltas lines up per-query health aggregates between two
+// summaries; a growth in deadline misses or adaptivity misses is
+// reported alongside the timing rows.
+type healthDelta struct {
+	Query                string
+	MissesOld, MissesNew int
+	AnomOld, AnomNew     int
+	AMissOld, AMissNew   int
+	StatusOld, StatusNew string
+}
+
+func compareHealth(old, cur summaryJSON) []healthDelta {
+	oldIdx := make(map[string]queryHealthJSON)
+	for _, h := range old.Health {
+		oldIdx[h.Query] = h
+	}
+	var out []healthDelta
+	for _, h := range cur.Health {
+		o, ok := oldIdx[h.Query]
+		if !ok {
+			continue
+		}
+		out = append(out, healthDelta{
+			Query:     h.Query,
+			MissesOld: o.DeadlineMisses, MissesNew: h.DeadlineMisses,
+			AnomOld: o.Anomalies, AnomNew: h.Anomalies,
+			AMissOld: o.AdaptivityMisses, AMissNew: h.AdaptivityMisses,
+			StatusOld: o.Status, StatusNew: h.Status,
+		})
+	}
+	return out
+}
+
+// regressReport writes the comparison and returns whether any timing
+// row regressed past the soft or the hard threshold (in percent).
+func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, softPct, hardPct float64) (soft, hard bool) {
+	fmt.Fprintf(w, "\ntrajectory: %s -> %s\n", revLabel(oldRev), revLabel(curRev))
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "  no comparable series (different figure subsets?)\n")
+		return false, false
+	}
+	for _, r := range rows {
+		mark := ""
+		switch {
+		case r.Pct > hardPct:
+			mark = "  << HARD REGRESSION"
+			hard = true
+		case r.Pct > softPct:
+			mark = "  << regression"
+			soft = true
+		case r.Pct < -softPct:
+			mark = "  (improved)"
+		}
+		fmt.Fprintf(w, "  %-40s %-10s %12s -> %12s  %+6.1f%%%s\n",
+			r.Key, r.Metric, fmtNS(r.OldNS), fmtNS(r.NewNS), r.Pct, mark)
+	}
+	for _, h := range hrows {
+		notes := []string{}
+		if h.MissesNew > h.MissesOld {
+			notes = append(notes, fmt.Sprintf("deadline misses %d -> %d", h.MissesOld, h.MissesNew))
+		}
+		if h.AnomNew > h.AnomOld {
+			notes = append(notes, fmt.Sprintf("anomalies %d -> %d", h.AnomOld, h.AnomNew))
+		}
+		if h.AMissNew > h.AMissOld {
+			notes = append(notes, fmt.Sprintf("adaptivity misses %d -> %d", h.AMissOld, h.AMissNew))
+		}
+		if h.StatusNew != h.StatusOld {
+			notes = append(notes, fmt.Sprintf("status %s -> %s", h.StatusOld, h.StatusNew))
+		}
+		if len(notes) > 0 {
+			fmt.Fprintf(w, "  health %-33s %s\n", h.Query+":", strings.Join(notes, "; "))
+		}
+	}
+	switch {
+	case hard:
+		fmt.Fprintf(w, "  verdict: HARD regression (> %.0f%%) — failing\n", hardPct)
+	case soft:
+		fmt.Fprintf(w, "  verdict: soft regression (> %.0f%%) — warning only\n", softPct)
+	default:
+		fmt.Fprintf(w, "  verdict: no regression beyond %.0f%%\n", softPct)
+	}
+	return soft, hard
+}
+
+func revLabel(rev string) string {
+	if rev == "" {
+		return "(unknown rev)"
+	}
+	return rev
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkSummary(rev string, makespanNS, steadyNS int64) summaryJSON {
+	return summaryJSON{
+		Tool: "redoop-bench",
+		Rev:  rev,
+		Figures: []figureJSON{{
+			Name:  "Figure 6",
+			Query: "q1",
+			Panels: []panelJSON{{
+				Overlap: 0.9,
+				Series: []seriesJSON{{
+					System:       "Redoop",
+					MakespanNS:   makespanNS,
+					MeanSteadyNS: steadyNS,
+				}},
+			}},
+		}},
+		Health: []queryHealthJSON{{
+			Query: "q1", Status: "OK", Recurrences: 5,
+		}},
+	}
+}
+
+func TestSanitizeRev(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc123":      "abc123",
+		"feature/x y": "feature-x-y",
+		"v1.2.3-rc1":  "v1.2.3-rc1",
+		"..":          "..",
+		"a\\b:c":      "a-b-c",
+	} {
+		if got := sanitizeRev(in); got != want {
+			t.Errorf("sanitizeRev(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFindPriorBench(t *testing.T) {
+	dir := t.TempDir()
+	if got, err := findPriorBench(dir, ""); err != nil || got != "" {
+		t.Fatalf("empty dir: got %q err %v", got, err)
+	}
+	older := filepath.Join(dir, "BENCH_old.json")
+	newer := filepath.Join(dir, "BENCH_new.json")
+	if err := os.WriteFile(older, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newer, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Make mod times unambiguous.
+	now := time.Now()
+	os.Chtimes(older, now.Add(-time.Hour), now.Add(-time.Hour))
+	os.Chtimes(newer, now, now)
+	if got, err := findPriorBench(dir, ""); err != nil || got != newer {
+		t.Errorf("prior = %q err %v, want %q", got, err, newer)
+	}
+	// The entry being written is excluded, so the next-newest wins.
+	if got, err := findPriorBench(dir, newer); err != nil || got != older {
+		t.Errorf("prior excluding newest = %q err %v, want %q", got, err, older)
+	}
+	// Non-BENCH files are ignored.
+	os.WriteFile(filepath.Join(dir, "notes.json"), []byte("{}"), 0o644)
+	if got, _ := findPriorBench(dir, newer); got != older {
+		t.Errorf("prior with stray file = %q, want %q", got, older)
+	}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	old := mkSummary("a", 1000, 100)
+	cur := mkSummary("b", 1200, 90)
+	rows := compareSummaries(old, cur)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (makespan + meanSteady)", len(rows))
+	}
+	byMetric := map[string]deltaRow{}
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["makespan"]; r.Pct != 20 {
+		t.Errorf("makespan pct = %v, want +20", r.Pct)
+	}
+	if r := byMetric["meanSteady"]; r.Pct != -10 {
+		t.Errorf("meanSteady pct = %v, want -10", r.Pct)
+	}
+
+	// A series missing on one side is skipped, not an error.
+	cur2 := cur
+	cur2.Figures = append([]figureJSON(nil), cur.Figures...)
+	cur2.Figures[0].Name = "Figure 7"
+	if rows := compareSummaries(old, cur2); len(rows) != 0 {
+		t.Errorf("disjoint figures produced %d rows, want 0", len(rows))
+	}
+}
+
+func TestRegressReportThresholds(t *testing.T) {
+	rows := []deltaRow{
+		{Key: seriesKey{"Figure 6", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1000, NewNS: 1080, Pct: 8},
+	}
+	var buf bytes.Buffer
+	soft, hard := regressReport(&buf, "a", "b", rows, nil, 5, 15)
+	if !soft || hard {
+		t.Errorf("8%% over soft=5 hard=15: soft=%v hard=%v, want soft only", soft, hard)
+	}
+	if !strings.Contains(buf.String(), "<< regression") {
+		t.Errorf("report lacks soft marker:\n%s", buf.String())
+	}
+
+	rows[0].Pct = 20
+	buf.Reset()
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, 5, 15)
+	if !hard {
+		t.Errorf("20%% over hard=15: hard=%v, want true", hard)
+	}
+	if !strings.Contains(buf.String(), "HARD REGRESSION") {
+		t.Errorf("report lacks hard marker:\n%s", buf.String())
+	}
+
+	rows[0].Pct = -8
+	buf.Reset()
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, 5, 15)
+	if soft || hard {
+		t.Errorf("improvement flagged as regression: soft=%v hard=%v", soft, hard)
+	}
+	if !strings.Contains(buf.String(), "(improved)") {
+		t.Errorf("report lacks improvement marker:\n%s", buf.String())
+	}
+}
+
+func TestRegressReportHealthLines(t *testing.T) {
+	hrows := []healthDelta{{
+		Query:     "q1",
+		MissesOld: 0, MissesNew: 2,
+		StatusOld: "OK", StatusNew: "AT_RISK",
+	}}
+	var buf bytes.Buffer
+	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, 5, 15)
+	out := buf.String()
+	if !strings.Contains(out, "deadline misses 0 -> 2") || !strings.Contains(out, "status OK -> AT_RISK") {
+		t.Errorf("health lines missing:\n%s", out)
+	}
+}
+
+func TestRunTrajectoryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+
+	// First entry: nothing to compare against, no regression.
+	hard, err := runTrajectory(&buf, dir, "rev1", mkSummary("", 1000, 100), 5, 15, true)
+	if err != nil || hard {
+		t.Fatalf("first entry: hard=%v err=%v", hard, err)
+	}
+	if !strings.Contains(buf.String(), "first entry") {
+		t.Errorf("first entry report:\n%s", buf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_rev1.json")); err != nil {
+		t.Fatalf("BENCH_rev1.json not written: %v", err)
+	}
+
+	// Second entry regresses hard.
+	time.Sleep(10 * time.Millisecond)
+	buf.Reset()
+	hard, err = runTrajectory(&buf, dir, "rev2", mkSummary("", 2000, 200), 5, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hard {
+		t.Errorf("2x slowdown not a hard regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "rev1 -> rev2") {
+		t.Errorf("report lacks rev labels:\n%s", buf.String())
+	}
+
+	// Re-running the same revision compares against the previous
+	// revision, not its own just-written file.
+	time.Sleep(10 * time.Millisecond)
+	buf.Reset()
+	hard, err = runTrajectory(&buf, dir, "rev2", mkSummary("", 2000, 200), 5, 15, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rev1 -> rev2") {
+		t.Errorf("same-rev rerun compared against itself:\n%s", buf.String())
+	}
+	if !hard {
+		t.Errorf("same-rev rerun lost the hard verdict:\n%s", buf.String())
+	}
+
+	// A recovered third entry is clean against the regressed second.
+	time.Sleep(10 * time.Millisecond)
+	buf.Reset()
+	hard, err = runTrajectory(&buf, dir, "rev3", mkSummary("", 1000, 100), 5, 15, true)
+	if err != nil || hard {
+		t.Errorf("recovery flagged: hard=%v err=%v\n%s", hard, err, buf.String())
+	}
+}

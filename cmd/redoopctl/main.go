@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	redoopctl [metrics|explain] [-query agg|join] [-overlap 0.9]
+//	redoopctl [metrics|explain|health] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-top K] [-seed N]
+//	          [-spikewin N] [-spikefactor F] [-deadline DUR]
 //	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
 //
 // -query agg runs the WCC click-ranking aggregation (the paper's Q1);
@@ -25,10 +26,20 @@
 // actual response times with re-plan markers. The per-window table
 // moves to stderr.
 //
+// The "health" subcommand runs the query and prints the SLO monitor's
+// per-query status table: deadline headroom against the slide, the
+// watermark window lag, miss streaks and forecast-residual anomalies.
+// -spikewin N multiplies the input volume of window N by -spikefactor
+// (default 10) — an oversized-batch fault that exercises the anomaly
+// detector. -deadline DUR tightens the SLO deadline from the natural
+// slide (simulated responses are virtual milliseconds against
+// multi-minute slides) so misses and the AT_RISK/MISSING_DEADLINES
+// escalation can be observed on a real run.
+//
 // -serve ADDR starts the live introspection HTTP server (endpoints:
-// /metrics, /debug/events, /debug/cache, /debug/panes, /debug/stream)
-// before the run and keeps the process alive after it finishes, until
-// interrupted, so the final state stays inspectable.
+// /metrics, /debug/events, /debug/cache, /debug/panes, /debug/health,
+// /debug/stream) before the run and keeps the process alive after it
+// finishes, until interrupted, so the final state stays inspectable.
 //
 // Independently, -metrics-out and -trace-out write the exposition and
 // a Perfetto-loadable Chrome trace JSON to files; both are written
@@ -49,6 +60,7 @@ import (
 	"redoop/internal/core"
 	"redoop/internal/experiments"
 	"redoop/internal/explain"
+	"redoop/internal/health"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
@@ -71,6 +83,9 @@ func main() {
 		dropCache  = flag.Bool("dropcaches", false, "drop one node's caches before every window")
 		topK       = flag.Int("top", 5, "print the top-K results of the final window")
 		seed       = flag.Int64("seed", 42, "generator seed")
+		spikeWin   = flag.Int("spikewin", -1, "multiply this window's input volume by -spikefactor (oversized-batch fault)")
+		spikeFac   = flag.Float64("spikefactor", 10, "input volume multiplier for -spikewin")
+		deadline   = flag.Duration("deadline", 0, "override the SLO deadline (default: the query's slide, in virtual time)")
 		metricsOut = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
 		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
 		serveAddr  = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) during the run, then until interrupted")
@@ -78,10 +93,11 @@ func main() {
 	args := os.Args[1:]
 	metricsMode := len(args) > 0 && args[0] == "metrics"
 	explainMode := len(args) > 0 && args[0] == "explain"
-	if metricsMode || explainMode {
+	healthMode := len(args) > 0 && args[0] == "health"
+	if metricsMode || explainMode || healthMode {
 		args = args[1:]
 	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics or explain)\n", args[0])
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain or health)\n", args[0])
 		os.Exit(2)
 	}
 	flag.CommandLine.Parse(args)
@@ -96,10 +112,20 @@ func main() {
 	cfg.Seed = *seed
 
 	var ob *obs.Observer
-	if metricsMode || explainMode || *serveAddr != "" || *metricsOut != "" || *traceOut != "" {
+	if metricsMode || explainMode || healthMode || *serveAddr != "" || *metricsOut != "" || *traceOut != "" {
 		ob = obs.New()
 		cfg.Obs = ob
 	}
+
+	// One shared SLO monitor so the health table survives the run and
+	// the introspection server's /debug/health sees the same trackers.
+	hcfg := health.DefaultConfig()
+	hcfg.DeadlineOverride = simtime.Duration(*deadline)
+	mon := health.NewMonitor(hcfg)
+	if ob != nil {
+		mon.SetObserver(ob)
+	}
+	cfg.Health = mon
 
 	var srv *obsserver.Server
 	if *serveAddr != "" {
@@ -113,14 +139,14 @@ func main() {
 		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
 	}
 
-	// In metrics and explain mode the report owns stdout; the table
-	// moves to stderr so both remain usable.
+	// In metrics, explain and health mode the report owns stdout; the
+	// table moves to stderr so both remain usable.
 	tableOut := io.Writer(os.Stdout)
-	if metricsMode || explainMode {
+	if metricsMode || explainMode || healthMode {
 		tableOut = os.Stderr
 	}
 
-	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK)
+	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac)
 
 	// Artifacts and the metrics dump are emitted even on failure so
 	// fault-injected runs leave their partial series behind. A failed
@@ -146,6 +172,17 @@ func main() {
 				artifactErr = true
 			}
 		}
+	}
+	if healthMode {
+		if *useBase {
+			fmt.Fprintln(os.Stderr, "redoopctl: the baseline driver has no health monitor; showing an empty table")
+		}
+		if err := mon.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: health: %v\n", err)
+			artifactErr = true
+		}
+	}
+	if ob != nil {
 		if *metricsOut != "" {
 			if err := ob.Metrics.WriteMetricsFile(*metricsOut); err != nil {
 				fmt.Fprintf(os.Stderr, "redoopctl: metrics-out: %v\n", err)
@@ -183,7 +220,7 @@ func queryName(kind string) string {
 	return "q1"
 }
 
-func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK int) error {
+func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64) error {
 	mr := cfg.NewRuntime(7)
 	slide := cfg.SlideFor(overlap)
 
@@ -224,7 +261,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	if useBase {
 		drv, err = baseline.NewDriver(mr, q)
 	} else {
-		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive})
+		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive, Health: cfg.Health})
 	}
 	if err != nil {
 		return err
@@ -245,10 +282,16 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	var lastOut []records.Pair
 	for r := 0; r < cfg.Windows; r++ {
 		close := spec.WindowClose(r)
+		// The oversized-batch fault: the slides first consumed by
+		// window -spikewin carry -spikefactor times the volume.
+		n := perPane
+		if r == spikeWin {
+			n = int(float64(perPane) * spikeFac)
+		}
 		for ; int64(fed)*pane < close; fed++ {
 			start := int64(fed) * pane
 			for src := 0; src < sources; src++ {
-				if err := ingest(src, gen(src, start, start+pane, perPane)); err != nil {
+				if err := ingest(src, gen(src, start, start+pane, n)); err != nil {
 					return err
 				}
 			}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"redoop/internal/health"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
@@ -60,6 +61,11 @@ type Config struct {
 	// names a source declared on the hub is packed once hub-side and
 	// ingested through the hub rather than through this engine.
 	Hub *SourceHub
+	// Health may be shared between engines so one monitor judges every
+	// query; nil creates a private monitor with default thresholds.
+	// The engine registers its query at construction (deadline = the
+	// slide for time-based windows) and reports every recurrence.
+	Health *health.Monitor
 }
 
 // RecurrenceResult reports one execution of the recurring query.
@@ -105,6 +111,9 @@ type paneSource interface {
 	DropPaneFiles(p window.PaneID) error
 	Plan() PartitionPlan
 	SetPlan(PartitionPlan) error
+	// NewestUnit is the ingestion watermark: the exclusive upper unit
+	// bound of the newest pane holding data (0 before any ingestion).
+	NewestUnit() int64
 }
 
 type Engine struct {
@@ -130,6 +139,11 @@ type Engine struct {
 
 	log *slog.Logger
 	obs *obs.Observer
+
+	// healthMon judges the query's SLO compliance; healthTrk is this
+	// query's registration on it. Always non-nil after NewEngine.
+	healthMon *health.Monitor
+	healthTrk *health.Tracker
 
 	// lastForecast is the profiler's previous next-recurrence forecast,
 	// compared against the realized response time to expose the Holt
@@ -231,6 +245,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Logger != nil {
 		ctrl.SetLogger(cfg.Logger)
 	}
+	// The SLO monitor follows the controller's sharing rules: a shared
+	// monitor keeps whatever observer it already has; an engine only
+	// fills in a missing one. The per-recurrence deadline is the slide
+	// — the instant the next window is due — for time-based windows;
+	// count-based windows carry no deadline.
+	mon := cfg.Health
+	if mon == nil {
+		mon = health.NewMonitor(health.DefaultConfig())
+	}
+	if mon.Observer() == nil && e.obs != nil {
+		mon.SetObserver(e.obs)
+	}
+	e.healthMon = mon
+	var deadline simtime.Duration
+	if q.Spec().Kind == window.TimeBased {
+		deadline = simtime.Duration(q.Spec().Slide)
+	}
+	e.healthTrk = mon.Register(q.Name, deadline)
 	matrix.SetObserver(e.obs, q.Name)
 	e.qIdx = ctrl.RegisterQuery(q.Name)
 	for i, src := range q.Sources {
@@ -511,6 +543,7 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		e.haveForecast = true
 		e.mu.Unlock()
 	}
+	replanned := false
 	if e.adaptive && e.profiler.Ready() && spec.Kind == window.TimeBased {
 		deadline := simtime.Duration(spec.Slide)
 		forecast := e.profiler.Forecast(1)
@@ -523,6 +556,7 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 				if err := e.srcs[i].SetPlan(plan); err != nil {
 					return nil, err
 				}
+				replanned = true
 				e.obs.Counter("redoop_replans_total", obs.L("query", qname)).Inc()
 				e.obs.Instant(obs.QueryTrack(qname), "adapt", "re-plan", res.CompletedAt,
 					obs.L("source", fmt.Sprint(i)),
@@ -552,11 +586,39 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		}
 	}
 
+	// Health is judged last, after the adaptive decision, so the
+	// anomaly detector can cross-check whether the re-planner actually
+	// reacted to what it saw.
+	var newest int64
+	for _, src := range e.srcs {
+		if u := src.NewestUnit(); u > newest {
+			newest = u
+		}
+	}
+	e.healthTrk.Observe(health.Sample{
+		Recurrence:       r,
+		TriggerAt:        trigger,
+		CompletedAt:      res.CompletedAt,
+		Response:         res.ResponseTime,
+		Forecast:         simtime.Duration(max(prevForecast, int64(0))),
+		HaveForecast:     prevForecast >= 0,
+		ReplanFired:      replanned,
+		NewestPackedUnit: newest,
+		CoveredUnit:      closeUnit,
+	})
+
 	e.mu.Lock()
 	e.next++
 	e.mu.Unlock()
 	return res, nil
 }
+
+// Health returns the engine's SLO monitor (shared or private; never
+// nil after NewEngine) — the source of /debug/health snapshots.
+func (e *Engine) Health() *health.Monitor { return e.healthMon }
+
+// HealthStatus returns this query's current health snapshot.
+func (e *Engine) HealthStatus() health.QueryStatus { return e.healthTrk.Status() }
 
 // cacheRef locates one registered cache.
 type cacheRef struct {

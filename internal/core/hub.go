@@ -206,6 +206,10 @@ func (v *sharedView) PaneInputs(p window.PaneID) ([]PaneInput, bool) {
 	return out, true
 }
 
+// NewestUnit returns the shared packer's ingestion watermark (shared
+// panes live on the same unit axis as every consumer's).
+func (v *sharedView) NewestUnit() int64 { return v.src.packer.NewestUnit() }
+
 // PaneBytes sums the consumer pane's shared bytes.
 func (v *sharedView) PaneBytes(p window.PaneID) int64 {
 	var total int64

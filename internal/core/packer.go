@@ -72,6 +72,9 @@ type Packer struct {
 	// flushedThrough is the unit bound below which all data has been
 	// flushed; late records are rejected.
 	flushedThrough int64
+	// maxTs is the newest record timestamp ever ingested (-1 before
+	// any); it backs the health monitor's window-lag watermark.
+	maxTs int64
 }
 
 // NewPacker builds a packer for one source. dir is the DFS directory
@@ -96,6 +99,7 @@ func NewPacker(d *dfs.DFS, sourceName, dir string, frame window.Frame, plan Part
 		pending: make(map[window.PaneID]map[int][]records.Record),
 		paneSub: make(map[window.PaneID]int),
 		flushed: make(map[window.PaneID][]PaneInput),
+		maxTs:   -1,
 	}
 	if frame.Spec.Kind == window.TimeBased {
 		p.timeOfUnit = func(u int64) simtime.Time { return simtime.Time(u) }
@@ -185,8 +189,24 @@ func (p *Packer) Ingest(recs []records.Record) error {
 			p.pending[pane] = bySub
 		}
 		bySub[subIdx] = append(bySub[subIdx], r)
+		if r.Ts > p.maxTs {
+			p.maxTs = r.Ts
+		}
 	}
 	return nil
+}
+
+// NewestUnit returns the exclusive upper unit bound of the newest pane
+// any ingested record falls in — the packer-side watermark the health
+// monitor compares against the newest pane a completed recurrence
+// covered. Zero before any ingestion.
+func (p *Packer) NewestUnit() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.maxTs < 0 {
+		return 0
+	}
+	return p.frame.PaneEnd(p.frame.PaneOf(p.maxTs))
 }
 
 // FlushThrough writes pane files for every pane ending at or before the

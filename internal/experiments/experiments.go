@@ -21,6 +21,7 @@ import (
 	"redoop/internal/cluster"
 	"redoop/internal/core"
 	"redoop/internal/dfs"
+	"redoop/internal/health"
 	"redoop/internal/iocost"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
@@ -57,6 +58,11 @@ type Config struct {
 	// Obs optionally instruments every runtime built by NewRuntime
 	// (metrics registry + trace spans); nil disables observability.
 	Obs *obs.Observer
+	// Health optionally shares one SLO monitor across every Redoop
+	// engine an experiment builds, so a whole figure's queries land in
+	// a single /debug/health snapshot; nil gives each engine a private
+	// monitor.
+	Health *health.Monitor
 	// OnEngine, when non-nil, receives every Redoop engine an
 	// experiment builds, as soon as it exists — the hook a live
 	// introspection server uses to attach its /debug endpoints to
@@ -331,7 +337,7 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 	mr := c.NewRuntime(1)
 	mr.Faults = spec.faults
 	q := spec.query()
-	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive})
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health})
 	if err != nil {
 		return Series{}, err
 	}

@@ -63,13 +63,19 @@ type Recurrence struct {
 	ResponseNS         int64
 	// ForecastNS is the Holt forecast made for this recurrence at the
 	// end of the previous one; -1 before the profiler warms up.
-	ForecastNS                     int64
-	NewPanes, ReusedPanes          int
-	NewPairs, ReusedPairs          int
-	CacheRecoveries                int
-	Proactive                      bool
-	SubPanes                       int
-	Finished                       bool
+	ForecastNS            int64
+	NewPanes, ReusedPanes int
+	NewPairs, ReusedPairs int
+	CacheRecoveries       int
+	Proactive             bool
+	SubPanes              int
+	Finished              bool
+	// Anomaly marks a forecast-residual outlier flagged by the health
+	// monitor; AdaptivityMiss means it fired without the engine
+	// re-planning. HealthTo records a status transition landing here.
+	Anomaly                        bool
+	AdaptivityMiss                 bool
+	HealthTo                       string
 	Placements                     []Placement
 	Hits, Misses, Lost, Registered []CacheEvent
 	Replans                        []eventlog.ReplanData
@@ -194,6 +200,18 @@ func Build(events []eventlog.Event, query string) *Report {
 			if current >= 0 {
 				r := at(current)
 				r.RetiredPanes[d.Source] = append(r.RetiredPanes[d.Source], d.Panes...)
+			}
+		case eventlog.HealthAnomaly:
+			if d, ok := e.Data.(eventlog.HealthAnomalyData); ok {
+				at(d.Recurrence).Anomaly = true
+			}
+		case eventlog.AdaptivityMiss:
+			if d, ok := e.Data.(eventlog.AdaptivityMissData); ok {
+				at(d.Recurrence).AdaptivityMiss = true
+			}
+		case eventlog.HealthStatus:
+			if d, ok := e.Data.(eventlog.HealthStatusData); ok {
+				at(d.Recurrence).HealthTo = d.To
 			}
 		case eventlog.NodeFailure:
 			if d, ok := e.Data.(eventlog.NodeFailureData); ok {
@@ -419,6 +437,21 @@ func (rep *Report) forecastRows() []string {
 				markers += " "
 			}
 			markers += "proactive"
+		}
+		addMarker := func(m string) {
+			if markers != "" {
+				markers += " "
+			}
+			markers += m
+		}
+		if r.Anomaly {
+			addMarker("anomaly")
+		}
+		if r.AdaptivityMiss {
+			addMarker("adapt-miss")
+		}
+		if r.HealthTo != "" {
+			addMarker("status->" + r.HealthTo)
 		}
 		rows = append(rows, fmt.Sprintf("  %-4d %12s %12s %+8.1f%%  %s",
 			r.Index, fmtNS(r.ForecastNS), fmtNS(r.ResponseNS),

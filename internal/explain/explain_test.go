@@ -268,3 +268,36 @@ func TestAdaptiveRunRecordsReplans(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildHealthMarkers verifies health events land on their
+// recurrence and surface as forecast-table markers.
+func TestBuildHealthMarkers(t *testing.T) {
+	events := []eventlog.Event{
+		{Seq: 1, Type: eventlog.RecurrenceStart, Query: "q", Data: eventlog.RecurrenceStartData{Recurrence: 0}},
+		{Seq: 2, Type: eventlog.RecurrenceFinish, Query: "q", Data: eventlog.RecurrenceFinishData{Recurrence: 0, ResponseNS: 500, ForecastNS: 100, SubPanes: 1}},
+		{Seq: 3, Type: eventlog.HealthAnomaly, Query: "q", Data: eventlog.HealthAnomalyData{
+			Recurrence: 0, ForecastNS: 100, ActualNS: 500, ResidualNS: 400, EWMANS: 50, K: 3}},
+		{Seq: 4, Type: eventlog.AdaptivityMiss, Query: "q", Data: eventlog.AdaptivityMissData{
+			Recurrence: 0, ForecastNS: 100, ActualNS: 500, ResidualNS: 400}},
+		{Seq: 5, Type: eventlog.HealthStatus, Query: "q", Data: eventlog.HealthStatusData{
+			Recurrence: 0, From: "OK", To: "AT_RISK", HeadroomNS: -100}},
+	}
+	rep := explain.Build(events, "q")
+	if len(rep.Recurrences) != 1 {
+		t.Fatalf("recurrences = %d, want 1", len(rep.Recurrences))
+	}
+	r := rep.Recurrences[0]
+	if !r.Anomaly || !r.AdaptivityMiss || r.HealthTo != "AT_RISK" {
+		t.Errorf("health markers = anomaly=%v adaptMiss=%v to=%q", r.Anomaly, r.AdaptivityMiss, r.HealthTo)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"anomaly", "adapt-miss", "status->AT_RISK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks marker %q:\n%s", want, out)
+		}
+	}
+}

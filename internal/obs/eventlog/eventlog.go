@@ -48,6 +48,15 @@ const (
 	// TaskRetry is a failed task attempt that will be retried.
 	TaskRetry   Type = "task.retry"
 	NodeFailure Type = "node.failure"
+	// HealthStatus is a query's SLO status transition
+	// (OK / AT_RISK / MISSING_DEADLINES).
+	HealthStatus Type = "health.status"
+	// HealthAnomaly flags a recurrence whose Holt forecast residual
+	// exceeded K times the residual EWMA.
+	HealthAnomaly Type = "health.anomaly"
+	// AdaptivityMiss is a forecast anomaly the adaptive re-planner did
+	// not react to — the §3.3 loop missed a regime change.
+	AdaptivityMiss Type = "health.adaptivity_miss"
 )
 
 // Event is one recorded entry of the flight recorder.
@@ -162,6 +171,38 @@ type TaskRetryData struct {
 // NodeFailureData records a node death.
 type NodeFailureData struct {
 	Node int `json:"node"`
+}
+
+// HealthStatusData records a query's SLO status transition.
+type HealthStatusData struct {
+	Recurrence int    `json:"recurrence"`
+	From       string `json:"from"`
+	To         string `json:"to"`
+	MissStreak int    `json:"missStreak"`
+	HeadroomNS int64  `json:"headroomNS"`
+	LagUnits   int64  `json:"lagUnits"`
+}
+
+// HealthAnomalyData records a Holt forecast residual anomaly: the
+// residual |actual − forecast| exceeded K times the EWMA of prior
+// residuals (EWMANS is that prior scale).
+type HealthAnomalyData struct {
+	Recurrence  int     `json:"recurrence"`
+	ForecastNS  int64   `json:"forecastNS"`
+	ActualNS    int64   `json:"actualNS"`
+	ResidualNS  int64   `json:"residualNS"`
+	EWMANS      int64   `json:"ewmaNS"`
+	K           float64 `json:"k"`
+	ReplanFired bool    `json:"replanFired"`
+}
+
+// AdaptivityMissData records a forecast anomaly that fired without the
+// adaptive re-planner reacting at the same recurrence boundary.
+type AdaptivityMissData struct {
+	Recurrence int   `json:"recurrence"`
+	ForecastNS int64 `json:"forecastNS"`
+	ActualNS   int64 `json:"actualNS"`
+	ResidualNS int64 `json:"residualNS"`
 }
 
 // DefaultCapacity bounds the default flight recorder. At Redoop's

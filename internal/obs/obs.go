@@ -72,20 +72,32 @@ type Observer struct {
 // New returns an Observer with a fresh registry, tracer, and a
 // default-capacity event log.
 func New() *Observer {
-	return &Observer{
+	o := &Observer{
 		Metrics: NewRegistry(),
 		Tracer:  NewTracer(),
 		Events:  eventlog.NewLog(eventlog.DefaultCapacity),
 	}
+	// Pre-create the overflow counter so ring health is visible in
+	// every exposition from the first scrape, not only after the first
+	// drop.
+	o.Metrics.Counter("redoop_eventlog_dropped_total")
+	return o
 }
 
 // Emit appends a structured event to the bundled flight recorder;
-// nil-safe, returns the stamped event.
+// nil-safe, returns the stamped event. Once the ring is full every
+// append overwrites (drops) exactly one retained event; that overflow
+// is surfaced as the redoop_eventlog_dropped_total counter so a
+// wrapped flight recorder is never silent.
 func (o *Observer) Emit(at simtime.Time, typ eventlog.Type, query string, data any) eventlog.Event {
 	if o == nil {
 		return eventlog.Event{}
 	}
-	return o.Events.Append(at, typ, query, data)
+	e := o.Events.Append(at, typ, query, data)
+	if e.Seq > uint64(o.Events.Cap()) {
+		o.Metrics.Counter("redoop_eventlog_dropped_total").Inc()
+	}
+	return e
 }
 
 // EmitEnabled reports whether an event log is attached — emitters that

@@ -14,9 +14,12 @@
 //	                    cache registry
 //	GET /debug/panes    per-engine partition plans, pane inventories,
 //	                    home assignments and the cache status matrix
+//	GET /debug/health   per-query SLO health: deadline headroom, window
+//	                    lag, miss streaks, forecast anomalies
 //	GET /debug/stream   Server-Sent Events feed of the flight recorder:
 //	                    replays retained events (?since=SEQ resumes)
-//	                    then streams live ones until the client leaves
+//	                    then streams live ones until the client leaves;
+//	                    idle periods carry keepalive comment frames
 //
 // The server holds no state of its own — every request snapshots the
 // live components under their own locks — so it can be attached to a
@@ -30,16 +33,27 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"redoop/internal/core"
+	"redoop/internal/health"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
 )
+
+// DefaultKeepAlive is the idle interval after which /debug/stream
+// emits an SSE comment frame so proxies and clients can tell a quiet
+// recorder from a dead connection.
+const DefaultKeepAlive = 15 * time.Second
 
 // Server serves the introspection endpoints for one observer and any
 // number of attached engines.
 type Server struct {
 	obs *obs.Observer
+
+	// KeepAlive overrides the /debug/stream keepalive interval; zero
+	// means DefaultKeepAlive, negative disables keepalives.
+	KeepAlive time.Duration
 
 	mu      sync.Mutex
 	engines []*core.Engine
@@ -85,6 +99,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/events", s.handleEvents)
 	mux.HandleFunc("/debug/cache", s.handleCache)
 	mux.HandleFunc("/debug/panes", s.handlePanes)
+	mux.HandleFunc("/debug/health", s.handleHealth)
 	mux.HandleFunc("/debug/stream", s.handleStream)
 	return mux
 }
@@ -114,6 +129,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/debug/events": "flight-recorder events (?type=&query=&since=&limit=)",
 		"/debug/cache":  "cache controller signatures and node registries",
 		"/debug/panes":  "partition plans, pane files, homes and status matrix",
+		"/debug/health": "per-query SLO health: headroom, lag, streaks, anomalies",
 		"/debug/stream": "Server-Sent Events live feed (?since=SEQ resumes)",
 	})
 }
@@ -190,6 +206,46 @@ func (s *Server) handlePanes(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]any{"engines": dumps})
 }
 
+// handleHealth merges the SLO snapshots of every distinct monitor the
+// attached engines report into one per-query status document. Engines
+// sharing one monitor (the fleet configuration) contribute it once.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	engines := append([]*core.Engine(nil), s.engines...)
+	s.mu.Unlock()
+	var mons []*health.Monitor
+	for _, e := range engines {
+		m := e.Health()
+		if m == nil {
+			continue
+		}
+		seen := false
+		for _, have := range mons {
+			if have == m {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			mons = append(mons, m)
+		}
+	}
+	queries := []health.QueryStatus{}
+	worst := health.StatusOK
+	for _, m := range mons {
+		for _, st := range m.Snapshot() {
+			queries = append(queries, st)
+			if st.Status.Level() > worst.Level() {
+				worst = st.Status
+			}
+		}
+	}
+	writeJSON(w, map[string]any{
+		"status":  worst,
+		"queries": queries,
+	})
+}
+
 // handleStream serves the flight recorder as Server-Sent Events: the
 // retained backlog first (so a client attaching after a fast run still
 // sees the lifecycle), then live events as they are appended. Each
@@ -232,10 +288,30 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		last = e.Seq
 	}
 	fl.Flush()
+
+	// A quiet recorder (run finished, or recurrences far apart) would
+	// otherwise leave the connection silent for minutes; periodic SSE
+	// comment frames keep intermediaries from reaping it and let the
+	// client distinguish idle from dead.
+	interval := s.KeepAlive
+	if interval == 0 {
+		interval = DefaultKeepAlive
+	}
+	var keepalive <-chan time.Time
+	if interval > 0 {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		keepalive = t.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-keepalive:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case e, ok := <-ch:
 			if !ok {
 				return

@@ -15,6 +15,7 @@ import (
 	"redoop/internal/cluster"
 	"redoop/internal/core"
 	"redoop/internal/dfs"
+	"redoop/internal/health"
 	"redoop/internal/iocost"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
@@ -399,6 +400,134 @@ func TestServeDuringRun(t *testing.T) {
 		for _, p := range []string{"/metrics", "/debug/events", "/debug/cache", "/debug/panes"} {
 			if rec := get(t, h, p); rec.Code != http.StatusOK {
 				t.Fatalf("%s status = %d mid-run", p, rec.Code)
+			}
+		}
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	srv, _, eng := runRecurrences(t, 4)
+	rec := get(t, srv.Handler(), "/debug/health")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc struct {
+		Status  string               `json:"status"`
+		Queries []health.QueryStatus `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Queries) != 1 {
+		t.Fatalf("queries = %+v, want exactly one", doc.Queries)
+	}
+	q := doc.Queries[0]
+	if q.Query != "q1" {
+		t.Errorf("query = %q, want q1", q.Query)
+	}
+	if q.Recurrences != 4 {
+		t.Errorf("recurrences = %d, want 4", q.Recurrences)
+	}
+	if q.DeadlineNS != int64(testSlide) {
+		t.Errorf("deadline = %d, want %d", q.DeadlineNS, int64(testSlide))
+	}
+	if doc.Status != string(health.StatusOK) {
+		t.Errorf("overall status = %q, want %q", doc.Status, health.StatusOK)
+	}
+	_ = eng
+}
+
+// TestHealthEndpointSharedMonitor checks two engines sharing one
+// monitor are reported once each, not duplicated per engine.
+func TestHealthEndpointSharedMonitor(t *testing.T) {
+	ob := obs.New()
+	mon := health.NewMonitor(health.DefaultConfig())
+	mon.SetObserver(ob)
+	e1, err := core.NewEngine(core.Config{MR: newRig(2, ob), Query: countQuery("qa"), Health: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.NewEngine(core.Config{MR: newRig(2, ob), Query: countQuery("qb"), Health: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := obsserver.New(ob)
+	srv.Attach(e1, e2)
+	rec := get(t, srv.Handler(), "/debug/health")
+	var doc struct {
+		Queries []health.QueryStatus `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Queries) != 2 {
+		t.Fatalf("queries = %+v, want qa and qb once each", doc.Queries)
+	}
+}
+
+// TestStreamKeepAlive verifies idle /debug/stream connections carry
+// periodic SSE comment frames between events.
+func TestStreamKeepAlive(t *testing.T) {
+	ob := obs.New()
+	ob.Emit(1, eventlog.RecurrenceStart, "q1", nil)
+	srv := obsserver.New(ob)
+	srv.KeepAlive = 20 * time.Millisecond
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	rd := bufio.NewReader(resp.Body)
+
+	sawEvent, sawKeepalive := false, false
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for {
+			line, err := rd.ReadString('\n')
+			if err != nil {
+				close(lines)
+				return
+			}
+			lines <- strings.TrimRight(line, "\n")
+		}
+	}()
+	for !sawKeepalive {
+		select {
+		case <-deadline:
+			t.Fatalf("no keepalive frame within 5s (event seen: %v)", sawEvent)
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before keepalive")
+			}
+			switch {
+			case strings.HasPrefix(line, "id: 1"):
+				sawEvent = true
+			case strings.HasPrefix(line, ": keepalive"):
+				sawKeepalive = true
+			}
+		}
+	}
+	if !sawEvent {
+		t.Error("backlog event never arrived before keepalive")
+	}
+
+	// Events emitted after keepalives still flow.
+	ob.Emit(2, eventlog.RecurrenceFinish, "q1", nil)
+	deadline = time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("live event after keepalive never arrived")
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before live event")
+			}
+			if strings.HasPrefix(line, "id: 2") {
+				return
 			}
 		}
 	}

@@ -138,6 +138,34 @@ func BenchmarkHeadlineSpeedup(b *testing.B) {
 	}
 }
 
+// benchFig6AtWorkers runs Figure 6 with the engine compute pool fixed
+// at the given width. The virtual results are identical across widths
+// by construction; only the wall-clock ns/op differs, so comparing
+// BenchmarkFig6Workers1 against BenchmarkFig6WorkersMax measures the
+// parallel execution layer's real speedup on this host.
+func benchFig6AtWorkers(b *testing.B, workers int) {
+	cfg := benchConfig()
+	cfg.ExecWorkers = workers
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportPanels(b, res, "Redoop")
+		}
+	}
+}
+
+// BenchmarkFig6Workers1 is the serial-execution baseline for the
+// parallel speedup comparison.
+func BenchmarkFig6Workers1(b *testing.B) { benchFig6AtWorkers(b, 1) }
+
+// BenchmarkFig6WorkersMax runs the same workload with a GOMAXPROCS-wide
+// compute pool; ns/op relative to BenchmarkFig6Workers1 is the measured
+// parallel speedup (≈1x on a single-core host).
+func BenchmarkFig6WorkersMax(b *testing.B) { benchFig6AtWorkers(b, 0) }
+
 // --- Micro-benchmarks of the mechanisms the figures exercise ---
 
 // BenchmarkMapReduceJob measures one complete plain job on the

@@ -6,11 +6,19 @@
 // Usage:
 //
 //	redoop-bench [-fig 6|7|8|9|all] [-windows N] [-records N]
-//	             [-workers N] [-reducers N] [-seed N]
+//	             [-nodes N] [-reducers N] [-seed N]
+//	             [-workers N] [-par-bench N]
 //	             [-metrics-out FILE] [-trace-out FILE]
 //	             [-json-out FILE] [-serve ADDR]
 //	             [-bench-dir DIR] [-rev REV]
 //	             [-regress-soft PCT] [-regress-hard PCT]
+//
+// -nodes sets the simulated cluster's worker node count. -workers sets
+// the host-side parallel compute pool each engine uses (0 = GOMAXPROCS,
+// 1 = serial); it changes only wall-clock time — every virtual result
+// is byte-identical across settings. -par-bench N additionally runs the
+// Figure-6-scale workload serially and at N pool workers, prints the
+// measured wall-clock speedup, and records it in the run summary.
 //
 // -metrics-out writes the Prometheus text exposition of every metric
 // the run produced (cache hits/misses, placement outcomes, shuffle
@@ -63,8 +71,10 @@ func main() {
 		fig      = flag.String("fig", "all", "figure to regenerate: 6, 7, 8, 9, ablation-caching, ablation-scheduling, sweep, or all (= the paper's four figures)")
 		windows  = flag.Int("windows", 0, "windows per series (default 10)")
 		recs     = flag.Int("records", 0, "records per window (default 120000)")
-		workers  = flag.Int("workers", 0, "cluster worker nodes (default 10)")
+		nodes    = flag.Int("nodes", 0, "cluster worker nodes (default 10)")
 		reducers = flag.Int("reducers", 0, "reduce partitions (default 20)")
+		workers  = flag.Int("workers", 0, "parallel compute pool per engine: 0 = GOMAXPROCS, 1 = serial (virtual results are identical either way)")
+		parBench = flag.Int("par-bench", 0, "also measure wall-clock speedup of the Figure-6 workload at this many pool workers vs serial")
 		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 		csvPath  = flag.String("csv", "", "also append every series as tidy CSV to this file")
@@ -86,12 +96,13 @@ func main() {
 	if *recs > 0 {
 		cfg.RecordsPerWindow = *recs
 	}
-	if *workers > 0 {
-		cfg.Workers = *workers
+	if *nodes > 0 {
+		cfg.Workers = *nodes
 	}
 	if *reducers > 0 {
 		cfg.Reducers = *reducers
 	}
+	cfg.ExecWorkers = *workers
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -221,9 +232,35 @@ func main() {
 		headline = &h
 		fmt.Printf("headline: best steady-state speedup over plain Hadoop = %.1fx (paper: up to 9x)\n", h)
 	}
+	// The parallel-speedup report compares host wall-clock, so it runs
+	// with a clean config (no shared observer/monitor) to keep both
+	// modes' overheads identical.
+	var par *experiments.ParallelSpeedupResult
+	if *parBench > 0 {
+		parCfg := cfg
+		parCfg.Obs = nil
+		parCfg.Health = nil
+		parCfg.OnEngine = nil
+		start := time.Now()
+		p, err := parCfg.ParallelSpeedup(*parBench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoop-bench: par-bench: %v\n", err)
+			writeArtifacts()
+			os.Exit(1)
+		}
+		par = p
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[parallel speedup measured in %v]\n", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Printf("parallel: %d workers vs serial = %.2fx wall-clock speedup (%v vs %v; virtual results identical: %v)\n",
+			par.Workers, par.Speedup,
+			par.SerialWall.Round(time.Millisecond), par.ParallelWall.Round(time.Millisecond),
+			par.VirtualEqual)
+	}
 	if *jsonOut != "" || *benchDir != "" {
 		sum := buildSummary(cfg, results, headline, ob.Metrics)
 		sum.Health = healthSummary(mon)
+		sum.Parallel = parallelSummary(par)
 		if *jsonOut != "" {
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)

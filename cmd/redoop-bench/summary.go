@@ -46,6 +46,7 @@ type figureJSON struct {
 
 type configJSON struct {
 	Workers          int   `json:"workers"`
+	ExecWorkers      int   `json:"execWorkers"`
 	MapSlots         int   `json:"mapSlots"`
 	ReduceSlots      int   `json:"reduceSlots"`
 	Reducers         int   `json:"reducers"`
@@ -86,6 +87,19 @@ type queryHealthJSON struct {
 	LastLagUnits     int64  `json:"lastLagUnits"`
 }
 
+// parallelJSON records the -par-bench wall-clock comparison: the same
+// Figure-6-scale workload run serially and with a parallel compute
+// pool. Wall-clock numbers are host-dependent (noisy across machines),
+// so the trajectory comparison never gates on them; virtualEqual is
+// the invariant worth alarming on.
+type parallelJSON struct {
+	Workers        int     `json:"workers"`
+	SerialWallNS   int64   `json:"serialWallNS"`
+	ParallelWallNS int64   `json:"parallelWallNS"`
+	Speedup        float64 `json:"speedup"`
+	VirtualEqual   bool    `json:"virtualEqual"`
+}
+
 type summaryJSON struct {
 	Tool string `json:"tool"`
 	// Rev identifies the revision a trajectory entry was measured at
@@ -96,6 +110,7 @@ type summaryJSON struct {
 	HeadlineSpeedup *float64          `json:"headlineSpeedup,omitempty"`
 	Metrics         *metricsJSON      `json:"metrics,omitempty"`
 	Health          []queryHealthJSON `json:"health,omitempty"`
+	Parallel        *parallelJSON     `json:"parallel,omitempty"`
 }
 
 func seriesSummary(s experiments.Series) seriesJSON {
@@ -122,6 +137,7 @@ func buildSummary(cfg experiments.Config, figs []*experiments.FigResult, headlin
 		Tool: "redoop-bench",
 		Config: configJSON{
 			Workers:          cfg.Workers,
+			ExecWorkers:      cfg.ExecWorkers,
 			MapSlots:         cfg.MapSlots,
 			ReduceSlots:      cfg.ReduceSlots,
 			Reducers:         cfg.Reducers,
@@ -177,6 +193,21 @@ func buildSummary(cfg experiments.Config, figs []*experiments.FigResult, headlin
 		sum.Metrics = &m
 	}
 	return sum
+}
+
+// parallelSummary folds a -par-bench measurement into the summary
+// schema; nil in, nil out.
+func parallelSummary(par *experiments.ParallelSpeedupResult) *parallelJSON {
+	if par == nil {
+		return nil
+	}
+	return &parallelJSON{
+		Workers:        par.Workers,
+		SerialWallNS:   par.SerialWall.Nanoseconds(),
+		ParallelWallNS: par.ParallelWall.Nanoseconds(),
+		Speedup:        par.Speedup,
+		VirtualEqual:   par.VirtualEqual,
+	}
 }
 
 // healthSummary folds the monitor's end-of-run snapshot into the

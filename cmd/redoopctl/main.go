@@ -7,8 +7,13 @@
 //	redoopctl [metrics|explain|health] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-top K] [-seed N]
-//	          [-spikewin N] [-spikefactor F] [-deadline DUR]
+//	          [-workers N] [-spikewin N] [-spikefactor F] [-deadline DUR]
 //	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
+//
+// -workers sets the host-side parallel compute pool the engine uses
+// (0 = GOMAXPROCS, 1 = serial). It changes only real elapsed time:
+// every simulated result — outputs, virtual timings, stats — is
+// byte-identical across settings.
 //
 // -query agg runs the WCC click-ranking aggregation (the paper's Q1);
 // -query join runs the FFG sensor join (Q2). -baseline executes the
@@ -83,6 +88,7 @@ func main() {
 		dropCache  = flag.Bool("dropcaches", false, "drop one node's caches before every window")
 		topK       = flag.Int("top", 5, "print the top-K results of the final window")
 		seed       = flag.Int64("seed", 42, "generator seed")
+		workers    = flag.Int("workers", 0, "parallel compute pool: 0 = GOMAXPROCS, 1 = serial (simulated results are identical either way)")
 		spikeWin   = flag.Int("spikewin", -1, "multiply this window's input volume by -spikefactor (oversized-batch fault)")
 		spikeFac   = flag.Float64("spikefactor", 10, "input volume multiplier for -spikewin")
 		deadline   = flag.Duration("deadline", 0, "override the SLO deadline (default: the query's slide, in virtual time)")
@@ -110,6 +116,7 @@ func main() {
 	cfg.Windows = *windows
 	cfg.RecordsPerWindow = *recs
 	cfg.Seed = *seed
+	cfg.ExecWorkers = *workers
 
 	var ob *obs.Observer
 	if metricsMode || explainMode || healthMode || *serveAddr != "" || *metricsOut != "" || *traceOut != "" {

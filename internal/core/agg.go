@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redoop/internal/mapreduce"
+	"redoop/internal/parallel"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
@@ -129,6 +130,16 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 	for _, rr := range rres {
 		byPart[rr.Part] = rr
 	}
+	// Encode the cache payloads in parallel (pure compute); cache
+	// registration below stays serial in partition order.
+	rinData := make([][]byte, R)
+	routData := make([][]byte, R)
+	parallel.For(e.mr.WorkerCount(), R, func(part int) {
+		if rr, ok := byPart[part]; ok {
+			rinData[part] = records.EncodePairs(rr.Input)
+			routData[part] = records.EncodePairs(rr.Output)
+		}
+	})
 	refs = make([]cacheRef, R)
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
@@ -137,15 +148,12 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 		}
 		node := home.ID
 		readyAt := simtime.Max(mp.LastMapEnd, trigger)
-		var rinData, routData []byte
 		if rr, ok := byPart[part]; ok {
-			rinData = records.EncodePairs(rr.Input)
-			routData = records.EncodePairs(rr.Output)
 			node = rr.Node
 			readyAt = rr.End
 		}
-		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, readyAt, rinData, e.rinUsers(0))
-		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, readyAt, routData)
+		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, readyAt, rinData[part], e.rinUsers(0))
+		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, readyAt, routData[part])
 	}
 	if err := e.matrix.Update(p); err != nil {
 		return nil, false, recovered, err
@@ -164,12 +172,22 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 	R := q.NumReducers
 	job := e.paneJob(0)
 
+	// Segment compute (decode + user map) overlaps across sub-panes;
+	// each segment's scheduling then commits serially in arrival order.
+	preps := make([]*mapreduce.MapPhasePrep, len(segs))
+	if err := parallel.ForErr(e.mr.WorkerCount(), len(segs), func(i int) error {
+		var err error
+		preps[i], err = e.mr.PrepareMapPhase(job, []mapreduce.Input{segs[i].Input})
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	subIn := make([][]records.Pair, R)
 	subOut := make([][]records.Pair, R)
 	readyAt := make([]simtime.Time, R)
-	for _, seg := range segs {
+	for i, seg := range segs {
 		ready := simtime.Max(seg.AvailableAt, 0)
-		mp, err := e.mr.RunMapPhase(job, []mapreduce.Input{seg.Input}, ready)
+		mp, err := e.mr.CommitMapPhase(preps[i], ready)
 		if err != nil {
 			return nil, err
 		}
@@ -189,6 +207,19 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 		}
 	}
 
+	// Pane-level combine of the sub-pane partials: the merge and the
+	// cache encodes are pure compute, fanned out per partition.
+	routData := make([][]byte, R)
+	rinData := make([][]byte, R)
+	parallel.For(e.mr.WorkerCount(), R, func(part int) {
+		if len(subOut[part]) == 0 {
+			return
+		}
+		combined := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(subOut[part]))
+		routData[part] = records.EncodePairs(combined)
+		rinData[part] = records.EncodePairs(subIn[part])
+	})
+
 	refs := make([]cacheRef, R)
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
@@ -200,17 +231,14 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, home.ID, trigger, nil)
 			continue
 		}
-		// Pane-level combine of the sub-pane partials.
-		combined := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(subOut[part]))
-		routData := records.EncodePairs(combined)
 		inBytes := records.PairsSize(subOut[part])
 		node, _, end, dur := e.runCacheTask(readyAt[part],
 			[]cacheRef{{node: home.ID, bytes: inBytes, readyAt: readyAt[part]}},
-			e.mr.Cost.MergeTask(inBytes, int64(len(routData))))
+			e.mr.Cost.MergeTask(inBytes, int64(len(routData[part]))))
 		stats.ReduceTime += dur
 		stats.BytesCacheRead += inBytes
-		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, end, records.EncodePairs(subIn[part]), e.rinUsers(0))
-		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, end, routData)
+		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, end, rinData[part], e.rinUsers(0))
+		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, end, routData[part])
 		if end > stats.End {
 			stats.End = end
 		}
@@ -227,18 +255,30 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins []cacheRef, stats *mapreduce.Stats) ([]cacheRef, error) {
 	q := e.query
 	refs := make([]cacheRef, q.NumReducers)
+	// Re-reducing cached inputs is pure compute; fan it out per
+	// partition before the serial scheduling pass.
+	rebuilt := make([][]byte, len(rins))
+	if err := parallel.ForErr(e.mr.WorkerCount(), len(rins), func(part int) error {
+		if rins[part].bytes == 0 {
+			return nil
+		}
+		pairs, err := e.readCache(rins[part])
+		if err != nil {
+			return err
+		}
+		out := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
+		rebuilt[part] = records.EncodePairs(out)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	for part := range rins {
 		rin := rins[part]
 		if rin.bytes == 0 {
 			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil)
 			continue
 		}
-		pairs, err := e.readCache(rin)
-		if err != nil {
-			return nil, err
-		}
-		out := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
-		outData := records.EncodePairs(out)
+		outData := rebuilt[part]
 		node, _, end, dur := e.runCacheTask(trigger, []cacheRef{rin},
 			e.mr.Cost.ReduceTask(rin.bytes, int64(len(outData))))
 		stats.ReduceTime += dur
@@ -263,36 +303,55 @@ func (e *Engine) finalizeAggWindow(lo, hi window.PaneID, trigger simtime.Time, r
 	q := e.query
 	endMax := trigger
 	var output []records.Pair
-	for part := 0; part < q.NumReducers; part++ {
-		var caches []cacheRef
+	// Phase 1 (parallel): gather each partition's cached pane outputs
+	// and run the finalization merge — pure compute.
+	type finalPart struct {
+		caches   []cacheRef
+		out      []records.Pair
+		inBytes  int64
+		outBytes int64
+	}
+	parts := make([]finalPart, q.NumReducers)
+	if err := parallel.ForErr(e.mr.WorkerCount(), q.NumReducers, func(part int) error {
+		fp := &parts[part]
 		var pairs []records.Pair
 		for p := lo; p <= hi; p++ {
 			ref := routRefs[p][part]
 			if ref.bytes == 0 {
 				continue
 			}
-			caches = append(caches, ref)
+			fp.caches = append(fp.caches, ref)
 			ps, err := e.readCache(ref)
 			if err != nil {
-				return nil, endMax, err
+				return err
 			}
 			pairs = append(pairs, ps...)
 		}
-		if len(caches) == 0 {
+		if len(fp.caches) == 0 {
+			return nil
+		}
+		fp.out = mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
+		fp.inBytes = records.PairsSize(pairs)
+		fp.outBytes = records.PairsSize(fp.out)
+		return nil
+	}); err != nil {
+		return nil, endMax, err
+	}
+	// Phase 2 (serial, partition order): Eq. 4 scheduling and stats.
+	for part := 0; part < q.NumReducers; part++ {
+		fp := parts[part]
+		if len(fp.caches) == 0 {
 			continue
 		}
-		out := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
-		inBytes := records.PairsSize(pairs)
-		outBytes := records.PairsSize(out)
-		_, _, end, dur := e.runCacheTask(trigger, caches, e.mr.Cost.MergeTask(inBytes, outBytes))
+		_, _, end, dur := e.runCacheTask(trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
 		stats.ReduceTime += dur
 		stats.ReduceTasks++
-		stats.BytesCacheRead += inBytes
-		stats.BytesOutput += outBytes
+		stats.BytesCacheRead += fp.inBytes
+		stats.BytesOutput += fp.outBytes
 		if end > endMax {
 			endMax = end
 		}
-		output = append(output, out...)
+		output = append(output, fp.out...)
 	}
 	return output, endMax, nil
 }

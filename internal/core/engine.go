@@ -10,6 +10,7 @@ import (
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
+	"redoop/internal/parallel"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
@@ -722,13 +723,24 @@ func (e *Engine) readCache(ref cacheRef) ([]records.Pair, error) {
 // runPaneMapPhase maps one pane's physical segments. In proactive mode
 // each segment becomes schedulable as its data arrives; otherwise the
 // whole pane waits for the trigger. Header lookups for shared
-// multi-pane files are charged as extra read bytes.
+// multi-pane files are charged as extra read bytes. Segment compute
+// (decode + user map) overlaps across segments via PrepareMapPhase;
+// commits then replay serially in segment order so the timeline is
+// identical to a serial run.
 func (e *Engine) runPaneMapPhase(src int, p window.PaneID, trigger simtime.Time, stats *mapreduce.Stats) (*mapreduce.MapPhaseResult, error) {
 	ins, ok := e.srcs[src].PaneInputs(p)
 	if !ok {
 		return nil, fmt.Errorf("core: query %q: pane %d of source %d not flushed", e.query.Name, p, src)
 	}
 	job := e.paneJob(src)
+	preps := make([]*mapreduce.MapPhasePrep, len(ins))
+	if err := parallel.ForErr(e.mr.WorkerCount(), len(ins), func(i int) error {
+		var err error
+		preps[i], err = e.mr.PrepareMapPhase(job, []mapreduce.Input{ins[i].Input})
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var parts []*mapreduce.MapPhaseResult
 	earliest := trigger
 	for i, seg := range ins {
@@ -739,7 +751,7 @@ func (e *Engine) runPaneMapPhase(src int, p window.PaneID, trigger simtime.Time,
 		if i == 0 || ready < earliest {
 			earliest = ready
 		}
-		mp, err := e.mr.RunMapPhase(job, []mapreduce.Input{seg.Input}, ready)
+		mp, err := e.mr.CommitMapPhase(preps[i], ready)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"redoop/internal/mapreduce"
+	"redoop/internal/parallel"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
@@ -161,13 +162,29 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		return nil, false, recovered, err
 	}
 
+	// The per-partition sort + encode is pure compute; fan it out
+	// before the serial shuffle-accounting pass. The cache is stored
+	// sorted so pane-tuple joins later merge sorted runs instead of
+	// re-sorting: the sort is paid once here, at cache-build time.
+	sortedData := make([][]byte, R)
+	inSizes := make([]int64, R)
+	parallel.For(e.mr.WorkerCount(), R, func(part int) {
+		input := mp.Parts[part]
+		inSizes[part] = records.PairsSize(input)
+		if inSizes[part] == 0 {
+			return
+		}
+		sorted := append([]records.Pair(nil), input...)
+		mapreduce.SortPairs(sorted)
+		sortedData[part] = records.EncodePairs(sorted)
+	})
+
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
 		if home == nil {
 			return nil, false, recovered, fmt.Errorf("core: no alive node to home partition %d", part)
 		}
-		input := mp.Parts[part]
-		inBytes := records.PairsSize(input)
+		inBytes := inSizes[part]
 		readyAt := simtime.Max(mp.LastMapEnd, trigger)
 		if e.proactive {
 			readyAt = mp.LastMapEnd
@@ -190,11 +207,6 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		shuffleStart := mp.FirstMapEnd
 		copyDone := shuffleStart.Add(e.mr.Cost.NetTransfer(remote) + e.mr.Cost.DiskRead(local))
 		availAt := simtime.Max(copyDone, mp.LastMapEnd)
-		// The cache is stored sorted so pane-tuple joins later merge
-		// sorted runs instead of re-sorting: the sort is paid once
-		// here, at cache-build time.
-		sorted := append([]records.Pair(nil), input...)
-		mapreduce.SortPairs(sorted)
 		spill := e.mr.Cost.Sort(inBytes) + e.mr.Cost.DiskWrite(inBytes)
 		_, end := home.Reduce.Acquire(availAt, spill)
 		home.AddLoad(spill)
@@ -202,7 +214,7 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		stats.ReduceTime += spill
 		stats.BytesShuffled += inBytes
 		refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID,
-			end, records.EncodePairs(sorted), e.rinUsers(src))
+			end, sortedData[part], e.rinUsers(src))
 		if end > stats.End {
 			stats.End = end
 		}
@@ -296,23 +308,29 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 	for _, t := range group.tuples {
 		out[t.key()] = make([]cacheRef, R)
 	}
-	for part := 0; part < R; part++ {
-		// Distinct caches this batch loads for partition part.
-		var caches []cacheRef
+	// Phase 1 (parallel): per partition, load the batch's distinct
+	// input caches and compute every tuple's join — pure compute.
+	type tupleOut struct {
+		key  string
+		data []byte
+	}
+	type partCompute struct {
+		caches   []cacheRef
+		outs     []tupleOut
+		inBytes  int64
+		outBytes int64
+	}
+	computed := make([]partCompute, R)
+	if err := parallel.ForErr(e.mr.WorkerCount(), R, func(part int) error {
+		pc := &partCompute{}
 		seen := make(map[string]bool)
 		addCache := func(c cacheRef) {
 			if c.bytes == 0 || seen[c.pid] {
 				return
 			}
 			seen[c.pid] = true
-			caches = append(caches, c)
+			pc.caches = append(pc.caches, c)
 		}
-		var inBytes, outBytes int64
-		type tupleOut struct {
-			key  string
-			data []byte
-		}
-		var outs []tupleOut
 		for _, t := range group.tuples {
 			var tupleIn int64
 			var pairs []records.Pair
@@ -325,20 +343,32 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 				}
 				ps, err := e.readCache(c)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				pairs = append(pairs, ps...)
 			}
 			if tupleIn == 0 {
-				outs = append(outs, tupleOut{key: t.key(), data: nil})
+				pc.outs = append(pc.outs, tupleOut{key: t.key(), data: nil})
 				continue
 			}
 			joined := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
 			data := records.EncodePairs(joined)
-			inBytes += tupleIn
-			outBytes += int64(len(data))
-			outs = append(outs, tupleOut{key: t.key(), data: data})
+			pc.inBytes += tupleIn
+			pc.outBytes += int64(len(data))
+			pc.outs = append(pc.outs, tupleOut{key: t.key(), data: data})
 		}
+		computed[part] = *pc
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Phase 2 (serial, partition order): Eq. 4 scheduling, cache
+	// registration and stats.
+	for part := 0; part < R; part++ {
+		caches := computed[part].caches
+		outs := computed[part].outs
+		inBytes := computed[part].inBytes
+		outBytes := computed[part].outBytes
 		if len(caches) == 0 {
 			// Entirely empty partition: register empty outputs.
 			home := e.sched.HomeNode(part)
@@ -404,33 +434,50 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 	if q.Merge == nil {
 		// Manifest publication: one metadata task covering the whole
 		// window; the output bytes themselves are already on disk.
-		ready := trigger
-		var manifestBytes int64
-		var ferr error
+		// Cache reads fan out per tuple; the manifest accounting and
+		// output concatenation then replay in tuple order.
+		var tuples []paneTuple
 		forEachTupleRanges(los, his, func(t paneTuple) {
-			if ferr != nil {
-				return
-			}
+			tuples = append(tuples, append(paneTuple(nil), t...))
+		})
+		type tupleRead struct {
+			pairs    []records.Pair
+			bytes    int64
+			manifest int64
+			ready    simtime.Time
+		}
+		reads := make([]tupleRead, len(tuples))
+		if err := parallel.ForErr(e.mr.WorkerCount(), len(tuples), func(i int) error {
+			tr := &reads[i]
 			for part := 0; part < q.NumReducers; part++ {
-				ref := tupleRefs[t.key()][part]
-				if ref.readyAt > ready {
-					ready = ref.readyAt
+				ref := tupleRefs[tuples[i].key()][part]
+				if ref.readyAt > tr.ready {
+					tr.ready = ref.readyAt
 				}
 				if ref.bytes == 0 {
 					continue
 				}
-				manifestBytes += int64(len(ref.pid)) + 16
+				tr.manifest += int64(len(ref.pid)) + 16
 				ps, err := e.readCache(ref)
 				if err != nil {
-					ferr = err
-					return
+					return err
 				}
-				output = append(output, ps...)
-				stats.BytesOutput += ref.bytes
+				tr.pairs = append(tr.pairs, ps...)
+				tr.bytes += ref.bytes
 			}
-		})
-		if ferr != nil {
-			return nil, endMax, ferr
+			return nil
+		}); err != nil {
+			return nil, endMax, err
+		}
+		ready := trigger
+		var manifestBytes int64
+		for _, tr := range reads {
+			if tr.ready > ready {
+				ready = tr.ready
+			}
+			manifestBytes += tr.manifest
+			output = append(output, tr.pairs...)
+			stats.BytesOutput += tr.bytes
 		}
 		node := e.sched.PickCacheTaskNode(ready, nil)
 		dur := e.mr.Cost.ConcatTask(manifestBytes)
@@ -443,8 +490,17 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 		return output, endMax, nil
 	}
 
-	for part := 0; part < q.NumReducers; part++ {
-		var caches []cacheRef
+	// Phase 1 (parallel): per partition, gather tuple outputs and run
+	// the finalization merge — pure compute.
+	type finalPart struct {
+		caches   []cacheRef
+		out      []records.Pair
+		inBytes  int64
+		outBytes int64
+	}
+	parts := make([]finalPart, q.NumReducers)
+	if err := parallel.ForErr(e.mr.WorkerCount(), q.NumReducers, func(part int) error {
+		fp := &parts[part]
 		var pairs []records.Pair
 		var ferr error
 		forEachTupleRanges(los, his, func(t paneTuple) {
@@ -455,7 +511,7 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 			if ref.bytes == 0 {
 				return
 			}
-			caches = append(caches, ref)
+			fp.caches = append(fp.caches, ref)
 			ps, err := e.readCache(ref)
 			if err != nil {
 				ferr = err
@@ -464,23 +520,33 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 			pairs = append(pairs, ps...)
 		})
 		if ferr != nil {
-			return nil, endMax, ferr
+			return ferr
 		}
-		if len(caches) == 0 {
+		if len(fp.caches) == 0 {
+			return nil
+		}
+		fp.out = mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
+		fp.inBytes = records.PairsSize(pairs)
+		fp.outBytes = records.PairsSize(fp.out)
+		return nil
+	}); err != nil {
+		return nil, endMax, err
+	}
+	// Phase 2 (serial, partition order): Eq. 4 scheduling and stats.
+	for part := 0; part < q.NumReducers; part++ {
+		fp := parts[part]
+		if len(fp.caches) == 0 {
 			continue
 		}
-		out := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
-		inBytes := records.PairsSize(pairs)
-		outBytes := records.PairsSize(out)
-		_, _, end, dur := e.runCacheTask(trigger, caches, e.mr.Cost.MergeTask(inBytes, outBytes))
+		_, _, end, dur := e.runCacheTask(trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
 		stats.ReduceTime += dur
 		stats.ReduceTasks++
-		stats.BytesCacheRead += inBytes
-		stats.BytesOutput += outBytes
+		stats.BytesCacheRead += fp.inBytes
+		stats.BytesOutput += fp.outBytes
 		if end > endMax {
 			endMax = end
 		}
-		output = append(output, out...)
+		output = append(output, fp.out...)
 	}
 	return output, endMax, nil
 }

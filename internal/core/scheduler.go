@@ -196,7 +196,7 @@ func (s *Scheduler) PickCacheTaskNode(ready simtime.Time, caches []CacheLoc) *cl
 				TotalNS:     int64(cost),
 			})
 		}
-		if best == nil || cost < bestCost {
+		if best == nil || cost < bestCost || (cost == bestCost && n.ID < best.ID) {
 			best, bestCost, bestLoad = n, cost, load
 		}
 	}
@@ -290,12 +290,15 @@ func (l *TaskList) Push(id string, payload any) {
 }
 
 // Pop removes and returns the oldest entry (FIFO order, as Algorithm 2
-// consumes the map task list).
+// consumes the map task list). The vacated slot is zeroed so the
+// backing array stops referencing the popped payload (rolled-back
+// reduce payloads reference cached pane data that must stay GC-able).
 func (l *TaskList) Pop() (TaskEntry, bool) {
 	if len(l.entries) == 0 {
 		return TaskEntry{}, false
 	}
 	e := l.entries[0]
+	l.entries[0] = TaskEntry{}
 	l.entries = l.entries[1:]
 	return e, true
 }
@@ -304,20 +307,12 @@ func (l *TaskList) Pop() (TaskEntry, bool) {
 // removed — the rollback path when a cache underpinning a scheduled
 // task is lost (§5).
 func (l *TaskList) Remove(id string) int {
-	kept := l.entries[:0]
-	n := 0
-	for _, e := range l.entries {
-		if e.ID == id {
-			n++
-			continue
-		}
-		kept = append(kept, e)
-	}
-	l.entries = kept
-	return n
+	return l.RemoveMatching(func(eid string) bool { return eid == id })
 }
 
-// RemoveMatching deletes entries whose ID satisfies pred.
+// RemoveMatching deletes entries whose ID satisfies pred. Tail slots
+// vacated by the compaction are zeroed so removed payloads don't
+// linger in the backing array.
 func (l *TaskList) RemoveMatching(pred func(id string) bool) int {
 	kept := l.entries[:0]
 	n := 0
@@ -327,6 +322,9 @@ func (l *TaskList) RemoveMatching(pred func(id string) bool) int {
 			continue
 		}
 		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = TaskEntry{}
 	}
 	l.entries = kept
 	return n

@@ -130,6 +130,75 @@ func TestTaskListFIFO(t *testing.T) {
 	}
 }
 
+// Eq. 4's documented contract: ties break toward the lower node ID.
+// A fail/recover cycle must not let candidate ordering pick a higher
+// ID when costs are equal.
+func TestPickCacheTaskNodeTieBreaksOnLowerID(t *testing.T) {
+	s, cl := testScheduler(t, 3)
+	// All idle, no caches: every node costs 0 — the tie must go to 0.
+	if n := s.PickCacheTaskNode(0, nil); n.ID != 0 {
+		t.Fatalf("idle tie should pick node 0, got %d", n.ID)
+	}
+	// Fail and revive the winner so its alive-set position could have
+	// changed; the tie must still resolve to the lowest ID.
+	cl.FailNode(0)
+	cl.ReviveNode(0, 0)
+	if n := s.PickCacheTaskNode(0, nil); n.ID != 0 {
+		t.Errorf("tie after fail/recover should still pick node 0, got %d", n.ID)
+	}
+	// Two symmetric cache holders (nodes 1 and 2) tie on cost; the
+	// lower ID must win regardless of its own fail/recover history.
+	cl.FailNode(1)
+	cl.ReviveNode(1, 0)
+	caches := []CacheLoc{{Node: 1, Bytes: 1 << 20}, {Node: 2, Bytes: 1 << 20}}
+	if n := s.PickCacheTaskNode(0, caches); n.ID != 1 {
+		t.Errorf("symmetric cache tie should pick node 1, got %d", n.ID)
+	}
+}
+
+// Removed entries must not linger in the backing array: rolled-back
+// reduce payloads reference cached pane data the GC must reclaim.
+func TestTaskListClearsVacatedSlots(t *testing.T) {
+	check := func(t *testing.T, l *TaskList) {
+		t.Helper()
+		backing := l.entries[:cap(l.entries)]
+		for i := l.Len(); i < len(backing); i++ {
+			if backing[i] != (TaskEntry{}) {
+				t.Errorf("backing slot %d retains %+v after removal", i, backing[i])
+			}
+		}
+	}
+
+	l := NewTaskList()
+	l.Push("S1P1", "payload-1")
+	l.Push("S1P2", "payload-2")
+	l.Push("S1P3", "payload-3")
+	l.Push("S2P1", "payload-4")
+
+	if e, ok := l.Pop(); !ok || e.Payload != "payload-1" {
+		t.Fatalf("Pop = %+v, %v", e, ok)
+	}
+	if n := l.Remove("S1P3"); n != 1 {
+		t.Fatalf("Remove = %d, want 1", n)
+	}
+	check(t, l)
+	if n := l.RemoveMatching(func(id string) bool { return id == "S2P1" }); n != 1 {
+		t.Fatalf("RemoveMatching = %d, want 1", n)
+	}
+	check(t, l)
+
+	// Pop's vacated slot zeroes too: rebuild a fresh list and verify
+	// the popped head entry no longer exists in the backing array.
+	l2 := NewTaskList()
+	l2.Push("A", "head-payload")
+	l2.Push("B", "tail-payload")
+	head := l2.entries // aliases the backing array from its start
+	l2.Pop()
+	if head[0] != (TaskEntry{}) {
+		t.Errorf("popped head slot retains %+v", head[0])
+	}
+}
+
 // The cache-oblivious ablation switch must make PickCacheTaskNode
 // ignore locality entirely.
 func TestPickCacheTaskNodeOblivious(t *testing.T) {

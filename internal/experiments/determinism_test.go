@@ -1,0 +1,289 @@
+package experiments
+
+// The serial-vs-parallel determinism harness: every workload shape the
+// suite exercises — plain aggregation, join, jitter + stragglers,
+// speculative execution, fault injection — must produce byte-identical
+// outputs, equal virtual end times, and equal Stats whether the engine
+// computes with one worker or a wide pool. This is the contract that
+// makes Engine.Workers a pure wall-clock knob.
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"redoop/internal/baseline"
+	"redoop/internal/core"
+	"redoop/internal/mapreduce"
+	"redoop/internal/queries"
+	"redoop/internal/records"
+	"redoop/internal/simtime"
+	"redoop/internal/workload"
+)
+
+// windowCapture is one recurrence's full observable outcome.
+type windowCapture struct {
+	Output      []byte
+	CompletedAt simtime.Time
+	Stats       mapreduce.Stats
+}
+
+func detConfig() Config {
+	cfg := Default()
+	cfg.Windows = 4
+	cfg.RecordsPerWindow = 40000
+	return cfg
+}
+
+func aggSpec(cfg Config, overlap float64) runSpec {
+	wcc := workload.DefaultWCC(cfg.Seed)
+	return runSpec{
+		queryName: "Q1-det",
+		sources:   1,
+		overlap:   overlap,
+		windows:   cfg.Windows,
+		sched:     workload.SteadyRate,
+		gen: func(_ int, start, end int64, n int) []records.Record {
+			return workload.WCC(wcc, start, end, n)
+		},
+		query: func() *core.Query {
+			return queries.WCCAggregation("q1d", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+		},
+	}
+}
+
+func joinSpec(cfg Config, overlap float64) runSpec {
+	ffg := workload.DefaultFFG(cfg.Seed)
+	return runSpec{
+		queryName: "Q2-det",
+		sources:   2,
+		overlap:   overlap,
+		windows:   cfg.Windows,
+		sched:     workload.SteadyRate,
+		gen: func(src int, start, end int64, n int) []records.Record {
+			if src == 0 {
+				return workload.FFGReadings(ffg, start, end, n)
+			}
+			return workload.FFGEvents(ffg, start, end, n/4)
+		},
+		query: func() *core.Query {
+			return queries.FFGJoin("q2d", cfg.WindowDur, cfg.SlideFor(overlap), cfg.Reducers)
+		},
+	}
+}
+
+// runRedoopCapture runs the Redoop engine over the spec and captures
+// each window's output bytes, virtual completion time, and Stats.
+func runRedoopCapture(t *testing.T, cfg Config, spec runSpec, tune func(*mapreduce.Engine)) []windowCapture {
+	t.Helper()
+	mr := cfg.NewRuntime(1)
+	mr.Faults = spec.faults
+	if tune != nil {
+		tune(mr)
+	}
+	q := spec.query()
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFeeder(cfg, spec)
+	winSpec := q.Spec()
+	var caps []windowCapture
+	for r := 0; r < spec.windows; r++ {
+		if err := f.feedThrough(winSpec.WindowClose(r), eng.Ingest); err != nil {
+			t.Fatal(err)
+		}
+		if spec.redoopBefore != nil {
+			spec.redoopBefore(r, eng)
+		}
+		res, err := eng.RunNext()
+		if err != nil {
+			t.Fatalf("redoop window %d: %v", r+1, err)
+		}
+		caps = append(caps, windowCapture{
+			Output:      records.EncodePairs(res.Output),
+			CompletedAt: res.CompletedAt,
+			Stats:       res.Stats,
+		})
+	}
+	return caps
+}
+
+// runHadoopCapture is runRedoopCapture for the plain-Hadoop baseline.
+func runHadoopCapture(t *testing.T, cfg Config, spec runSpec, tune func(*mapreduce.Engine)) []windowCapture {
+	t.Helper()
+	mr := cfg.NewRuntime(2)
+	mr.Faults = spec.faults
+	if tune != nil {
+		tune(mr)
+	}
+	q := spec.query()
+	drv, err := baseline.NewDriver(mr, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFeeder(cfg, spec)
+	winSpec := q.Spec()
+	var caps []windowCapture
+	for r := 0; r < spec.windows; r++ {
+		if err := f.feedThrough(winSpec.WindowClose(r), drv.Ingest); err != nil {
+			t.Fatal(err)
+		}
+		res, err := drv.RunNext()
+		if err != nil {
+			t.Fatalf("hadoop window %d: %v", r+1, err)
+		}
+		caps = append(caps, windowCapture{
+			Output:      records.EncodePairs(res.Output),
+			CompletedAt: res.CompletedAt,
+			Stats:       res.Stats,
+		})
+	}
+	return caps
+}
+
+func assertCapturesEqual(t *testing.T, name string, serial, par []windowCapture) {
+	t.Helper()
+	if len(serial) != len(par) {
+		t.Fatalf("%s: window counts diverge: %d vs %d", name, len(serial), len(par))
+	}
+	for i := range serial {
+		if !bytes.Equal(serial[i].Output, par[i].Output) {
+			t.Errorf("%s window %d: outputs diverge (%d vs %d bytes)",
+				name, i+1, len(serial[i].Output), len(par[i].Output))
+		}
+		if serial[i].CompletedAt != par[i].CompletedAt {
+			t.Errorf("%s window %d: virtual end times diverge: %v vs %v",
+				name, i+1, serial[i].CompletedAt, par[i].CompletedAt)
+		}
+		if !reflect.DeepEqual(serial[i].Stats, par[i].Stats) {
+			t.Errorf("%s window %d: stats diverge:\nserial:   %+v\nparallel: %+v",
+				name, i+1, serial[i].Stats, par[i].Stats)
+		}
+	}
+}
+
+func parWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// jitterize gives every configuration non-trivial, seeded duration
+// noise plus stragglers — the regime where accounting-order mistakes
+// would show up as timeline divergence.
+func jitterize(cfg Config) func(*mapreduce.Engine) {
+	return func(mr *mapreduce.Engine) {
+		mr.Jitter = 0.3
+		mr.StragglerProb = 0.08
+		mr.StragglerFactor = 6
+		mr.JitterSeed = cfg.Seed
+	}
+}
+
+func TestSerialParallelDeterminism(t *testing.T) {
+	base := detConfig()
+	cases := []struct {
+		name string
+		spec func(Config) runSpec
+		cfg  func() Config
+		tune func(Config) func(*mapreduce.Engine)
+	}{
+		{
+			name: "aggregation",
+			spec: func(c Config) runSpec { return aggSpec(c, 0.9) },
+			cfg:  func() Config { return base },
+		},
+		{
+			name: "join",
+			spec: func(c Config) runSpec { return joinSpec(c, 0.5) },
+			cfg: func() Config {
+				c := base
+				c.RecordsPerWindow /= 4
+				return c
+			},
+		},
+		{
+			name: "jitter-stragglers",
+			spec: func(c Config) runSpec { return aggSpec(c, 0.9) },
+			cfg:  func() Config { return base },
+			tune: jitterize,
+		},
+		{
+			name: "speculative",
+			spec: func(c Config) runSpec { return aggSpec(c, 0.9) },
+			cfg:  func() Config { return base },
+			tune: func(c Config) func(*mapreduce.Engine) {
+				j := jitterize(c)
+				return func(mr *mapreduce.Engine) {
+					j(mr)
+					mr.Speculative = true
+				}
+			},
+		},
+		{
+			name: "fault-injection",
+			spec: func(c Config) runSpec {
+				s := aggSpec(c, 0.5)
+				s.faults = newFig9FaultPlan()
+				s.redoopBefore = func(r int, eng *core.Engine) { dropCaches(eng, r, 4) }
+				return s
+			},
+			cfg: func() Config { return base },
+		},
+		{
+			name: "adaptive-proactive",
+			spec: func(c Config) runSpec {
+				s := aggSpec(c, 0.9)
+				s.adaptive = true
+				return s
+			},
+			cfg: func() Config { return base },
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			var tune func(*mapreduce.Engine)
+			if tc.tune != nil {
+				tune = tc.tune(cfg)
+			}
+
+			serialCfg := cfg
+			serialCfg.ExecWorkers = 1
+			parCfg := cfg
+			parCfg.ExecWorkers = parWorkers()
+
+			serialR := runRedoopCapture(t, serialCfg, tc.spec(serialCfg), tune)
+			parR := runRedoopCapture(t, parCfg, tc.spec(parCfg), tune)
+			assertCapturesEqual(t, tc.name+"/redoop", serialR, parR)
+
+			serialH := runHadoopCapture(t, serialCfg, tc.spec(serialCfg), tune)
+			parH := runHadoopCapture(t, parCfg, tc.spec(parCfg), tune)
+			assertCapturesEqual(t, tc.name+"/hadoop", serialH, parH)
+		})
+	}
+}
+
+// ParallelSpeedup's virtual-equality flag must hold on the bench
+// workload itself (small scale here; the CLI runs it full-size).
+func TestParallelSpeedupVirtualEqual(t *testing.T) {
+	cfg := detConfig()
+	cfg.Windows = 2
+	cfg.RecordsPerWindow = 20000
+	res, err := cfg.ParallelSpeedup(parWorkers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.VirtualEqual {
+		t.Error("serial and parallel runs must produce identical virtual series")
+	}
+	if res.Workers != parWorkers() {
+		t.Errorf("Workers = %d, want %d", res.Workers, parWorkers())
+	}
+}

@@ -37,6 +37,11 @@ type Config struct {
 	Workers     int
 	MapSlots    int
 	ReduceSlots int
+	// ExecWorkers bounds the mapreduce engine's parallel-compute pool
+	// (mapreduce.Engine.Workers): 0 means GOMAXPROCS, 1 forces fully
+	// serial execution. Results are byte-identical at any setting —
+	// only host wall-clock changes.
+	ExecWorkers int
 	// BlockSize is the DFS block size of the scale model.
 	BlockSize   int64
 	Replication int
@@ -282,6 +287,7 @@ func (c Config) NewRuntime(seedShift int64) *mapreduce.Engine {
 	d.SetObserver(c.Obs)
 	mr := mapreduce.MustNew(cl, d, c.Cost)
 	mr.Obs = c.Obs
+	mr.Workers = c.ExecWorkers
 	return mr
 }
 

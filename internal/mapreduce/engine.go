@@ -4,20 +4,44 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
 
 	"redoop/internal/cluster"
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
+	"redoop/internal/parallel"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 )
 
 // Engine is the job tracker: it splits inputs, schedules task attempts
 // onto node slots, executes user functions and accounts virtual time.
-// Engine methods are not safe for concurrent use; one engine drives one
-// virtual timeline.
+//
+// Concurrency contract (precise, because parallel execution relaxes the
+// old blanket "not safe for concurrent use"):
+//
+//   - Phase-running methods (Run, RunMapPhase, CommitMapPhase,
+//     RunReducePhase) mutate node timelines and emit metrics/events on
+//     the virtual clock; call them from ONE goroutine at a time. One
+//     engine drives one virtual timeline.
+//   - PrepareMapPhase performs only DFS reads and pure user compute;
+//     distinct PrepareMapPhase calls may safely run concurrently with
+//     each other (the core engine overlaps per-segment prepares), but
+//     never concurrently with an accounting method on the same
+//     timeline's nodes.
+//   - The engine itself fans CPU-heavy per-split and per-partition
+//     compute across up to Workers goroutines, so a Job's user
+//     functions (Map, Combine, Reduce, Partition) are invoked
+//     concurrently and must be safe for concurrent calls: pure
+//     functions over their arguments qualify; closures mutating shared
+//     state do not.
+//   - All virtual-time accounting — slot acquisition, stats, metric
+//     counters, event-log emission — replays serially in deterministic
+//     split/partition order regardless of Workers, and jitter streams
+//     are keyed by (seed, task id), so outputs, Stats, and the virtual
+//     timeline are byte-identical to a Workers=1 run by construction.
 type Engine struct {
 	Cluster *cluster.Cluster
 	DFS     *dfs.DFS
@@ -33,6 +57,11 @@ type Engine struct {
 	// MaxAttempts bounds attempts per task before the job fails
 	// (Hadoop's mapred.map.max.attempts; default 4).
 	MaxAttempts int
+	// Workers bounds the goroutines used for the parallel compute
+	// phase (decode, user map/combine, sort/group, user reduce).
+	// Zero means GOMAXPROCS; 1 forces fully serial execution. Any
+	// value yields identical results — see the concurrency contract.
+	Workers int
 
 	// Jitter makes task durations non-deterministic: each attempt's
 	// modelled duration is scaled by a seeded random factor in
@@ -93,6 +122,15 @@ func (e *Engine) placementFor(job *Job) Placement {
 	return e.placement()
 }
 
+// WorkerCount resolves the effective parallel-compute width: Workers
+// when positive, else GOMAXPROCS.
+func (e *Engine) WorkerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (e *Engine) maxAttempts() int {
 	if e.MaxAttempts > 0 {
 		return e.MaxAttempts
@@ -132,7 +170,10 @@ const speculationThreshold = 1.5
 
 // placeBackup picks the node for a speculative backup attempt: the
 // earliest-starting alive node other than the straggler's (preferring
-// replica holders, as map placement does).
+// replica holders, as map placement does). It returns nil when the
+// straggler's node is the only alive node — a backup there would just
+// queue behind the straggler — and the caller must then keep the
+// original attempt.
 func (e *Engine) placeBackup(s Split, ready simtime.Time, exclude int) *cluster.Node {
 	var bestLocal, bestAny *cluster.Node
 	var bestLocalT, bestAnyT simtime.Time
@@ -261,10 +302,28 @@ func MergeMapPhases(rs []*MapPhaseResult, reducers int, ready simtime.Time) *Map
 	return out
 }
 
-// RunMapPhase executes the map tasks of job over the given inputs,
-// becoming schedulable at ready. It may be called with a subset of the
-// job's inputs — Redoop maps only the panes that are new to a window.
-func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*MapPhaseResult, error) {
+// preparedSplit is one split's compute-phase output: the partitioned
+// (and combined) map emissions, ready for deterministic commit.
+type preparedSplit struct {
+	split    Split
+	parts    [][]records.Pair
+	outBytes int64
+}
+
+// MapPhasePrep is the compute half of a map phase: every split's user
+// map has run (and combined, partitioned), but no virtual time has been
+// charged and nothing has been scheduled. Feed it to CommitMapPhase.
+type MapPhasePrep struct {
+	job      *Job
+	prepared []preparedSplit
+}
+
+// PrepareMapPhase runs phase 1 of a map phase: split enumeration,
+// record decode (parallel per input file), and the user map + combine +
+// partition per split (parallel per split, up to Workers goroutines).
+// It touches no node timeline and emits no metrics, so distinct
+// prepares may overlap; all scheduling happens later in CommitMapPhase.
+func (e *Engine) PrepareMapPhase(job *Job, inputs []Input) (*MapPhasePrep, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
@@ -272,19 +331,9 @@ func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*Map
 	if err != nil {
 		return nil, err
 	}
-	res := &MapPhaseResult{
-		Parts:        make([][]records.Pair, job.NumReducers),
-		PartSrcBytes: make([]map[int]int64, job.NumReducers),
-		FirstMapEnd:  ready,
-		LastMapEnd:   ready,
-	}
-	for r := range res.PartSrcBytes {
-		res.PartSrcBytes[r] = make(map[int]int64)
-	}
-	res.Stats.Start = ready
-	res.Stats.End = ready
+	prep := &MapPhasePrep{job: job}
 	if len(splits) == 0 {
-		return res, nil
+		return prep, nil
 	}
 
 	// Decode each input file once, bucketing records into splits by
@@ -296,9 +345,9 @@ func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*Map
 	}
 
 	part := job.partitioner()
-	first := simtime.Time(0)
-	firstSet := false
-	for _, s := range splits {
+	prep.prepared = make([]preparedSplit, len(splits))
+	parallel.For(e.WorkerCount(), len(splits), func(i int) {
+		s := splits[i]
 		recs := bySplit[s.ID()]
 		// Execute the user map once; attempts re-charge time only.
 		parts := make([][]records.Pair, job.NumReducers)
@@ -320,6 +369,39 @@ func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*Map
 		for r := range parts {
 			outBytes += records.PairsSize(parts[r])
 		}
+		prep.prepared[i] = preparedSplit{split: s, parts: parts, outBytes: outBytes}
+	})
+	return prep, nil
+}
+
+// CommitMapPhase runs phase 2: it replays scheduling, virtual-time
+// accounting, and metric/event emission for the prepared splits,
+// serially and in split order, becoming schedulable at ready. Because
+// jitter streams are keyed by (seed, task id), the resulting timeline
+// is identical to what a fully serial run would have produced.
+func (e *Engine) CommitMapPhase(prep *MapPhasePrep, ready simtime.Time) (*MapPhaseResult, error) {
+	job := prep.job
+	res := &MapPhaseResult{
+		Parts:        make([][]records.Pair, job.NumReducers),
+		PartSrcBytes: make([]map[int]int64, job.NumReducers),
+		FirstMapEnd:  ready,
+		LastMapEnd:   ready,
+	}
+	for r := range res.PartSrcBytes {
+		res.PartSrcBytes[r] = make(map[int]int64)
+	}
+	res.Stats.Start = ready
+	res.Stats.End = ready
+	if len(prep.prepared) == 0 {
+		return res, nil
+	}
+
+	first := simtime.Time(0)
+	firstSet := false
+	for _, ps := range prep.prepared {
+		s := ps.split
+		parts := ps.parts
+		outBytes := ps.outBytes
 
 		node, end, attempts, spent, err := e.runMapAttempts(job, s, outBytes, ready)
 		if err != nil {
@@ -358,6 +440,19 @@ func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*Map
 	}
 	res.Stats.End = res.LastMapEnd
 	return res, nil
+}
+
+// RunMapPhase executes the map tasks of job over the given inputs,
+// becoming schedulable at ready. It may be called with a subset of the
+// job's inputs — Redoop maps only the panes that are new to a window.
+// It is PrepareMapPhase (parallel compute) followed by CommitMapPhase
+// (serial deterministic accounting).
+func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*MapPhaseResult, error) {
+	prep, err := e.PrepareMapPhase(job, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return e.CommitMapPhase(prep, ready)
 }
 
 // runMapAttempts schedules attempts of one map task until one succeeds,
@@ -403,17 +498,22 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 			// but both occupy slots (the cost the paper avoided by
 			// disabling speculation).
 			detect := start.Add(simtime.Duration(speculationThreshold * float64(base)))
-			if backup := e.placeBackup(s, detect, node.ID); backup != nil {
-				bdur := e.jittered(fmt.Sprintf("backup|%s|%s|%d", job.Name, s.ID(), attempt), base)
-				bstart, bend := backup.Map.Acquire(detect, bdur)
-				backup.AddLoad(bdur)
-				spent += bdur
-				e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "speculative")).Inc()
-				e.Obs.Span(obs.NodeTrack(backup.ID), "map", "backup "+s.ID(), bstart, bend,
-					obs.L("job", job.Name))
-				if bend < end {
-					node, end = backup, bend
-				}
+			backup := e.placeBackup(s, detect, node.ID)
+			if backup == nil {
+				// The straggler's node is the only alive node:
+				// placeBackup has nowhere else to schedule, so the
+				// original attempt stands and its end time is final.
+				return node, end, attempt + 1, spent, nil
+			}
+			bdur := e.jittered(fmt.Sprintf("backup|%s|%s|%d", job.Name, s.ID(), attempt), base)
+			bstart, bend := backup.Map.Acquire(detect, bdur)
+			backup.AddLoad(bdur)
+			spent += bdur
+			e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "speculative")).Inc()
+			e.Obs.Span(obs.NodeTrack(backup.ID), "map", "backup "+s.ID(), bstart, bend,
+				obs.L("job", job.Name))
+			if bend < end {
+				node, end = backup, bend
 			}
 		}
 		return node, end, attempt + 1, spent, nil
@@ -424,30 +524,51 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 // decodeForSplits reads every referenced file once and buckets its
 // records into the splits by start offset. A record is delivered to
 // each split whose byte range contains its first byte; splits within
-// one map phase are expected not to overlap.
+// one map phase are expected not to overlap. Files decode in parallel
+// (the varint walk can't seek, so the file — not the split — is the
+// unit of parallelism); each file's records land in a private map that
+// is merged serially.
 func (e *Engine) decodeForSplits(splits []Split) (map[string][]records.Record, error) {
+	var paths []string
 	byPath := make(map[string][]*Split)
 	for i := range splits {
-		byPath[splits[i].Path] = append(byPath[splits[i].Path], &splits[i])
-	}
-	out := make(map[string][]records.Record)
-	for path, ss := range byPath {
-		data, err := e.DFS.Read(path)
-		if err != nil {
-			return nil, err
+		p := splits[i].Path
+		if _, ok := byPath[p]; !ok {
+			paths = append(paths, p)
 		}
+		byPath[p] = append(byPath[p], &splits[i])
+	}
+	perPath := make([]map[string][]records.Record, len(paths))
+	err := parallel.ForErr(e.WorkerCount(), len(paths), func(i int) error {
+		ss := byPath[paths[i]]
+		data, err := e.DFS.Read(paths[i])
+		if err != nil {
+			return err
+		}
+		local := make(map[string][]records.Record)
 		err = records.VisitOffsets(data, func(off int, ts int64, payload []byte) bool {
 			for _, s := range ss {
 				if int64(off) >= s.Lo && int64(off) < s.Hi {
 					p := make([]byte, len(payload))
 					copy(p, payload)
-					out[s.ID()] = append(out[s.ID()], records.Record{Ts: ts, Data: p})
+					local[s.ID()] = append(local[s.ID()], records.Record{Ts: ts, Data: p})
 				}
 			}
 			return true
 		})
 		if err != nil {
-			return nil, err
+			return err
+		}
+		perPath[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]records.Record)
+	for _, local := range perPath {
+		for id, recs := range local {
+			out[id] = append(out[id], recs...)
 		}
 	}
 	return out, nil
@@ -468,10 +589,23 @@ type ReducerResult struct {
 	OutBytes int64
 }
 
+// reduceCompute is one partition's compute-phase output: the user
+// reduce has run over the sorted, grouped input, but nothing has been
+// scheduled or charged.
+type reduceCompute struct {
+	input    []records.Pair
+	output   []records.Pair
+	inBytes  int64
+	outBytes int64
+}
+
 // RunReducePhase shuffles the map output to reducers, then sorts,
 // groups and reduces each non-empty partition. ready is the earliest
 // instant reduce tasks may be scheduled (normally the map phase's
 // ready time; slots and shuffle completion push actual starts later).
+// The sort/group/reduce compute fans out across Workers goroutines;
+// placement, shuffle modelling, and slot accounting then replay
+// serially in partition order.
 func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time) ([]ReducerResult, Stats, error) {
 	if err := job.Validate(); err != nil {
 		return nil, Stats{}, err
@@ -479,17 +613,35 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 	var stats Stats
 	stats.Start = ready
 	stats.End = ready
-	var results []ReducerResult
+
+	// Phase 1: pure compute, parallel over non-empty partitions.
+	var live []int
 	for r := 0; r < job.NumReducers; r++ {
-		input := mp.Parts[r]
-		if len(input) == 0 {
-			continue
+		if len(mp.Parts[r]) > 0 {
+			live = append(live, r)
 		}
+	}
+	computed := make([]reduceCompute, len(live))
+	parallel.For(e.WorkerCount(), len(live), func(i int) {
+		input := mp.Parts[live[i]]
+		grouped := GroupPairs(append([]records.Pair(nil), input...))
+		output := ReduceGroups(job.Reduce, grouped)
+		computed[i] = reduceCompute{
+			input:    input,
+			output:   output,
+			inBytes:  records.PairsSize(input),
+			outBytes: records.PairsSize(output),
+		}
+	})
+
+	// Phase 2: deterministic accounting, serial in partition order.
+	var results []ReducerResult
+	for i, r := range live {
 		node := e.placementFor(job).PlaceReduce(e, job, r, ready)
 		if node == nil {
 			return nil, stats, fmt.Errorf("mapreduce: job %q: no alive node for reduce %d", job.Name, r)
 		}
-		rr, shuffleDur, err := e.runReduceAttempts(job, r, node, mp, ready)
+		rr, shuffleDur, err := e.runReduceAttempts(job, r, node, mp, computed[i], ready)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -510,14 +662,13 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 
 // runReduceAttempts schedules one reduce partition's attempts. The
 // first attempt runs on the placed node; a failed attempt re-places.
-func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *MapPhaseResult, ready simtime.Time) (ReducerResult, simtime.Duration, error) {
-	input := mp.Parts[part]
-	inBytes := records.PairsSize(input)
-
-	// Execute the user reduce once.
-	grouped := GroupPairs(append([]records.Pair(nil), input...))
-	output := ReduceGroups(job.Reduce, grouped)
-	outBytes := records.PairsSize(output)
+// The user reduce has already executed (once, in the parallel compute
+// phase); attempts charge time only.
+func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *MapPhaseResult, rc reduceCompute, ready simtime.Time) (ReducerResult, simtime.Duration, error) {
+	input := rc.input
+	output := rc.output
+	inBytes := rc.inBytes
+	outBytes := rc.outBytes
 
 	for attempt := 0; attempt < e.maxAttempts(); attempt++ {
 		if node == nil || !node.Alive() {

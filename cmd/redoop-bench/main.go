@@ -8,6 +8,7 @@
 //	redoop-bench [-fig 6|7|8|9|all] [-windows N] [-records N]
 //	             [-nodes N] [-reducers N] [-seed N]
 //	             [-workers N] [-par-bench N]
+//	             [-chaos SEED[:profile]] [-chaos-report]
 //	             [-metrics-out FILE] [-trace-out FILE]
 //	             [-json-out FILE] [-serve ADDR]
 //	             [-bench-dir DIR] [-rev REV]
@@ -26,6 +27,19 @@
 // loadable in Perfetto (https://ui.perfetto.dev) showing recurrence,
 // phase and task spans per query and node. Both artifacts are written
 // even when a figure fails, so partial runs remain inspectable.
+//
+// -chaos SEED[:profile] switches from figure regeneration to chaos
+// verification: every engine regime (aggregation, join, adaptive,
+// speculative) runs under the deterministic fault schedule the seed
+// generates — node crashes and revivals, cache losses, pane-file
+// corruption, delayed batches, stragglers — with the differential
+// window oracle attached. Every window's output is compared
+// byte-for-byte against an independent recomputation and the engine's
+// structural invariants are checked after each recurrence; any
+// divergence exits 4. Profiles: mixed (default), crash, cacheloss,
+// corrupt, delay, straggle, speculative, none. -chaos-report folds the
+// generated schedule, every per-recurrence verdict and the first
+// divergence into the -json-out summary.
 //
 // -json-out writes a machine-readable run summary (configuration,
 // per-figure series with per-window timings, makespans, shuffle
@@ -75,6 +89,8 @@ func main() {
 		reducers = flag.Int("reducers", 0, "reduce partitions (default 20)")
 		workers  = flag.Int("workers", 0, "parallel compute pool per engine: 0 = GOMAXPROCS, 1 = serial (virtual results are identical either way)")
 		parBench = flag.Int("par-bench", 0, "also measure wall-clock speedup of the Figure-6 workload at this many pool workers vs serial")
+		chaosArg = flag.String("chaos", "", "run chaos verification instead of figures: SEED[:profile] seeds a deterministic fault schedule, the oracle verifies every window (profiles: mixed, crash, cacheloss, corrupt, delay, straggle, speculative, none)")
+		chaosRep = flag.Bool("chaos-report", false, "with -chaos and -json-out: include the fault schedule and every per-recurrence oracle verdict in the summary")
 		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
 		csvPath  = flag.String("csv", "", "also append every series as tidy CSV to this file")
@@ -156,6 +172,38 @@ func main() {
 			}
 		}
 		return ok
+	}
+
+	if *chaosRep && *chaosArg == "" {
+		fmt.Fprintln(os.Stderr, "redoop-bench: -chaos-report needs -chaos SEED[:profile]")
+		os.Exit(2)
+	}
+	if *chaosArg != "" {
+		cj, failed, err := runChaos(os.Stdout, cfg, *chaosArg, *chaosRep, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoop-bench: chaos: %v\n", err)
+			os.Exit(2)
+		}
+		if *jsonOut != "" {
+			sum := buildSummary(cfg, nil, nil, ob.Metrics)
+			sum.Health = healthSummary(mon)
+			sum.Chaos = cj
+			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
+				return writeSummary(w, sum)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "redoop-bench: json-out: %v\n", err)
+				os.Exit(1)
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "[run summary written to %s]\n", *jsonOut)
+			}
+		}
+		if !writeArtifacts() {
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(4)
+		}
+		return
 	}
 
 	type figure struct {

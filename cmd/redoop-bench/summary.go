@@ -111,6 +111,10 @@ type summaryJSON struct {
 	Metrics         *metricsJSON      `json:"metrics,omitempty"`
 	Health          []queryHealthJSON `json:"health,omitempty"`
 	Parallel        *parallelJSON     `json:"parallel,omitempty"`
+	// Chaos records a -chaos verification run: the seeded fault
+	// schedule and the oracle's per-regime verdicts (full detail with
+	// -chaos-report).
+	Chaos *chaosJSON `json:"chaos,omitempty"`
 }
 
 func seriesSummary(s experiments.Series) seriesJSON {

@@ -6,7 +6,8 @@
 //
 //	redoopctl [metrics|explain|health] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
-//	          [-failnode N] [-dropcaches] [-top K] [-seed N]
+//	          [-failnode N] [-dropcaches] [-chaos SEED[:profile]]
+//	          [-top K] [-seed N]
 //	          [-workers N] [-spikewin N] [-spikefactor F] [-deadline DUR]
 //	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
 //
@@ -41,6 +42,16 @@
 // multi-minute slides) so misses and the AT_RISK/MISSING_DEADLINES
 // escalation can be observed on a real run.
 //
+// -chaos SEED[:profile] runs the query under a deterministic seeded
+// fault schedule (node crashes and revivals, cache losses, pane-file
+// corruption, delayed batches, stragglers — profile selects the fault
+// family, default mixed) with the differential window oracle attached:
+// every window's output is verified byte-for-byte against an
+// independent recomputation plus the engine's structural invariants,
+// and the per-window table gains an oracle column. A divergence fails
+// the run. Incompatible with -baseline (the oracle checks the Redoop
+// engine against the baseline semantics).
+//
 // -serve ADDR starts the live introspection HTTP server (endpoints:
 // /metrics, /debug/events, /debug/cache, /debug/panes, /debug/health,
 // /debug/stream) before the run and keeps the process alive after it
@@ -62,6 +73,7 @@ import (
 	"time"
 
 	"redoop/internal/baseline"
+	"redoop/internal/chaos"
 	"redoop/internal/core"
 	"redoop/internal/experiments"
 	"redoop/internal/explain"
@@ -70,6 +82,7 @@ import (
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/obsserver"
+	"redoop/internal/oracle"
 	"redoop/internal/queries"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -86,6 +99,7 @@ func main() {
 		useBase    = flag.Bool("baseline", false, "run the plain-Hadoop baseline instead of Redoop")
 		failNode   = flag.Int("failnode", -1, "kill this node before window 3")
 		dropCache  = flag.Bool("dropcaches", false, "drop one node's caches before every window")
+		chaosArg   = flag.String("chaos", "", "run under a seeded deterministic fault schedule with the oracle verifying every window: SEED[:profile] (profiles: mixed, crash, cacheloss, corrupt, delay, straggle, speculative, none)")
 		topK       = flag.Int("top", 5, "print the top-K results of the final window")
 		seed       = flag.Int64("seed", 42, "generator seed")
 		workers    = flag.Int("workers", 0, "parallel compute pool: 0 = GOMAXPROCS, 1 = serial (simulated results are identical either way)")
@@ -117,6 +131,24 @@ func main() {
 	cfg.RecordsPerWindow = *recs
 	cfg.Seed = *seed
 	cfg.ExecWorkers = *workers
+
+	var chaosSched *chaos.Schedule
+	if *chaosArg != "" {
+		if *useBase {
+			fmt.Fprintln(os.Stderr, "redoopctl: -chaos cannot be combined with -baseline (the oracle verifies the Redoop engine against baseline semantics)")
+			os.Exit(2)
+		}
+		_, cseed, cprofile, err := chaos.ParseSpec(*chaosArg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+			os.Exit(2)
+		}
+		chaosSched, err = chaos.Generate(cseed, cprofile, cfg.Windows, cfg.Workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var ob *obs.Observer
 	if metricsMode || explainMode || healthMode || *serveAddr != "" || *metricsOut != "" || *traceOut != "" {
@@ -153,7 +185,7 @@ func main() {
 		tableOut = os.Stderr
 	}
 
-	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac)
+	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched)
 
 	// Artifacts and the metrics dump are emitted even on failure so
 	// fault-injected runs leave their partial series behind. A failed
@@ -227,7 +259,7 @@ func queryName(kind string) string {
 	return "q1"
 }
 
-func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64) error {
+func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64, chaosSched *chaos.Schedule) error {
 	mr := cfg.NewRuntime(7)
 	slide := cfg.SlideFor(overlap)
 
@@ -283,6 +315,24 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 		}
 		return eng.Ingest(src, rs)
 	}
+	// Under -chaos, batches tee into the oracle on their way to the
+	// engine, and the injector's delay gate wraps the whole chain so a
+	// held batch is still observed by the oracle when released.
+	var ora *oracle.Oracle
+	var inj *chaos.Injector
+	var oracleInner func(src int, rs []records.Record) error
+	if chaosSched != nil {
+		ora, err = oracle.New(eng)
+		if err != nil {
+			return err
+		}
+		inj = chaos.NewInjector(chaosSched, mr)
+		inj.OnCorrupt = ora.ExcludePath
+		oracleInner = ora.WrapIngest(eng.Ingest)
+		ingest = inj.WrapIngest(eng, oracleInner)
+		fmt.Fprintf(w, "chaos: seed %d profile %s, %d scheduled faults\n\n",
+			chaosSched.Seed, chaosSched.Profile, len(chaosSched.Actions))
+	}
 
 	fmt.Fprintf(w, "%-7s %14s %12s %12s %12s %s\n", "window", "response", "shuffle", "reduce", "read(B)", "notes")
 	fed := 0
@@ -312,9 +362,15 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 		if dropCache && r > 0 && !useBase {
 			mr.Cluster.DropLocal(r%mr.Cluster.Config().Workers, "cache/")
 		}
+		if inj != nil {
+			if err := inj.BeforeRecurrence(r, eng, oracleInner); err != nil {
+				return err
+			}
+		}
 
 		var resp, shuffle, reduce simtime.Duration
 		var read int64
+		var verdictErr error
 		notes := ""
 		if useBase {
 			res, err := drv.RunNext()
@@ -340,9 +396,20 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 			if res.Proactive {
 				notes += fmt.Sprintf(" proactive(sub=%d)", res.SubPanes)
 			}
+			if ora != nil {
+				if ver := ora.Check(res); ver.OK() {
+					notes += " oracle=ok"
+				} else {
+					notes += " oracle=FAIL"
+					verdictErr = ver.Err()
+				}
+			}
 		}
 		fmt.Fprintf(w, "%-7d %14s %12s %12s %12d %s\n", r+1,
 			fmtMS(resp), fmtMS(shuffle), fmtMS(reduce), read, notes)
+		if verdictErr != nil {
+			return verdictErr
+		}
 	}
 
 	if topK > 0 && len(lastOut) > 0 {

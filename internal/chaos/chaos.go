@@ -1,0 +1,259 @@
+// Package chaos generates seeded, fully deterministic fault schedules
+// for the simulated Redoop cluster: node crashes and revivals at chosen
+// recurrences, cache-entry loss, pane-file corruption and truncation,
+// delayed batch arrival into the Packer, and straggler slowdowns.
+//
+// A Schedule is a pure value: generating it twice from the same
+// (seed, profile, shape) yields byte-identical actions, and replaying
+// it against the virtual-time runtime reproduces the same fault
+// interleaving every run. That makes any failure found under chaos
+// reproducible from the seed alone — the property the CI soak matrix
+// and `redoop-bench -chaos` rely on.
+//
+// The schedule generalizes the existing mapreduce.FaultPlan hook
+// (task-attempt failures) with recurrence-scoped cluster/storage
+// actions applied by an Injector between feeding a window's batches
+// and triggering its recurrence. Because every action lands before
+// RunNext, the engine's §5 recovery ladder (reuse rout → rebuild from
+// rin → full re-map, with the controller's 2→1 rollback) is exercised
+// while the post-recurrence state stays checkable by the differential
+// oracle.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Kind names one chaos action.
+type Kind string
+
+const (
+	// NodeCrash fails a worker: its cluster timeline and local state
+	// (including caches) are lost and the DFS re-replicates its blocks.
+	NodeCrash Kind = "node-crash"
+	// NodeRevive brings a previously crashed worker back empty.
+	NodeRevive Kind = "node-revive"
+	// CacheDrop silently clears one node's cache partition (rin/rout
+	// bytes) without failing the node — the pure cache-loss failure of
+	// paper §5, discovered lazily at the next lookup.
+	CacheDrop Kind = "cache-drop"
+	// PaneCorrupt flips bytes in the middle of an already-consumed
+	// pane file that is still inside the current window.
+	PaneCorrupt Kind = "pane-corrupt"
+	// PaneTruncate cuts an already-consumed, still-in-window pane
+	// file to half its length.
+	PaneTruncate Kind = "pane-truncate"
+	// DelayBatch holds early batches of the recurrence's fill and
+	// releases them out of order, just before the window triggers.
+	DelayBatch Kind = "delay-batch"
+)
+
+// Action is one scheduled fault. Node/Source/Count parameterize the
+// kind; Pick deterministically selects among runtime-resolved targets
+// (e.g. which pane file to corrupt) so the schedule stays replayable
+// without knowing file names up front.
+type Action struct {
+	Recurrence int   `json:"recurrence"`
+	Kind       Kind  `json:"kind"`
+	Node       int   `json:"node,omitempty"`
+	Source     int   `json:"source,omitempty"`
+	Count      int   `json:"count,omitempty"`
+	Pick       int64 `json:"pick,omitempty"`
+}
+
+// Schedule is a replayable fault plan: recurrence-scoped actions plus
+// task-attempt failure rates and straggler knobs applied for the whole
+// run. It implements mapreduce.FaultPlan.
+type Schedule struct {
+	Seed    int64    `json:"seed"`
+	Profile string   `json:"profile"`
+	Actions []Action `json:"actions,omitempty"`
+	// MapFailPct / ReduceFailPct make that percentage of first task
+	// attempts fail deterministically (hash of seed and task
+	// identity). Only attempt 0 ever fails, so MaxAttempts retries
+	// always recover and chaos never turns into an unrecoverable job
+	// failure.
+	MapFailPct    int `json:"mapFailPct,omitempty"`
+	ReduceFailPct int `json:"reduceFailPct,omitempty"`
+	// Straggler knobs copied onto the mapreduce engine: durations
+	// jitter but stay seeded, so runs remain reproducible.
+	Jitter          float64 `json:"jitter,omitempty"`
+	StragglerProb   float64 `json:"stragglerProb,omitempty"`
+	StragglerFactor float64 `json:"stragglerFactor,omitempty"`
+	// Speculative additionally enables speculative map execution, the
+	// regime where duplicate attempts race and the loser is discarded.
+	Speculative bool `json:"speculative,omitempty"`
+}
+
+// Profiles supported by Generate and ParseSpec.
+const (
+	ProfileMixed       = "mixed"       // crashes, revivals, cache drops, delayed batches, task faults, stragglers
+	ProfileCrash       = "crash"       // node crash/revive only
+	ProfileCacheLoss   = "cacheloss"   // silent cache drops only
+	ProfileCorrupt     = "corrupt"     // pane-file corruption/truncation only (no cache disturbance, so the engine must never re-read the mangled files)
+	ProfileDelay       = "delay"       // delayed batch arrival only
+	ProfileStraggle    = "straggle"    // jitter + stragglers + task-attempt faults
+	ProfileSpeculative = "speculative" // straggle with speculative execution enabled
+	ProfileNone        = "none"        // empty schedule (oracle-only run)
+)
+
+// Profiles lists every profile name Generate accepts.
+func Profiles() []string {
+	return []string{
+		ProfileMixed, ProfileCrash, ProfileCacheLoss, ProfileCorrupt,
+		ProfileDelay, ProfileStraggle, ProfileSpeculative, ProfileNone,
+	}
+}
+
+// ParseSpec parses the CLI form "SEED[:profile]" (e.g. "7", "7:crash").
+func ParseSpec(s string) (*Schedule, int64, string, error) {
+	seedStr, profile := s, ProfileMixed
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		seedStr, profile = s[:i], s[i+1:]
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return nil, 0, "", fmt.Errorf("chaos: bad seed in spec %q: %w", s, err)
+	}
+	if !validProfile(profile) {
+		return nil, 0, "", fmt.Errorf("chaos: unknown profile %q (want one of %s)",
+			profile, strings.Join(Profiles(), ", "))
+	}
+	return nil, seed, profile, nil
+}
+
+func validProfile(p string) bool {
+	for _, q := range Profiles() {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate builds a deterministic schedule for a run of `windows`
+// recurrences on `workers` nodes. The same (seed, profile, windows,
+// workers) always yields the same schedule.
+//
+// Generation keeps every fault recoverable: at most workers-1 nodes
+// are ever dead at once, crashed nodes revive within two recurrences,
+// and file corruption (corrupt profile only) targets panes that were
+// mapped in an earlier window and whose reduce-input caches the
+// profile never disturbs — so the engine, per §4.2, reuses caches and
+// never re-reads the mangled bytes.
+func Generate(seed int64, profile string, windows, workers int) (*Schedule, error) {
+	if !validProfile(profile) {
+		return nil, fmt.Errorf("chaos: unknown profile %q", profile)
+	}
+	if windows < 1 || workers < 1 {
+		return nil, fmt.Errorf("chaos: need positive windows (%d) and workers (%d)", windows, workers)
+	}
+	s := &Schedule{Seed: seed, Profile: profile}
+	rng := rand.New(rand.NewSource(seed*2654435761 + int64(windows)))
+
+	crash := profile == ProfileMixed || profile == ProfileCrash
+	drops := profile == ProfileMixed || profile == ProfileCacheLoss
+	delay := profile == ProfileMixed || profile == ProfileDelay
+	corrupt := profile == ProfileCorrupt
+	straggle := profile == ProfileMixed || profile == ProfileStraggle || profile == ProfileSpeculative
+
+	if straggle {
+		s.MapFailPct = 10 + rng.Intn(11)   // 10–20% of first map attempts
+		s.ReduceFailPct = 5 + rng.Intn(11) // 5–15% of first reduce attempts
+		s.Jitter = 0.2 + 0.3*rng.Float64()
+		s.StragglerProb = 0.05 + 0.10*rng.Float64()
+		s.StragglerFactor = 2 + 3*rng.Float64()
+	}
+	s.Speculative = profile == ProfileSpeculative
+
+	dead := map[int]bool{}
+	for r := 1; r < windows; r++ {
+		// Revive pending crashes first so the dead set never grows
+		// unboundedly; each crash schedules its own revival 1–2
+		// recurrences out, emitted when its turn comes.
+		if crash && len(dead) < workers-1 && rng.Float64() < 0.45 {
+			n := rng.Intn(workers)
+			for dead[n] {
+				n = (n + 1) % workers
+			}
+			dead[n] = true
+			s.Actions = append(s.Actions, Action{Recurrence: r, Kind: NodeCrash, Node: n})
+			back := r + 1 + rng.Intn(2)
+			if back < windows {
+				s.Actions = append(s.Actions, Action{Recurrence: back, Kind: NodeRevive, Node: n})
+			}
+		}
+		for _, a := range s.Actions {
+			if a.Kind == NodeRevive && a.Recurrence == r {
+				delete(dead, a.Node)
+			}
+		}
+		if drops && rng.Float64() < 0.5 {
+			n := rng.Intn(workers)
+			s.Actions = append(s.Actions, Action{Recurrence: r, Kind: CacheDrop, Node: n})
+		}
+		if delay && rng.Float64() < 0.5 {
+			s.Actions = append(s.Actions, Action{
+				Recurrence: r, Kind: DelayBatch,
+				Source: rng.Intn(2), Count: 1 + rng.Intn(3),
+			})
+		}
+		if corrupt && r >= 2 && rng.Float64() < 0.6 {
+			kind := PaneCorrupt
+			if rng.Intn(2) == 1 {
+				kind = PaneTruncate
+			}
+			s.Actions = append(s.Actions, Action{
+				Recurrence: r, Kind: kind,
+				Source: rng.Intn(2), Pick: rng.Int63(),
+			})
+		}
+	}
+	return s, nil
+}
+
+// hashPct maps a task identity to [0,100) deterministically.
+func hashPct(seed int64, kind, job, task string) int {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%s", seed, kind, job, task)
+	return int(h.Sum64() % 100)
+}
+
+// MapAttemptFails implements mapreduce.FaultPlan: a deterministic
+// MapFailPct slice of first attempts fail; retries always succeed.
+func (s *Schedule) MapAttemptFails(jobName, splitID string, attempt int) bool {
+	if s == nil || attempt != 0 || s.MapFailPct <= 0 {
+		return false
+	}
+	return hashPct(s.Seed, "map", jobName, splitID) < s.MapFailPct
+}
+
+// ReduceAttemptFails implements mapreduce.FaultPlan for reduce tasks.
+func (s *Schedule) ReduceAttemptFails(jobName string, part, attempt int) bool {
+	if s == nil || attempt != 0 || s.ReduceFailPct <= 0 {
+		return false
+	}
+	return hashPct(s.Seed, "reduce", jobName, strconv.Itoa(part)) < s.ReduceFailPct
+}
+
+// ActionsAt returns the actions scheduled for recurrence r, in
+// schedule order.
+func (s *Schedule) ActionsAt(r int) []Action {
+	var out []Action
+	for _, a := range s.Actions {
+		if a.Recurrence == r {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String summarizes the schedule for logs.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("chaos seed=%d profile=%s actions=%d mapFail=%d%% reduceFail=%d%% jitter=%.2f spec=%v",
+		s.Seed, s.Profile, len(s.Actions), s.MapFailPct, s.ReduceFailPct, s.Jitter, s.Speculative)
+}

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic: the same (seed, profile, shape) must
+// yield byte-identical schedules — the reproducibility contract the
+// CI matrix depends on.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, profile := range Profiles() {
+		a, err := Generate(42, profile, 10, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		b, err := Generate(42, profile, 10, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed produced different schedules:\n%+v\n%+v", profile, a, b)
+		}
+	}
+	a, _ := Generate(1, ProfileMixed, 10, 6)
+	b, _ := Generate(2, ProfileMixed, 10, 6)
+	if reflect.DeepEqual(a.Actions, b.Actions) && a.MapFailPct == b.MapFailPct {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+}
+
+// TestGenerateShape: profiles emit only their own action kinds and
+// every crash stays recoverable (a matching revive or end-of-run).
+func TestGenerateShape(t *testing.T) {
+	allowed := map[string]map[Kind]bool{
+		ProfileCrash:     {NodeCrash: true, NodeRevive: true},
+		ProfileCacheLoss: {CacheDrop: true},
+		ProfileDelay:     {DelayBatch: true},
+		ProfileCorrupt:   {PaneCorrupt: true, PaneTruncate: true},
+	}
+	for profile, kinds := range allowed {
+		s, err := Generate(42, profile, 12, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if len(s.Actions) == 0 {
+			t.Fatalf("%s: no actions generated over 12 windows", profile)
+		}
+		for _, a := range s.Actions {
+			if !kinds[a.Kind] {
+				t.Fatalf("%s: unexpected action kind %s", profile, a.Kind)
+			}
+		}
+		if s.MapFailPct != 0 || s.ReduceFailPct != 0 || s.Jitter != 0 {
+			t.Fatalf("%s: single-fault profile must not enable task faults/jitter: %+v", profile, s)
+		}
+	}
+	none, err := Generate(42, ProfileNone, 12, 6)
+	if err != nil {
+		t.Fatalf("none: %v", err)
+	}
+	if len(none.Actions) != 0 || none.MapFailPct != 0 || none.Jitter != 0 {
+		t.Fatalf("none profile is not empty: %+v", none)
+	}
+	spec, err := Generate(42, ProfileSpeculative, 12, 6)
+	if err != nil {
+		t.Fatalf("speculative: %v", err)
+	}
+	if !spec.Speculative || spec.Jitter == 0 {
+		t.Fatalf("speculative profile must enable speculation and jitter: %+v", spec)
+	}
+}
+
+// TestFaultPlanDeterministicAndRecoverable: the task-fault plan is a
+// pure function of (seed, task identity), hits roughly its configured
+// rate, and never fails a retry — so MaxAttempts always recovers.
+func TestFaultPlanDeterministicAndRecoverable(t *testing.T) {
+	s, err := Generate(42, ProfileStraggle, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MapFailPct == 0 || s.ReduceFailPct == 0 {
+		t.Fatalf("straggle profile has no task faults: %+v", s)
+	}
+	failed := 0
+	for i := 0; i < 1000; i++ {
+		split := string(rune('a'+i%26)) + string(rune('0'+i%10))
+		first := s.MapAttemptFails("job", split, 0)
+		if first != s.MapAttemptFails("job", split, 0) {
+			t.Fatalf("non-deterministic verdict for split %q", split)
+		}
+		if first {
+			failed++
+		}
+		for attempt := 1; attempt < 4; attempt++ {
+			if s.MapAttemptFails("job", split, attempt) {
+				t.Fatalf("retry attempt %d failed — chaos must stay recoverable", attempt)
+			}
+			if s.ReduceAttemptFails("job", attempt, attempt) {
+				t.Fatalf("reduce retry attempt %d failed", attempt)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("fault plan with MapFailPct=%d failed nothing over 1000 tasks", s.MapFailPct)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	_, seed, profile, err := ParseSpec("7")
+	if err != nil || seed != 7 || profile != ProfileMixed {
+		t.Fatalf("ParseSpec(7) = %d %q %v", seed, profile, err)
+	}
+	_, seed, profile, err = ParseSpec("-3:crash")
+	if err != nil || seed != -3 || profile != ProfileCrash {
+		t.Fatalf("ParseSpec(-3:crash) = %d %q %v", seed, profile, err)
+	}
+	for _, bad := range []string{"", "x", "7:bogus", ":crash"} {
+		if _, _, _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}

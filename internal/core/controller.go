@@ -88,6 +88,12 @@ type Controller struct {
 	// and rollback events as Debug lines. Both may be nil.
 	obs *obs.Observer
 	log *slog.Logger
+
+	// onTransition, when set, observes every ready-state change of
+	// every signature (Register refreshes included). Invoked with the
+	// controller lock held: the hook must record and return, never
+	// call back into the controller.
+	onTransition func(pid string, typ CacheType, from, to Ready)
 }
 
 // NewController builds an empty controller.
@@ -97,6 +103,18 @@ func NewController() *Controller {
 		sigs:       make(map[string]*Signature),
 		registries: make(map[int]*Registry),
 	}
+}
+
+// SetTransitionHook installs (or, with nil, removes) an observer of
+// every signature ready-state change. The §5-legal transitions are
+// upgrades/refreshes (to ≥ from) and the cache-loss rollback
+// CacheAvailable→HDFSAvailable; verification tooling uses the hook to
+// flag anything else. The hook runs under the controller lock and must
+// not call back into the controller.
+func (c *Controller) SetTransitionHook(fn func(pid string, typ CacheType, from, to Ready)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onTransition = fn
 }
 
 // SetObserver attaches the observability layer; nil detaches it.
@@ -193,6 +211,13 @@ func (c *Controller) Register(pid string, typ CacheType, nid int, ready Ready, r
 		s = &Signature{PID: pid, Type: typ, doneQueryMask: mask}
 		c.sigs[entryKey(pid, typ)] = s
 	}
+	if c.onTransition != nil {
+		from := NotAvailable
+		if ok {
+			from = s.Ready
+		}
+		c.onTransition(pid, typ, from, ready)
+	}
 	c.obs.Counter("redoop_cache_registrations_total", obs.L("type", typ.String())).Inc()
 	c.obs.Counter("redoop_cache_registered_bytes_total", obs.L("type", typ.String())).Add(float64(bytes))
 	s.NID = nid
@@ -254,6 +279,9 @@ func (c *Controller) SetReady(pid string, typ CacheType, ready Ready, at simtime
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if s, ok := c.sigs[entryKey(pid, typ)]; ok {
+		if c.onTransition != nil {
+			c.onTransition(pid, typ, s.Ready, ready)
+		}
 		if ready < s.Ready {
 			// A downgrade is the §5 failure-recovery rollback: the cache
 			// was lost and consumers must fall back to HDFS or recompute.

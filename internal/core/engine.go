@@ -161,7 +161,10 @@ type Engine struct {
 	adaptive  bool
 	proactive bool
 	noReuse   bool
-	next      int // next recurrence to run
+	// brokenRecovery disables the §5 cache-loss recovery path (see
+	// BreakRecoveryForTest); never set outside oracle self-validation.
+	brokenRecovery bool
+	next           int // next recurrence to run
 
 	expiredBound []window.PaneID // per source: panes below are retired
 }
@@ -328,6 +331,13 @@ func (e *Engine) Query() *Query { return e.query }
 
 // MR returns the underlying MapReduce runtime.
 func (e *Engine) MR() *mapreduce.Engine { return e.mr }
+
+// BreakRecoveryForTest sabotages the §5 cache-loss recovery path: a
+// lost cache is treated as a hit (no ready 2→1 rollback, no dependent
+// task re-insertion) and its missing bytes read back empty. It exists
+// solely to prove the differential oracle detects a broken recovery
+// path; production code must never call it.
+func (e *Engine) BreakRecoveryForTest() { e.brokenRecovery = true }
 
 // ForceProactive overrides the adaptive decision, pinning the engine to
 // proactive mode with the given sub-pane factor (1 restores whole
@@ -644,6 +654,17 @@ func (e *Engine) registerCache(pid string, typ CacheType, node int, readyAt simt
 // the sharing group so one query's expiry cannot purge a cache a
 // sibling still needs.
 func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte, usedBy []int) cacheRef {
+	// Re-homing: when a rebuilt cache lands on a different node (one
+	// lost partition forces a whole-tuple recompute, but sibling
+	// partitions may still be resident elsewhere), expire the old
+	// node's copy — the signature moves with the rebuild, so bytes
+	// left behind would otherwise be orphaned forever: unexpired,
+	// undiscoverable, and invisible to every future purge notice.
+	if old, ok := e.ctrl.Lookup(pid, typ); ok && old.NID != node {
+		if oldReg := e.ctrl.Registry(old.NID); oldReg != nil {
+			oldReg.MarkExpired(pid, typ)
+		}
+	}
 	reg := e.ctrl.Registry(node)
 	reg.Add(pid, typ, data)
 	e.ctrl.Register(pid, typ, node, CacheAvailable, readyAt, int64(len(data)), usedBy)
@@ -684,6 +705,13 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 	}
 	reg := e.ctrl.Registry(sig.NID)
 	if reg == nil || !reg.Has(pid, typ) {
+		if e.brokenRecovery {
+			// Deliberately wrong: trust the stale CacheAvailable bit and
+			// skip the §5 rollback. Exists only so tests can prove the
+			// differential oracle catches a recovery-path regression.
+			e.ctrl.ClaimUser(pid, typ, e.qIdx)
+			return cacheRef{pid: pid, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
+		}
 		// Cache loss: roll back the ready bit and pull dependent
 		// tasks; the caller re-inserts the rebuild into the map list.
 		e.obs.Counter("redoop_cache_lookups_total",
@@ -715,6 +743,11 @@ func (e *Engine) readCache(ref cacheRef) ([]records.Pair, error) {
 	reg := e.ctrl.Registry(ref.node)
 	data, ok := reg.Get(ref.pid, ref.typ)
 	if !ok {
+		if e.brokenRecovery {
+			// Deliberately wrong (see BreakRecoveryForTest): a lost
+			// cache reads back as empty instead of erroring.
+			return nil, nil
+		}
 		return nil, fmt.Errorf("core: cache %s (%v) lost from node %d mid-recurrence", ref.pid, ref.typ, ref.node)
 	}
 	return records.DecodePairs(data)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -319,11 +320,78 @@ func (p *Packer) flushPane(pane window.PaneID) error {
 	return nil
 }
 
-// header is the multi-pane file locator (§3.2): pane → byte range.
-type headerEntry struct {
+// HeaderEntry is one locator row of a shared multi-pane file's header
+// (§3.2): which byte range of the body holds which pane.
+type HeaderEntry struct {
 	Pane   int64 `json:"pane"`
 	Offset int64 `json:"offset"`
 	Length int64 `json:"length"`
+}
+
+// ParsePaneHeader decodes and validates a S#P<lo>_<hi> file header
+// against the body it describes. A valid header is a JSON array of
+// entries with strictly ascending pane ids whose byte ranges tile the
+// body exactly: offsets start at 0, ranges are contiguous and
+// non-overlapping, and their lengths sum to bodyLen. Anything else —
+// malformed JSON, trailing garbage, duplicate or unsorted panes,
+// out-of-bounds or overlapping ranges — is an error, never a panic,
+// so a damaged header can never silently mis-attribute records to the
+// wrong pane.
+func ParsePaneHeader(hdr []byte, bodyLen int64) ([]HeaderEntry, error) {
+	if bodyLen < 0 {
+		return nil, fmt.Errorf("core: negative body length %d", bodyLen)
+	}
+	dec := json.NewDecoder(bytes.NewReader(hdr))
+	var entries []HeaderEntry
+	if err := dec.Decode(&entries); err != nil {
+		return nil, fmt.Errorf("core: pane header: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("core: pane header: trailing data after entry array")
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("core: pane header: no entries")
+	}
+	var next int64
+	for i, e := range entries {
+		if e.Pane < 0 {
+			return nil, fmt.Errorf("core: pane header entry %d: negative pane %d", i, e.Pane)
+		}
+		if i > 0 && e.Pane <= entries[i-1].Pane {
+			return nil, fmt.Errorf("core: pane header entry %d: pane %d not above predecessor %d",
+				i, e.Pane, entries[i-1].Pane)
+		}
+		if e.Length < 0 {
+			return nil, fmt.Errorf("core: pane header entry %d: negative length %d", i, e.Length)
+		}
+		if e.Offset != next {
+			return nil, fmt.Errorf("core: pane header entry %d: offset %d leaves a gap or overlap (want %d)",
+				i, e.Offset, next)
+		}
+		next = e.Offset + e.Length
+		if next > bodyLen {
+			return nil, fmt.Errorf("core: pane header entry %d: range [%d,%d) exceeds body length %d",
+				i, e.Offset, next, bodyLen)
+		}
+	}
+	if next != bodyLen {
+		return nil, fmt.Errorf("core: pane header covers %d of %d body bytes", next, bodyLen)
+	}
+	return entries, nil
+}
+
+// PaneSlice returns the body bytes a validated header attributes to
+// one pane; ok is false when the header has no entry for it.
+func PaneSlice(body []byte, entries []HeaderEntry, pane int64) (data []byte, ok bool) {
+	for _, e := range entries {
+		if e.Pane == pane {
+			if e.Offset+e.Length > int64(len(body)) {
+				return nil, false
+			}
+			return body[e.Offset : e.Offset+e.Length], true
+		}
+	}
+	return nil, false
 }
 
 // flushGroup writes the pending undersized panes as one shared file
@@ -342,7 +410,7 @@ func (p *Packer) flushGroup() error {
 	}
 
 	var body []byte
-	var hdr []headerEntry
+	var hdr []HeaderEntry
 	ranges := make(map[window.PaneID][2]int64)
 	for _, pane := range panes {
 		recs := p.groupRecs[pane]
@@ -353,7 +421,7 @@ func (p *Packer) flushGroup() error {
 		}
 		length := int64(len(body)) - start
 		ranges[pane] = [2]int64{start, length}
-		hdr = append(hdr, headerEntry{Pane: int64(pane), Offset: start, Length: length})
+		hdr = append(hdr, HeaderEntry{Pane: int64(pane), Offset: start, Length: length})
 	}
 	if err := p.dfs.Write(path, body); err != nil {
 		return err

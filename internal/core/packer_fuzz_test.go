@@ -1,0 +1,119 @@
+package core
+
+// Fuzz target for shared multi-pane file header parsing (§3.2): a
+// damaged header may be rejected but must never panic, and any header
+// that parses must tile its body exactly — so PaneSlice can never
+// attribute bytes to the wrong pane or read out of bounds.
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func FuzzParsePaneHeader(f *testing.F) {
+	// Seed corpus: a well-formed two-pane header plus the malformed
+	// shapes the validator must reject.
+	good, _ := json.Marshal([]HeaderEntry{
+		{Pane: 4, Offset: 0, Length: 10},
+		{Pane: 5, Offset: 10, Length: 6},
+	})
+	f.Add(good, int64(16))
+	f.Add([]byte(`[]`), int64(0))                                 // empty header
+	f.Add([]byte(`[{"pane":0,"offset":0,"length":8}]`), int64(8)) // single pane
+	f.Add([]byte(`[{"pane":1,"offset":0,"length":8},`+
+		`{"pane":1,"offset":8,"length":8}]`), int64(16)) // duplicate pane
+	f.Add([]byte(`[{"pane":2,"offset":0,"length":8},`+
+		`{"pane":1,"offset":8,"length":8}]`), int64(16)) // unsorted
+	f.Add([]byte(`[{"pane":0,"offset":4,"length":4}]`), int64(8))          // gap at start
+	f.Add([]byte(`[{"pane":0,"offset":0,"length":4}]`), int64(8))          // short of body
+	f.Add([]byte(`[{"pane":0,"offset":0,"length":-1}]`), int64(8))         // negative length
+	f.Add([]byte(`[{"pane":-3,"offset":0,"length":8}]`), int64(8))         // negative pane
+	f.Add([]byte(`[{"pane":0,"offset":0,"length":8}] trailing`), int64(8)) // trailing garbage
+	f.Add([]byte(`{"pane":0}`), int64(8))                                  // not an array
+	f.Add([]byte(`[{"pane":0,"offset":0,"length":9223372036854775807}]`), int64(8))
+	f.Add([]byte(``), int64(8))
+	f.Add([]byte(`null`), int64(0))
+
+	f.Fuzz(func(t *testing.T, hdr []byte, bodyLen int64) {
+		entries, err := ParsePaneHeader(hdr, bodyLen) // must not panic
+		if err != nil {
+			return
+		}
+		if bodyLen < 0 {
+			t.Fatalf("accepted negative body length %d", bodyLen)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("accepted a header with no entries")
+		}
+		// Accepted headers tile [0, bodyLen) exactly, in pane order.
+		var next int64
+		prevPane := int64(-1)
+		for _, e := range entries {
+			if e.Pane <= prevPane {
+				t.Fatalf("accepted non-ascending panes: %d after %d", e.Pane, prevPane)
+			}
+			prevPane = e.Pane
+			if e.Offset != next || e.Length < 0 {
+				t.Fatalf("accepted non-contiguous range %+v, want offset %d", e, next)
+			}
+			next = e.Offset + e.Length
+		}
+		if next != bodyLen {
+			t.Fatalf("accepted header covering %d of %d body bytes", next, bodyLen)
+		}
+		// PaneSlice partitions the body: per-pane slices are in bounds
+		// and their lengths sum back to the body.
+		body := make([]byte, bodyLen)
+		var total int64
+		for _, e := range entries {
+			data, ok := PaneSlice(body, entries, e.Pane)
+			if !ok {
+				t.Fatalf("PaneSlice refused pane %d of a validated header", e.Pane)
+			}
+			total += int64(len(data))
+		}
+		if total != bodyLen {
+			t.Fatalf("pane slices cover %d of %d body bytes", total, bodyLen)
+		}
+		// A pane the header does not mention is never attributed bytes.
+		if _, ok := PaneSlice(body, entries, prevPane+1); ok {
+			t.Fatalf("PaneSlice produced bytes for absent pane %d", prevPane+1)
+		}
+	})
+}
+
+// TestParsePaneHeaderRejections pins the validator's error cases so a
+// refactor cannot quietly drop one (the fuzzer only proves "no panic +
+// accepted implies well-formed", not "malformed implies rejected").
+func TestParsePaneHeaderRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		hdr     string
+		bodyLen int64
+	}{
+		{"empty header", `[]`, 0},
+		{"not json", `pane 0 at 0`, 8},
+		{"trailing garbage", `[{"pane":0,"offset":0,"length":8}]{}`, 8},
+		{"duplicate pane", `[{"pane":1,"offset":0,"length":4},{"pane":1,"offset":4,"length":4}]`, 8},
+		{"unsorted panes", `[{"pane":2,"offset":0,"length":4},{"pane":1,"offset":4,"length":4}]`, 8},
+		{"gap before first", `[{"pane":0,"offset":4,"length":4}]`, 8},
+		{"overlap", `[{"pane":0,"offset":0,"length":6},{"pane":1,"offset":4,"length":4}]`, 8},
+		{"short of body", `[{"pane":0,"offset":0,"length":4}]`, 8},
+		{"past body", `[{"pane":0,"offset":0,"length":12}]`, 8},
+		{"negative length", `[{"pane":0,"offset":0,"length":-1}]`, 8},
+		{"negative pane", `[{"pane":-1,"offset":0,"length":8}]`, 8},
+		{"negative body", `[{"pane":0,"offset":0,"length":8}]`, -1},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePaneHeader([]byte(tc.hdr), tc.bodyLen); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	entries, err := ParsePaneHeader([]byte(`[{"pane":3,"offset":0,"length":5},{"pane":7,"offset":5,"length":3}]`), 8)
+	if err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if data, ok := PaneSlice([]byte("abcdefgh"), entries, 7); !ok || string(data) != "fgh" {
+		t.Fatalf("PaneSlice(pane 7) = %q, %v", data, ok)
+	}
+}

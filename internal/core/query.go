@@ -170,3 +170,26 @@ func (q *Query) routTuplePID(t paneTuple, part int) string {
 func (q *Query) routPairPID(p1, p2 window.PaneID, part int) string {
 	return q.routTuplePID(paneTuple{p1, p2}, part)
 }
+
+// Exported cache-identifier accessors for external verification
+// tooling (the differential oracle cross-checks controller and
+// registry state against the identifiers the engine uses internally).
+
+// ReduceInputPID returns the reduce-input cache identifier of one
+// source pane's shuffled partition; unit is the source's effective
+// pane unit (window.Frame.Pane).
+func (q *Query) ReduceInputPID(src int, unit int64, pane window.PaneID, part int) string {
+	return q.rinPID(src, unit, pane, part)
+}
+
+// ReduceOutputPanePID returns an aggregation pane's reduce-output
+// cache identifier.
+func (q *Query) ReduceOutputPanePID(pane window.PaneID, part int) string {
+	return q.routPanePID(pane, part)
+}
+
+// ReduceOutputTuplePID returns a join pane-tuple's reduce-output cache
+// identifier (one pane per source, source order).
+func (q *Query) ReduceOutputTuplePID(panes []window.PaneID, part int) string {
+	return q.routTuplePID(paneTuple(panes), part)
+}

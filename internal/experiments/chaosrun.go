@@ -1,0 +1,103 @@
+package experiments
+
+// Chaos verification runs: one Redoop series per regime under a
+// deterministic fault schedule with the differential oracle enabled.
+// This is the workload behind the CI soak matrix and the regression
+// tests — a figure-independent way to say "run the engine through a
+// storm and prove every window's answer".
+
+import (
+	"fmt"
+
+	"redoop/internal/chaos"
+	"redoop/internal/core"
+	"redoop/internal/oracle"
+	"redoop/internal/queries"
+	"redoop/internal/records"
+	"redoop/internal/workload"
+)
+
+// ChaosRegimes lists the engine regimes the soak matrix verifies:
+// pane aggregation, the binary join, adaptive re-planning, and
+// speculative execution.
+var ChaosRegimes = []string{"agg", "join", "adaptive", "speculative"}
+
+// ProfileForRegime pairs a regime with the chaos profile that
+// exercises it: the speculative regime needs the straggler/speculation
+// profile (speculation never triggers without jitter); everything else
+// gets the full mixed storm.
+func ProfileForRegime(regime string) string {
+	if regime == "speculative" {
+		return chaos.ProfileSpeculative
+	}
+	return chaos.ProfileMixed
+}
+
+// chaosSpec builds the fixed verification workload of one regime, at
+// the configured scale. Overlap 0.75 keeps several panes shared
+// between consecutive windows, so cache reuse — the thing chaos
+// attacks — is always in play.
+func (c Config) chaosSpec(regime string) (runSpec, error) {
+	const overlap = 0.75
+	switch regime {
+	case "agg", "adaptive", "speculative":
+		wcc := workload.DefaultWCC(c.Seed)
+		return runSpec{
+			queryName: "chaos-" + regime,
+			sources:   1,
+			overlap:   overlap,
+			windows:   c.Windows,
+			sched:     workload.SteadyRate,
+			adaptive:  regime == "adaptive",
+			gen: func(_ int, start, end int64, n int) []records.Record {
+				return workload.WCC(wcc, start, end, n)
+			},
+			query: func() *core.Query {
+				return queries.WCCAggregation("qchaos", c.WindowDur, c.SlideFor(overlap), c.Reducers)
+			},
+		}, nil
+	case "join":
+		ffg := workload.DefaultFFG(c.Seed)
+		return runSpec{
+			queryName: "chaos-join",
+			sources:   2,
+			overlap:   overlap,
+			windows:   c.Windows,
+			sched:     workload.SteadyRate,
+			gen: func(src int, start, end int64, n int) []records.Record {
+				if src == 0 {
+					return workload.FFGReadings(ffg, start, end, n)
+				}
+				return workload.FFGEvents(ffg, start, end, n/4)
+			},
+			query: func() *core.Query {
+				return queries.FFGJoin("qchaosj", c.WindowDur, c.SlideFor(overlap), c.Reducers)
+			},
+		}, nil
+	default:
+		return runSpec{}, fmt.Errorf("experiments: unknown chaos regime %q (want one of %v)", regime, ChaosRegimes)
+	}
+}
+
+// RunChaosRegime runs one regime's Redoop series under c.Chaos with
+// the oracle enabled and returns every per-recurrence verdict. The
+// returned error is non-nil when any window diverged or violated an
+// invariant (the first failure aborts the series).
+func (c Config) RunChaosRegime(regime string) ([]oracle.Verdict, error) {
+	c = c.withDefaults()
+	spec, err := c.chaosSpec(regime)
+	if err != nil {
+		return nil, err
+	}
+	var verdicts []oracle.Verdict
+	prev := c.OnVerdict
+	c.OracleCheck = true
+	c.OnVerdict = func(system string, v oracle.Verdict) {
+		verdicts = append(verdicts, v)
+		if prev != nil {
+			prev(system, v)
+		}
+	}
+	_, err = c.runRedoop(spec, "Redoop/"+regime)
+	return verdicts, err
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"redoop/internal/baseline"
+	"redoop/internal/chaos"
 	"redoop/internal/cluster"
 	"redoop/internal/core"
 	"redoop/internal/dfs"
@@ -25,6 +26,7 @@ import (
 	"redoop/internal/iocost"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
+	"redoop/internal/oracle"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
 	"redoop/internal/workload"
@@ -73,6 +75,21 @@ type Config struct {
 	// introspection server uses to attach its /debug endpoints to
 	// runs in flight.
 	OnEngine func(*core.Engine)
+	// Chaos, when non-nil, replays the deterministic fault schedule
+	// against every Redoop run an experiment performs: its actions
+	// land between a window's batches and its trigger, its task-
+	// attempt faults and straggler knobs compose with any figure-
+	// scripted FaultPlan. The Hadoop baseline runs clean — chaos
+	// verifies Redoop's recovery, not Hadoop's.
+	Chaos *chaos.Schedule
+	// OracleCheck runs the differential window oracle after every
+	// Redoop recurrence: a divergence from baseline recomputation or
+	// a structural-invariant violation fails the run.
+	OracleCheck bool
+	// OnVerdict, when non-nil, receives every oracle verdict (system
+	// label + per-recurrence result) before pass/fail is enforced —
+	// the hook -chaos-report uses to build its JSON section.
+	OnVerdict func(system string, v oracle.Verdict)
 }
 
 // notifyEngine invokes the OnEngine hook if set.
@@ -348,12 +365,41 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 		return Series{}, err
 	}
 	c.notifyEngine(eng)
+
+	// Ingest chain, innermost first: engine ← oracle tee ← chaos
+	// delay gate. Batches a DelayBatch action holds bypass the tee
+	// until the injector releases them through `inner`, so the oracle
+	// always retains exactly what the engine eventually receives.
+	inner := eng.Ingest
+	var ora *oracle.Oracle
+	if c.OracleCheck {
+		ora, err = oracle.New(eng)
+		if err != nil {
+			return Series{}, err
+		}
+		inner = ora.WrapIngest(inner)
+	}
+	ingest := inner
+	var inj *chaos.Injector
+	if c.Chaos != nil {
+		inj = chaos.NewInjector(c.Chaos, mr)
+		if ora != nil {
+			inj.OnCorrupt = ora.ExcludePath
+		}
+		ingest = inj.WrapIngest(eng, inner)
+	}
+
 	f := newFeeder(c, spec)
 	series := Series{System: systemName, Overlap: spec.overlap}
 	winSpec := q.Spec()
 	for r := 0; r < spec.windows; r++ {
-		if err := f.feedThrough(winSpec.WindowClose(r), eng.Ingest); err != nil {
+		if err := f.feedThrough(winSpec.WindowClose(r), ingest); err != nil {
 			return Series{}, err
+		}
+		if inj != nil {
+			if err := inj.BeforeRecurrence(r, eng, inner); err != nil {
+				return Series{}, fmt.Errorf("%s window %d: %w", systemName, r+1, err)
+			}
 		}
 		if spec.redoopBefore != nil {
 			spec.redoopBefore(r, eng)
@@ -361,6 +407,15 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 		res, err := eng.RunNext()
 		if err != nil {
 			return Series{}, fmt.Errorf("%s window %d: %w", systemName, r+1, err)
+		}
+		if ora != nil {
+			ver := ora.Check(res)
+			if c.OnVerdict != nil {
+				c.OnVerdict(systemName, ver)
+			}
+			if verr := ver.Err(); verr != nil {
+				return Series{}, fmt.Errorf("%s window %d: %w", systemName, r+1, verr)
+			}
 		}
 		series.Windows = append(series.Windows, WindowTiming{
 			Window:   r + 1,

@@ -76,6 +76,31 @@ type FaultPlan interface {
 	ReduceAttemptFails(jobName string, part, attempt int) bool
 }
 
+// FaultPlans composes independent plans: an attempt fails when any
+// member plan fails it, so a figure's scripted failures and a chaos
+// schedule's deterministic ones can both apply to one run.
+type FaultPlans []FaultPlan
+
+// MapAttemptFails implements FaultPlan.
+func (ps FaultPlans) MapAttemptFails(jobName, splitID string, attempt int) bool {
+	for _, p := range ps {
+		if p != nil && p.MapAttemptFails(jobName, splitID, attempt) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceAttemptFails implements FaultPlan.
+func (ps FaultPlans) ReduceAttemptFails(jobName string, part, attempt int) bool {
+	for _, p := range ps {
+		if p != nil && p.ReduceAttemptFails(jobName, part, attempt) {
+			return true
+		}
+	}
+	return false
+}
+
 // FailFirstAttempts is a FaultPlan failing the first N attempts of every
 // task, exercising the retry path uniformly.
 type FailFirstAttempts struct{ N int }

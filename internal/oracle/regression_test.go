@@ -1,0 +1,107 @@
+package oracle_test
+
+// Regression tests for the recovery edge cases the oracle surfaces:
+// interleavings that single-fault tests never hit, each verified by
+// the differential check plus the full invariant suite.
+
+import (
+	"testing"
+
+	"redoop/internal/core"
+)
+
+// TestCacheLossWithNodeCrashSameRecurrence loses caches two ways in
+// one recurrence: node 1 crashes (its caches, pane-file replicas and
+// timeline all gone) while node 2's cache partition is silently
+// dropped. The engine must recover both — crash-homed caches via DFS
+// re-replication and full re-map, dropped ones via the lazy-discovery
+// rollback — and still produce the exact window answer.
+func TestCacheLossWithNodeCrashSameRecurrence(t *testing.T) {
+	r := startAgg(t, newMR(t, 5, 7), nil, "q-crashdrop", "")
+	requireOK(t, r.window(0))
+	requireOK(t, r.window(1))
+
+	r.mr.DFS.FailNode(1)
+	r.mr.Cluster.FailNode(1)
+	r.mr.Cluster.DropLocal(2, "cache/")
+
+	v := r.window(2)
+	requireOK(t, v)
+	if r.lastRes.CacheRecoveries == 0 {
+		t.Fatalf("no cache recoveries counted — the combined fault did not exercise §5 recovery")
+	}
+	// Subsequent windows heal back to steady state.
+	requireOK(t, r.window(3))
+	requireOK(t, r.window(4))
+}
+
+// TestSharedGroupRollback exercises the 2→1 rollback of reduce-input
+// signatures claimed by two queries in one sharing group: every cache
+// (shared rins and both queries' private routs) is dropped after both
+// queries consume them. The first query to run discovers the losses,
+// rolls the shared signatures back and re-maps every window pane; the
+// second query — whose routs are equally gone — must fall back to the
+// shared rins its sibling just rebuilt instead of re-mapping, which is
+// visible as strictly less map work. Both queries' windows verify
+// against independent recomputation.
+func TestSharedGroupRollback(t *testing.T) {
+	mr := newMR(t, 5, 7)
+	ctrl := core.NewController()
+	q1 := startAgg(t, mr, ctrl, "q-share-a", "shgrp")
+	q2 := startAgg(t, mr, ctrl, "q-share-b", "shgrp")
+
+	requireOK(t, q1.window(0))
+	requireOK(t, q2.window(0))
+
+	for _, id := range mr.Cluster.NodeIDs() {
+		mr.Cluster.DropLocal(id, "cache/")
+	}
+
+	v1 := q1.window(1)
+	requireOK(t, v1)
+	if q1.lastRes.CacheRecoveries == 0 {
+		t.Fatalf("first sharer rebuilt nothing — the caches were not actually lost")
+	}
+	v2 := q2.window(1)
+	requireOK(t, v2)
+	if q2.lastRes.CacheRecoveries == 0 {
+		t.Fatalf("second sharer counted no recoveries — its routs were not actually lost")
+	}
+	if q2.lastRes.Stats.MapTasks >= q1.lastRes.Stats.MapTasks {
+		t.Fatalf("second sharer re-mapped (%d map tasks, first sharer %d) instead of reusing the rebuilt shared rins",
+			q2.lastRes.Stats.MapTasks, q1.lastRes.Stats.MapTasks)
+	}
+	requireOK(t, q1.window(2))
+	requireOK(t, q2.window(2))
+}
+
+// TestReplanRacesPendingExpiry forces a §3.3 re-plan (sub-pane split)
+// exactly while the previous window's trailing panes are pending
+// expiration: the split recurrence and the ones after it must keep
+// verifying, the new plan must be in effect, and the registry-hygiene
+// invariant confirms pre-split caches are purged on schedule rather
+// than leaking through the granularity change.
+func TestReplanRacesPendingExpiry(t *testing.T) {
+	r := startAgg(t, newMR(t, 5, 7), nil, "q-replan", "")
+	requireOK(t, r.window(0))
+	requireOK(t, r.window(1))
+
+	if err := r.eng.ForceProactive(2); err != nil {
+		t.Fatalf("force proactive: %v", err)
+	}
+	v := r.window(2)
+	requireOK(t, v)
+	if !r.lastRes.Proactive || r.lastRes.SubPanes != 2 {
+		t.Fatalf("re-plan not in effect: proactive=%v subPanes=%d",
+			r.lastRes.Proactive, r.lastRes.SubPanes)
+	}
+	requireOK(t, r.window(3))
+
+	// Revert to whole panes; the mixed cache population (split and
+	// unsplit panes in one window) must still verify and then expire.
+	if err := r.eng.ForceProactive(1); err != nil {
+		t.Fatalf("revert plan: %v", err)
+	}
+	requireOK(t, r.window(4))
+	requireOK(t, r.window(5))
+}

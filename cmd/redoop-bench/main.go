@@ -187,6 +187,7 @@ func main() {
 		if *jsonOut != "" {
 			sum := buildSummary(cfg, nil, nil, ob.Metrics)
 			sum.Health = healthSummary(mon)
+			sum.Profile = profileSummary(ob, nil)
 			sum.Chaos = cj
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)
@@ -309,6 +310,7 @@ func main() {
 		sum := buildSummary(cfg, results, headline, ob.Metrics)
 		sum.Health = healthSummary(mon)
 		sum.Parallel = parallelSummary(par)
+		sum.Profile = profileSummary(ob, par)
 		if *jsonOut != "" {
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)
@@ -375,7 +377,8 @@ func runTrajectory(w io.Writer, dir, rev string, sum summaryJSON, softPct, hardP
 	}
 	rows := compareSummaries(old, sum)
 	hrows := compareHealth(old, sum)
-	_, hard := regressReport(w, old.Rev, rev, rows, hrows, softPct, hardPct)
+	pnotes := compareProfile(old, sum)
+	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, softPct, hardPct)
 	return hard, nil
 }
 

@@ -8,11 +8,13 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"strings"
 
 	"redoop/internal/experiments"
 	"redoop/internal/health"
 	"redoop/internal/obs"
+	"redoop/internal/profile"
 )
 
 type windowJSON struct {
@@ -100,6 +102,30 @@ type parallelJSON struct {
 	VirtualEqual   bool    `json:"virtualEqual"`
 }
 
+// profileQueryJSON is one query's critical-path aggregate.
+type profileQueryJSON struct {
+	Query       string `json:"query"`
+	Recurrences int    `json:"recurrences"`
+	CritPathNS  int64  `json:"critPathNS"`
+	TimeSavedNS int64  `json:"timeSavedNS"`
+}
+
+// profileJSON folds the critical-path profiler into the trajectory:
+// total critical-path length across every recurrence the run executed,
+// the cache-benefit ledger's total time saved, and — when -par-bench
+// ran with more than one worker — the Amdahl-style serial fraction
+// implied by the measured wall-clock speedup. LedgerOK records whether
+// every reused pane's modeled saving was non-negative and every
+// critical path tiled its recurrence exactly.
+type profileJSON struct {
+	CritPathNS     int64              `json:"critPathNS"`
+	TimeSavedNS    int64              `json:"timeSavedNS"`
+	ReusedPanes    int                `json:"reusedPanes"`
+	LedgerOK       bool               `json:"ledgerOK"`
+	SerialFraction *float64           `json:"serialFraction,omitempty"`
+	Queries        []profileQueryJSON `json:"queries,omitempty"`
+}
+
 type summaryJSON struct {
 	Tool string `json:"tool"`
 	// Rev identifies the revision a trajectory entry was measured at
@@ -111,6 +137,7 @@ type summaryJSON struct {
 	Metrics         *metricsJSON      `json:"metrics,omitempty"`
 	Health          []queryHealthJSON `json:"health,omitempty"`
 	Parallel        *parallelJSON     `json:"parallel,omitempty"`
+	Profile         *profileJSON      `json:"profile,omitempty"`
 	// Chaos records a -chaos verification run: the seeded fault
 	// schedule and the oracle's per-regime verdicts (full detail with
 	// -chaos-report).
@@ -212,6 +239,45 @@ func parallelSummary(par *experiments.ParallelSpeedupResult) *parallelJSON {
 		Speedup:        par.Speedup,
 		VirtualEqual:   par.VirtualEqual,
 	}
+}
+
+// profileSummary reconstructs the run's task DAG from the observer's
+// span and event streams and folds the profiler aggregates into the
+// summary schema. Returns nil when no recurrence spans were recorded
+// (e.g. an observer-less run).
+func profileSummary(ob *obs.Observer, par *experiments.ParallelSpeedupResult) *profileJSON {
+	if ob == nil {
+		return nil
+	}
+	p := profile.Analyze(ob.Tracer.Events(), ob.Events.Events())
+	if len(p.Recurrences) == 0 {
+		return nil
+	}
+	pj := &profileJSON{
+		CritPathNS:  int64(p.CritPathTotal()),
+		TimeSavedNS: int64(p.TimeSaved()),
+		ReusedPanes: len(p.Ledger),
+		LedgerOK:    p.CheckInvariants() == nil,
+	}
+	if par != nil && par.Workers > 1 {
+		f := profile.SerialFraction(par.Speedup, par.Workers)
+		pj.SerialFraction = &f
+	}
+	names := make([]string, 0, len(p.Queries))
+	for q := range p.Queries {
+		names = append(names, q)
+	}
+	sort.Strings(names)
+	for _, q := range names {
+		qp := p.Queries[q]
+		pj.Queries = append(pj.Queries, profileQueryJSON{
+			Query:       q,
+			Recurrences: len(qp.Recurrences),
+			CritPathNS:  int64(qp.CritPath),
+			TimeSavedNS: int64(qp.TimeSaved),
+		})
+	}
+	return pj
 }
 
 // healthSummary folds the monitor's end-of-run snapshot into the

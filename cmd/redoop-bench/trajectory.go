@@ -193,9 +193,42 @@ func compareHealth(old, cur summaryJSON) []healthDelta {
 	return out
 }
 
+// compareProfile reports movements in the profiler aggregates between
+// two trajectory entries. Informational only — critical-path length
+// scales with the workload each revision chose to run, so it never
+// gates; a ledger-invariant violation in the new entry is still
+// surfaced loudly so the line is hard to miss in CI logs.
+func compareProfile(old, cur summaryJSON) []string {
+	if cur.Profile == nil {
+		return nil
+	}
+	var out []string
+	if !cur.Profile.LedgerOK {
+		out = append(out, "cache-benefit ledger invariant VIOLATED")
+	}
+	if old.Profile == nil {
+		return out
+	}
+	if old.Profile.CritPathNS > 0 {
+		out = append(out, fmt.Sprintf("critical path %s -> %s  %+6.1f%%",
+			fmtNS(old.Profile.CritPathNS), fmtNS(cur.Profile.CritPathNS),
+			pctChange(old.Profile.CritPathNS, cur.Profile.CritPathNS)))
+	}
+	if old.Profile.TimeSavedNS > 0 {
+		out = append(out, fmt.Sprintf("cache time saved %s -> %s  %+6.1f%%",
+			fmtNS(old.Profile.TimeSavedNS), fmtNS(cur.Profile.TimeSavedNS),
+			pctChange(old.Profile.TimeSavedNS, cur.Profile.TimeSavedNS)))
+	}
+	if old.Profile.SerialFraction != nil && cur.Profile.SerialFraction != nil {
+		out = append(out, fmt.Sprintf("serial fraction %.3f -> %.3f",
+			*old.Profile.SerialFraction, *cur.Profile.SerialFraction))
+	}
+	return out
+}
+
 // regressReport writes the comparison and returns whether any timing
 // row regressed past the soft or the hard threshold (in percent).
-func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, softPct, hardPct float64) (soft, hard bool) {
+func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes []string, softPct, hardPct float64) (soft, hard bool) {
 	fmt.Fprintf(w, "\ntrajectory: %s -> %s\n", revLabel(oldRev), revLabel(curRev))
 	if len(rows) == 0 {
 		fmt.Fprintf(w, "  no comparable series (different figure subsets?)\n")
@@ -233,6 +266,9 @@ func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []
 		if len(notes) > 0 {
 			fmt.Fprintf(w, "  health %-33s %s\n", h.Query+":", strings.Join(notes, "; "))
 		}
+	}
+	for _, n := range pnotes {
+		fmt.Fprintf(w, "  profile: %s\n", n)
 	}
 	switch {
 	case hard:

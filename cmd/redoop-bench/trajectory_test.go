@@ -108,7 +108,7 @@ func TestRegressReportThresholds(t *testing.T) {
 		{Key: seriesKey{"Figure 6", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1000, NewNS: 1080, Pct: 8},
 	}
 	var buf bytes.Buffer
-	soft, hard := regressReport(&buf, "a", "b", rows, nil, 5, 15)
+	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, 5, 15)
 	if !soft || hard {
 		t.Errorf("8%% over soft=5 hard=15: soft=%v hard=%v, want soft only", soft, hard)
 	}
@@ -118,7 +118,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = 20
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, 5, 15)
 	if !hard {
 		t.Errorf("20%% over hard=15: hard=%v, want true", hard)
 	}
@@ -128,7 +128,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = -8
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, 5, 15)
 	if soft || hard {
 		t.Errorf("improvement flagged as regression: soft=%v hard=%v", soft, hard)
 	}
@@ -144,10 +144,40 @@ func TestRegressReportHealthLines(t *testing.T) {
 		StatusOld: "OK", StatusNew: "AT_RISK",
 	}}
 	var buf bytes.Buffer
-	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, 5, 15)
+	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, 5, 15)
 	out := buf.String()
 	if !strings.Contains(out, "deadline misses 0 -> 2") || !strings.Contains(out, "status OK -> AT_RISK") {
 		t.Errorf("health lines missing:\n%s", out)
+	}
+}
+
+func TestCompareProfile(t *testing.T) {
+	sf := func(v float64) *float64 { return &v }
+	old := summaryJSON{Profile: &profileJSON{
+		CritPathNS: 1000, TimeSavedNS: 500, LedgerOK: true, SerialFraction: sf(0.2),
+	}}
+	cur := summaryJSON{Profile: &profileJSON{
+		CritPathNS: 1200, TimeSavedNS: 400, LedgerOK: true, SerialFraction: sf(0.3),
+	}}
+	notes := compareProfile(old, cur)
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"critical path", "+20.0%", "cache time saved", "-20.0%", "serial fraction 0.200 -> 0.300"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+
+	// A ledger violation in the new entry is reported even with no
+	// prior profile to compare against.
+	cur.Profile.LedgerOK = false
+	notes = compareProfile(summaryJSON{}, cur)
+	if len(notes) != 1 || !strings.Contains(notes[0], "VIOLATED") {
+		t.Errorf("violation notes = %v", notes)
+	}
+
+	// No profile on the new side: nothing to say.
+	if notes := compareProfile(old, summaryJSON{}); notes != nil {
+		t.Errorf("nil profile produced notes: %v", notes)
 	}
 }
 

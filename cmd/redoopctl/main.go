@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	redoopctl [metrics|explain|health] [-query agg|join] [-overlap 0.9]
+//	redoopctl [metrics|explain|health|profile] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-chaos SEED[:profile]]
 //	          [-top K] [-seed N]
 //	          [-workers N] [-spikewin N] [-spikefactor F] [-deadline DUR]
 //	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
+//	          [-folded-out FILE] [-critpath-out FILE]
 //
 // -workers sets the host-side parallel compute pool the engine uses
 // (0 = GOMAXPROCS, 1 = serial). It changes only real elapsed time:
@@ -42,6 +43,21 @@
 // multi-minute slides) so misses and the AT_RISK/MISSING_DEADLINES
 // escalation can be observed on a real run.
 //
+// The "profile" subcommand runs the query twice — once on a serial
+// compute pool, once on the -workers pool (default GOMAXPROCS) — and
+// prints the critical-path profile of the parallel run: per-query
+// critical-path length, phase and wait breakdowns, the top-K
+// critical-path segments, the cache-benefit ledger total, and an
+// Amdahl serial fraction inverted from the two runs' host wall-clock
+// speedup (the virtual results are byte-identical by construction, so
+// the comparison isolates host-side parallelism). The run fails with a
+// non-zero exit if any profiler invariant is violated: a critical path
+// that does not tile its recurrence's wall-clock exactly, or a ledger
+// entry whose cache-load cost exceeds the recompute cost it avoided.
+// -folded-out writes the flamegraph folded stacks and -critpath-out
+// the Chrome-trace critical-path overlay (both also work outside the
+// profile subcommand, from the same instrumented run).
+//
 // -chaos SEED[:profile] runs the query under a deterministic seeded
 // fault schedule (node crashes and revivals, cache losses, pane-file
 // corruption, delayed batches, stragglers — profile selects the fault
@@ -69,6 +85,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -83,6 +100,7 @@ import (
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/obsserver"
 	"redoop/internal/oracle"
+	"redoop/internal/profile"
 	"redoop/internal/queries"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -91,33 +109,36 @@ import (
 
 func main() {
 	var (
-		queryKind  = flag.String("query", "agg", "query to run: agg (Q1, WCC) or join (Q2, FFG)")
-		overlap    = flag.Float64("overlap", 0.9, "window overlap factor (win-slide)/win")
-		windows    = flag.Int("windows", 10, "number of recurrences")
-		recs       = flag.Int("records", 120000, "records per window")
-		adaptive   = flag.Bool("adaptive", false, "enable adaptive input partitioning")
-		useBase    = flag.Bool("baseline", false, "run the plain-Hadoop baseline instead of Redoop")
-		failNode   = flag.Int("failnode", -1, "kill this node before window 3")
-		dropCache  = flag.Bool("dropcaches", false, "drop one node's caches before every window")
-		chaosArg   = flag.String("chaos", "", "run under a seeded deterministic fault schedule with the oracle verifying every window: SEED[:profile] (profiles: mixed, crash, cacheloss, corrupt, delay, straggle, speculative, none)")
-		topK       = flag.Int("top", 5, "print the top-K results of the final window")
-		seed       = flag.Int64("seed", 42, "generator seed")
-		workers    = flag.Int("workers", 0, "parallel compute pool: 0 = GOMAXPROCS, 1 = serial (simulated results are identical either way)")
-		spikeWin   = flag.Int("spikewin", -1, "multiply this window's input volume by -spikefactor (oversized-batch fault)")
-		spikeFac   = flag.Float64("spikefactor", 10, "input volume multiplier for -spikewin")
-		deadline   = flag.Duration("deadline", 0, "override the SLO deadline (default: the query's slide, in virtual time)")
-		metricsOut = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
-		traceOut   = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
-		serveAddr  = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) during the run, then until interrupted")
+		queryKind   = flag.String("query", "agg", "query to run: agg (Q1, WCC) or join (Q2, FFG)")
+		overlap     = flag.Float64("overlap", 0.9, "window overlap factor (win-slide)/win")
+		windows     = flag.Int("windows", 10, "number of recurrences")
+		recs        = flag.Int("records", 120000, "records per window")
+		adaptive    = flag.Bool("adaptive", false, "enable adaptive input partitioning")
+		useBase     = flag.Bool("baseline", false, "run the plain-Hadoop baseline instead of Redoop")
+		failNode    = flag.Int("failnode", -1, "kill this node before window 3")
+		dropCache   = flag.Bool("dropcaches", false, "drop one node's caches before every window")
+		chaosArg    = flag.String("chaos", "", "run under a seeded deterministic fault schedule with the oracle verifying every window: SEED[:profile] (profiles: mixed, crash, cacheloss, corrupt, delay, straggle, speculative, none)")
+		topK        = flag.Int("top", 5, "print the top-K results of the final window")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		workers     = flag.Int("workers", 0, "parallel compute pool: 0 = GOMAXPROCS, 1 = serial (simulated results are identical either way)")
+		spikeWin    = flag.Int("spikewin", -1, "multiply this window's input volume by -spikefactor (oversized-batch fault)")
+		spikeFac    = flag.Float64("spikefactor", 10, "input volume multiplier for -spikewin")
+		deadline    = flag.Duration("deadline", 0, "override the SLO deadline (default: the query's slide, in virtual time)")
+		metricsOut  = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
+		traceOut    = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
+		foldedOut   = flag.String("folded-out", "", "write flamegraph folded stacks of the run's task spans to this file")
+		critpathOut = flag.String("critpath-out", "", "write a Chrome trace JSON with the critical-path overlay to this file")
+		serveAddr   = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) during the run, then until interrupted")
 	)
 	args := os.Args[1:]
 	metricsMode := len(args) > 0 && args[0] == "metrics"
 	explainMode := len(args) > 0 && args[0] == "explain"
 	healthMode := len(args) > 0 && args[0] == "health"
-	if metricsMode || explainMode || healthMode {
+	profileMode := len(args) > 0 && args[0] == "profile"
+	if metricsMode || explainMode || healthMode || profileMode {
 		args = args[1:]
 	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain or health)\n", args[0])
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health or profile)\n", args[0])
 		os.Exit(2)
 	}
 	flag.CommandLine.Parse(args)
@@ -150,8 +171,14 @@ func main() {
 		}
 	}
 
+	if profileMode && *useBase {
+		fmt.Fprintln(os.Stderr, "redoopctl: profile needs the instrumented Redoop engine; it cannot be combined with -baseline")
+		os.Exit(2)
+	}
+
 	var ob *obs.Observer
-	if metricsMode || explainMode || healthMode || *serveAddr != "" || *metricsOut != "" || *traceOut != "" {
+	if metricsMode || explainMode || healthMode || profileMode ||
+		*serveAddr != "" || *metricsOut != "" || *traceOut != "" || *foldedOut != "" || *critpathOut != "" {
 		ob = obs.New()
 		cfg.Obs = ob
 	}
@@ -178,14 +205,36 @@ func main() {
 		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
 	}
 
-	// In metrics, explain and health mode the report owns stdout; the
-	// table moves to stderr so both remain usable.
+	// In metrics, explain, health and profile mode the report owns
+	// stdout; the table moves to stderr so both remain usable.
 	tableOut := io.Writer(os.Stdout)
-	if metricsMode || explainMode || healthMode {
+	if metricsMode || explainMode || healthMode || profileMode {
 		tableOut = os.Stderr
 	}
 
+	// The profile subcommand measures an Amdahl reference point first: an
+	// identical run on a serial compute pool (own observer and monitor —
+	// its instrumentation must not mix into the profiled run). Virtual
+	// results are byte-identical across pool widths, so comparing the two
+	// host wall-clocks isolates parallel-execution speedup.
+	var serialElapsed time.Duration
+	if profileMode {
+		scfg := cfg
+		scfg.ExecWorkers = 1
+		scfg.Obs = nil
+		scfg.Health = health.NewMonitor(hcfg)
+		scfg.OnEngine = nil
+		t0 := time.Now()
+		if err := run(io.Discard, scfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, 0, *spikeWin, *spikeFac, chaosSched); err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: serial reference run: %v\n", err)
+			os.Exit(1)
+		}
+		serialElapsed = time.Since(t0)
+	}
+
+	t0 := time.Now()
 	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched)
+	parallelElapsed := time.Since(t0)
 
 	// Artifacts and the metrics dump are emitted even on failure so
 	// fault-injected runs leave their partial series behind. A failed
@@ -233,6 +282,45 @@ func main() {
 				fmt.Fprintf(os.Stderr, "redoopctl: trace-out: %v\n", err)
 				artifactErr = true
 			}
+		}
+	}
+	if ob != nil && (profileMode || *foldedOut != "" || *critpathOut != "") {
+		p := profile.Analyze(ob.Tracer.Events(), ob.Events.Events())
+		if profileMode {
+			if err := p.Text(os.Stdout, *topK); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: profile report: %v\n", err)
+				artifactErr = true
+			}
+			poolN := *workers
+			if poolN <= 0 {
+				poolN = runtime.GOMAXPROCS(0)
+			}
+			speedup := 0.0
+			if parallelElapsed > 0 {
+				speedup = float64(serialElapsed) / float64(parallelElapsed)
+			}
+			fmt.Printf("parallel execution: serial %v vs %d-worker %v → speedup %.2fx, Amdahl serial fraction %.3f\n",
+				serialElapsed.Round(time.Millisecond), poolN, parallelElapsed.Round(time.Millisecond),
+				speedup, profile.SerialFraction(speedup, poolN))
+		}
+		if *foldedOut != "" {
+			if err := p.WriteFoldedFile(*foldedOut); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: folded-out: %v\n", err)
+				artifactErr = true
+			}
+		}
+		if *critpathOut != "" {
+			if err := p.WriteCritPathTraceFile(*critpathOut); err != nil {
+				fmt.Fprintf(os.Stderr, "redoopctl: critpath-out: %v\n", err)
+				artifactErr = true
+			}
+		}
+		// The profiler's structural guarantees are part of the contract:
+		// a critical path that does not tile its recurrence, or a cache
+		// reuse that cost more than it saved, fails the invocation.
+		if err := p.CheckInvariants(); err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+			artifactErr = true
 		}
 	}
 	if runErr != nil {
@@ -354,7 +442,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 			}
 		}
 		if failNode >= 0 && r == 2 {
-			mr.DFS.FailNode(failNode)
+			mr.DFS.FailNodeAt(failNode, simtime.Time(spec.WindowClose(r-1)))
 			mr.Cluster.FailNode(failNode)
 			cfg.Obs.Emit(simtime.Time(spec.WindowClose(r-1)), eventlog.NodeFailure, q.Name,
 				eventlog.NodeFailureData{Node: failNode})

@@ -133,7 +133,7 @@ func (in *Injector) BeforeRecurrence(r int, eng *core.Engine, ingest func(src in
 			if !in.mr.Cluster.Node(n).Alive() || in.aliveCount() <= 1 {
 				continue
 			}
-			moved := in.mr.DFS.FailNode(n)
+			moved := in.mr.DFS.FailNodeAt(n, in.triggerTime(eng, r))
 			in.mr.Cluster.FailNode(n)
 			in.applied = append(in.applied, Applied{
 				Recurrence: r, Kind: NodeCrash, Node: n,

@@ -461,6 +461,11 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	e.obs.Emit(trigger, eventlog.RecurrenceStart, e.query.Name, eventlog.RecurrenceStartData{
 		Recurrence: r, WindowLo: int64(winLo), WindowHi: int64(winHi),
 	})
+	// Reserve the recurrence's root span up front so every task span of
+	// this recurrence can parent-link to it; the root itself is recorded
+	// at the end once CompletedAt is known.
+	root := e.obs.ReserveSpanID()
+	e.mr.SpanParent = root
 
 	var res *RecurrenceResult
 	var err error
@@ -486,11 +491,15 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	e.obs.Counter("redoop_pane_pairs_total", obs.L("query", qname), obs.L("kind", "new")).Add(float64(res.NewPairs))
 	e.obs.Counter("redoop_pane_pairs_total", obs.L("query", qname), obs.L("kind", "reused")).Add(float64(res.ReusedPairs))
 	e.obs.Counter("redoop_cache_recoveries_total", obs.L("query", qname)).Add(float64(res.CacheRecoveries))
-	e.obs.Span(obs.QueryTrack(qname), "recurrence", fmt.Sprintf("recurrence %d", r),
-		trigger, res.CompletedAt,
-		obs.L("mode", mode),
-		obs.L("newPanes", fmt.Sprint(res.NewPanes)),
-		obs.L("reusedPanes", fmt.Sprint(res.ReusedPanes)))
+	e.obs.Task(obs.TaskSpan{
+		Track: obs.QueryTrack(qname), Cat: "recurrence",
+		Name:  fmt.Sprintf("recurrence %d", r),
+		Start: trigger, End: res.CompletedAt, Ready: trigger, ID: root,
+		Args: []obs.Label{
+			obs.L("mode", mode),
+			obs.L("newPanes", fmt.Sprint(res.NewPanes)),
+			obs.L("reusedPanes", fmt.Sprint(res.ReusedPanes))},
+	})
 	e.obs.Emit(res.CompletedAt, eventlog.RecurrenceFinish, qname, eventlog.RecurrenceFinishData{
 		Recurrence:      r,
 		ResponseNS:      int64(res.ResponseTime),
@@ -638,22 +647,37 @@ type cacheRef struct {
 	node    int
 	readyAt simtime.Time
 	bytes   int64
+	// span is the task span that produced the cached bytes, when it was
+	// produced within the current recurrence; zero for caches carried
+	// over from an earlier recurrence (a cache hit short-circuits the
+	// dependency walk at the trigger).
+	span obs.SpanID
 }
 
 // loc converts the reference into the scheduler's cost term.
 func (c cacheRef) loc() CacheLoc { return CacheLoc{Node: c.node, Bytes: c.bytes} }
 
+// cacheMeta is the provenance recorded with a cache registration: the
+// task span that produced the bytes, and the recompute cost a future
+// hit on this entry avoids — actual task durations where the cold run
+// measured them, iocost-modeled otherwise. The profiler's cache-benefit
+// ledger subtracts load costs from it.
+type cacheMeta struct {
+	span      obs.SpanID
+	recompute simtime.Duration
+}
+
 // registerCache persists bytes as a cache on a node and registers its
 // signature, claiming it for this query.
-func (e *Engine) registerCache(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte) cacheRef {
-	return e.registerCacheFor(pid, typ, node, readyAt, data, []int{e.qIdx})
+func (e *Engine) registerCache(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte, meta cacheMeta) cacheRef {
+	return e.registerCacheFor(pid, typ, node, readyAt, data, []int{e.qIdx}, meta)
 }
 
 // registerCacheFor is registerCache with an explicit consumer set —
 // reduce-input caches of shared sources are claimed by every query in
 // the sharing group so one query's expiry cannot purge a cache a
 // sibling still needs.
-func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte, usedBy []int) cacheRef {
+func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt simtime.Time, data []byte, usedBy []int, meta cacheMeta) cacheRef {
 	// Re-homing: when a rebuilt cache lands on a different node (one
 	// lost partition forces a whole-tuple recompute, but sibling
 	// partitions may still be resident elsewhere), expire the old
@@ -671,8 +695,9 @@ func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt s
 	e.obs.Emit(readyAt, eventlog.CacheRegister, e.query.Name, eventlog.CacheData{
 		PID: pid, CacheType: typ.String(), Node: node,
 		Bytes: int64(len(data)), Recurrence: e.NextRecurrence(),
+		RecomputeNS: int64(meta.recompute),
 	})
-	return cacheRef{pid: pid, typ: typ, node: node, readyAt: readyAt, bytes: int64(len(data))}
+	return cacheRef{pid: pid, typ: typ, node: node, readyAt: readyAt, bytes: int64(len(data)), span: meta.span}
 }
 
 // rinUsers returns the consumer set of source src's reduce-input
@@ -815,32 +840,59 @@ func (e *Engine) paneJob(src int) *mapreduce.Job {
 	}
 }
 
+// cacheTask reports one scheduled cache-fed task: where it ran, its
+// slot occupancy, and the task span recorded for it.
+type cacheTask struct {
+	node  int
+	start simtime.Time
+	end   simtime.Time
+	dur   simtime.Duration
+	span  obs.SpanID
+}
+
 // runCacheTask schedules one cache-fed reduce-style task: the node is
 // chosen by Equation 4, the caches are charged local/remote reads, and
-// work is the supplied extra duration. It returns the chosen node and
-// the task's span.
-func (e *Engine) runCacheTask(ready simtime.Time, caches []cacheRef, work simtime.Duration) (int, simtime.Time, simtime.Time, simtime.Duration) {
+// work is the supplied extra duration. The recorded task span depends
+// on the spans that produced the caches this recurrence (a carried-over
+// cache contributes no edge — the hit short-circuits the walk), and
+// each named cache's load cost is emitted as a cache.load event for the
+// profiler's benefit ledger.
+func (e *Engine) runCacheTask(name string, ready simtime.Time, caches []cacheRef, work simtime.Duration) cacheTask {
 	locs := make([]CacheLoc, len(caches))
+	deps := make([]obs.SpanID, 0, len(caches))
 	for i, c := range caches {
 		locs[i] = c.loc()
 		if c.readyAt > ready {
 			ready = c.readyAt
 		}
+		deps = append(deps, c.span)
 	}
 	node := e.sched.PickCacheTaskNode(ready, locs)
 	dur := e.sched.CacheCost(node.ID, locs) + work
 	start, end := node.Reduce.Acquire(ready, dur)
 	node.AddLoad(dur)
 	for _, c := range caches {
+		local := c.node == node.ID
 		locality := "remote"
-		if c.node == node.ID {
+		if local {
 			locality = "local"
 		}
 		e.obs.Counter("redoop_cache_read_bytes_total", obs.L("locality", locality)).Add(float64(c.bytes))
+		if c.pid != "" {
+			e.obs.Emit(start, eventlog.CacheLoad, e.query.Name, eventlog.CacheLoadData{
+				PID: c.pid, Node: node.ID, Local: local, Bytes: c.bytes,
+				LoadNS:     int64(e.mr.Cost.CacheRead(c.bytes, local)),
+				Recurrence: e.NextRecurrence(),
+			})
+		}
 	}
-	e.obs.Span(obs.NodeTrack(node.ID), "cachetask", "cache task "+e.query.Name,
-		start, end, obs.L("caches", fmt.Sprint(len(caches))))
-	return node.ID, start, end, dur
+	span := e.obs.Task(obs.TaskSpan{
+		Track: obs.NodeTrack(node.ID), Cat: "cachetask", Name: name,
+		Start: start, End: end, Ready: ready,
+		Parent: e.mr.SpanParent, Deps: deps,
+		Args: []obs.Label{obs.L("caches", fmt.Sprint(len(caches))), obs.L("query", e.query.Name)},
+	})
+	return cacheTask{node: node.ID, start: start, end: end, dur: dur, span: span}
 }
 
 // retireExpired marks panes that have slid out of every window (as of

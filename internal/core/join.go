@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
 	"redoop/internal/parallel"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -179,6 +180,19 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		sortedData[part] = records.EncodePairs(sorted)
 	})
 
+	// Map cost is paid once for the whole pane; each live partition's
+	// reduce-input entry carries an even share of it in its ledger
+	// recompute, on top of its own shuffle and spill actuals.
+	live := 0
+	for part := 0; part < R; part++ {
+		if inSizes[part] > 0 {
+			live++
+		}
+	}
+	mapShare := simtime.Duration(0)
+	if live > 0 {
+		mapShare = mp.Stats.MapTime / simtime.Duration(live)
+	}
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
 		if home == nil {
@@ -190,7 +204,7 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 			readyAt = mp.LastMapEnd
 		}
 		if inBytes == 0 {
-			refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID, readyAt, nil, e.rinUsers(src))
+			refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID, readyAt, nil, e.rinUsers(src), cacheMeta{})
 			continue
 		}
 		// The reducer-side copy: bytes from maps colocated with the
@@ -208,13 +222,28 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		copyDone := shuffleStart.Add(e.mr.Cost.NetTransfer(remote) + e.mr.Cost.DiskRead(local))
 		availAt := simtime.Max(copyDone, mp.LastMapEnd)
 		spill := e.mr.Cost.Sort(inBytes) + e.mr.Cost.DiskWrite(inBytes)
-		_, end := home.Reduce.Acquire(availAt, spill)
+		start, end := home.Reduce.Acquire(availAt, spill)
 		home.AddLoad(spill)
 		stats.ShuffleTime += availAt.Sub(shuffleStart)
 		stats.ReduceTime += spill
 		stats.BytesShuffled += inBytes
+		shuffleSpan := e.obs.Task(obs.TaskSpan{
+			Track: obs.NodeTrack(home.ID), Cat: "shuffle",
+			Name:  fmt.Sprintf("shuffle %s pane %d p%d", q.Sources[src].Name, int64(p), part),
+			Start: shuffleStart, End: availAt, Ready: shuffleStart,
+			Parent: e.mr.SpanParent, Deps: mp.Spans,
+			Args: []obs.Label{obs.L("query", q.Name)},
+		})
+		spillSpan := e.obs.Task(obs.TaskSpan{
+			Track: obs.NodeTrack(home.ID), Cat: "spill",
+			Name:  fmt.Sprintf("spill %s pane %d p%d", q.Sources[src].Name, int64(p), part),
+			Start: start, End: end, Ready: availAt,
+			Parent: e.mr.SpanParent, Deps: []obs.SpanID{shuffleSpan},
+			Args: []obs.Label{obs.L("query", q.Name)},
+		})
 		refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID,
-			end, sortedData[part], e.rinUsers(src))
+			end, sortedData[part], e.rinUsers(src),
+			cacheMeta{span: spillSpan, recompute: mapShare + availAt.Sub(shuffleStart) + spill})
 		if end > stats.End {
 			stats.End = end
 		}
@@ -311,8 +340,11 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 	// Phase 1 (parallel): per partition, load the batch's distinct
 	// input caches and compute every tuple's join — pure compute.
 	type tupleOut struct {
-		key  string
-		data []byte
+		key string
+		// inBytes is the tuple's summed input-cache bytes — the basis of
+		// the ledger's modeled recompute for the tuple's output cache.
+		inBytes int64
+		data    []byte
 	}
 	type partCompute struct {
 		caches   []cacheRef
@@ -355,7 +387,7 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 			data := records.EncodePairs(joined)
 			pc.inBytes += tupleIn
 			pc.outBytes += int64(len(data))
-			pc.outs = append(pc.outs, tupleOut{key: t.key(), data: data})
+			pc.outs = append(pc.outs, tupleOut{key: t.key(), inBytes: tupleIn, data: data})
 		}
 		computed[part] = *pc
 		return nil
@@ -374,21 +406,24 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 			home := e.sched.HomeNode(part)
 			for i, to := range outs {
 				out[to.key][part] = e.registerCache(q.routTuplePID(group.tuples[i], part),
-					ReduceOutput, home.ID, baseReady, nil)
+					ReduceOutput, home.ID, baseReady, nil, cacheMeta{})
 			}
 			continue
 		}
-		node, _, end, dur := e.runCacheTask(baseReady, caches,
+		ct := e.runCacheTask(fmt.Sprintf("join %s p%d", id, part), baseReady, caches,
 			e.mr.Cost.CachedReduceTask(inBytes, outBytes))
 		stats.ReduceTasks++
-		stats.ReduceTime += dur
+		stats.ReduceTime += ct.dur
 		stats.BytesCacheRead += sumCacheBytes(caches)
 		for i, to := range outs {
+			// A hit on a tuple's output skips re-joining its inputs: the
+			// modeled cached-reduce over this tuple's share of the batch.
 			out[to.key][part] = e.registerCache(q.routTuplePID(group.tuples[i], part),
-				ReduceOutput, node, end, to.data)
+				ReduceOutput, ct.node, ct.end, to.data,
+				cacheMeta{span: ct.span, recompute: e.mr.Cost.CachedReduceTask(to.inBytes, int64(len(to.data)))})
 		}
-		if end > stats.End {
-			stats.End = end
+		if ct.end > stats.End {
+			stats.End = ct.end
 		}
 	}
 	for _, t := range group.tuples {
@@ -445,6 +480,7 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 			bytes    int64
 			manifest int64
 			ready    simtime.Time
+			spans    []obs.SpanID
 		}
 		reads := make([]tupleRead, len(tuples))
 		if err := parallel.ForErr(e.mr.WorkerCount(), len(tuples), func(i int) error {
@@ -453,6 +489,9 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 				ref := tupleRefs[tuples[i].key()][part]
 				if ref.readyAt > tr.ready {
 					tr.ready = ref.readyAt
+				}
+				if ref.span != 0 {
+					tr.spans = append(tr.spans, ref.span)
 				}
 				if ref.bytes == 0 {
 					continue
@@ -471,19 +510,27 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 		}
 		ready := trigger
 		var manifestBytes int64
+		var deps []obs.SpanID
 		for _, tr := range reads {
 			if tr.ready > ready {
 				ready = tr.ready
 			}
 			manifestBytes += tr.manifest
+			deps = append(deps, tr.spans...)
 			output = append(output, tr.pairs...)
 			stats.BytesOutput += tr.bytes
 		}
 		node := e.sched.PickCacheTaskNode(ready, nil)
 		dur := e.mr.Cost.ConcatTask(manifestBytes)
-		_, end := node.Reduce.Acquire(ready, dur)
+		start, end := node.Reduce.Acquire(ready, dur)
 		node.AddLoad(dur)
 		stats.ReduceTime += dur
+		e.obs.Task(obs.TaskSpan{
+			Track: obs.NodeTrack(node.ID), Cat: "cachetask", Name: "publish manifest",
+			Start: start, End: end, Ready: ready,
+			Parent: e.mr.SpanParent, Deps: deps,
+			Args: []obs.Label{obs.L("query", q.Name), obs.L("tuples", fmt.Sprint(len(tuples)))},
+		})
 		if end > endMax {
 			endMax = end
 		}
@@ -538,13 +585,13 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 		if len(fp.caches) == 0 {
 			continue
 		}
-		_, _, end, dur := e.runCacheTask(trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
-		stats.ReduceTime += dur
+		ct := e.runCacheTask(fmt.Sprintf("finalize p%d", part), trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
+		stats.ReduceTime += ct.dur
 		stats.ReduceTasks++
 		stats.BytesCacheRead += fp.inBytes
 		stats.BytesOutput += fp.outBytes
-		if end > endMax {
-			endMax = end
+		if ct.end > endMax {
+			endMax = ct.end
 		}
 		output = append(output, fp.out...)
 	}

@@ -280,14 +280,14 @@ func (p *Packer) flushPane(pane window.PaneID) error {
 				path = fmt.Sprintf("%s.%d", path, s)
 			}
 			data := records.Encode(recs)
-			if err := p.dfs.Write(path, data); err != nil {
-				return err
-			}
 			availUnit := p.frame.PaneStart(pane) + (int64(s)+1)*p.frame.Pane/int64(sub)
 			if s == sub-1 {
 				availUnit = p.frame.PaneEnd(pane)
 			}
 			availAt := p.timeOfUnit(availUnit)
+			if err := p.dfs.WriteAt(path, data, availAt); err != nil {
+				return err
+			}
 			p.flushed[pane] = append(p.flushed[pane], PaneInput{
 				Input:       mapreduce.WholeFile(path),
 				Pane:        pane,
@@ -423,7 +423,9 @@ func (p *Packer) flushGroup() error {
 		ranges[pane] = [2]int64{start, length}
 		hdr = append(hdr, HeaderEntry{Pane: int64(pane), Offset: start, Length: length})
 	}
-	if err := p.dfs.Write(path, body); err != nil {
+	// The shared file is complete when its newest pane's data is — its
+	// replication fan-out is stamped at that instant.
+	if err := p.dfs.WriteAt(path, body, p.timeOfUnit(p.frame.PaneEnd(hi))); err != nil {
 		return err
 	}
 	hdrBytes, err := json.Marshal(hdr)

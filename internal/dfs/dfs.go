@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"redoop/internal/obs"
+	"redoop/internal/simtime"
 )
 
 // Config parameterizes a DFS instance.
@@ -79,6 +80,25 @@ type DFS struct {
 	// obs optionally receives file-operation metrics (read/write/delete
 	// counts and volumes, stored bytes, re-replication traffic).
 	obs *obs.Observer
+	// transferCost optionally models the virtual duration of moving n
+	// bytes between nodes; when set, time-stamped operations (WriteAt,
+	// FailNodeAt) record their replication traffic as spans on the
+	// ReplicationTrack. The spans are observability-only — DFS transfers
+	// happen "in the background" off the task critical path, matching
+	// HDFS pipelined writes and namenode-driven re-replication.
+	transferCost func(bytes int64) simtime.Duration
+}
+
+// ReplicationTrack is the trace track DFS replication spans land on.
+const ReplicationTrack = "dfs"
+
+// SetTransferCost installs the byte-transfer cost model used to give
+// replication traffic a virtual duration in traces; nil disables the
+// spans (metrics still accumulate).
+func (d *DFS) SetTransferCost(fn func(bytes int64) simtime.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.transferCost = fn
 }
 
 // SetObserver attaches the observability layer; nil detaches it.
@@ -198,6 +218,29 @@ func (d *DFS) Write(path string, data []byte) error {
 		f.blocks = nil
 	}
 	d.files[path] = f
+	return nil
+}
+
+// WriteAt is Write stamped with the virtual instant the data became
+// available: when a transfer-cost model is installed, the write's
+// replication fan-out (Replication−1 pipelined copies) is recorded as a
+// span on the ReplicationTrack so otherwise-invisible DFS traffic shows
+// up in traces. Virtual timelines are unaffected.
+func (d *DFS) WriteAt(path string, data []byte, at simtime.Time) error {
+	if err := d.Write(path, data); err != nil {
+		return err
+	}
+	d.mu.RLock()
+	cost, o := d.transferCost, d.obs
+	copies := int64(d.cfg.Replication) - 1
+	d.mu.RUnlock()
+	if cost == nil || o == nil || len(data) == 0 || copies <= 0 {
+		return nil
+	}
+	transferred := int64(len(data)) * copies
+	o.Span(ReplicationTrack, "replicate", "replicate "+path,
+		at, at.Add(cost(transferred)),
+		obs.L("bytes", fmt.Sprint(transferred)))
 	return nil
 }
 
@@ -353,6 +396,25 @@ func (d *DFS) FailNode(node int) int64 {
 	d.rereplicated += moved
 	d.obs.Counter("redoop_dfs_node_failures_total").Inc()
 	d.obs.Counter("redoop_dfs_rereplicated_bytes_total").Add(float64(moved))
+	return moved
+}
+
+// FailNodeAt is FailNode stamped with the virtual instant of the
+// crash: when a transfer-cost model is installed, the failure-driven
+// re-replication traffic is recorded as a span on the ReplicationTrack
+// starting at the crash instant. Virtual timelines are unaffected — the
+// namenode restores the replication factor in the background.
+func (d *DFS) FailNodeAt(node int, at simtime.Time) int64 {
+	moved := d.FailNode(node)
+	d.mu.RLock()
+	cost, o := d.transferCost, d.obs
+	d.mu.RUnlock()
+	if cost == nil || o == nil || moved == 0 {
+		return moved
+	}
+	o.Span(ReplicationTrack, "replicate", fmt.Sprintf("re-replicate node %d", node),
+		at, at.Add(cost(moved)),
+		obs.L("bytes", fmt.Sprint(moved)))
 	return moved
 }
 

@@ -302,6 +302,7 @@ func (c Config) NewRuntime(seedShift int64) *mapreduce.Engine {
 		Seed:        c.Seed + seedShift,
 	})
 	d.SetObserver(c.Obs)
+	d.SetTransferCost(c.Cost.NetTransfer)
 	mr := mapreduce.MustNew(cl, d, c.Cost)
 	mr.Obs = c.Obs
 	mr.Workers = c.ExecWorkers

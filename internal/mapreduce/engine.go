@@ -83,6 +83,14 @@ type Engine struct {
 	// Redoop's fine task granularity backups mostly burn slots; this
 	// implementation lets that trade-off be measured.
 	Speculative bool
+
+	// SpanParent is the ambient parent span every task span emitted by
+	// the engine links to — the driving recurrence's root span. The core
+	// controller sets it at the top of each recurrence; zero leaves task
+	// spans parentless (the baseline driver). Accounting is
+	// single-goroutine (see the concurrency contract), so a plain field
+	// suffices.
+	SpanParent obs.SpanID
 }
 
 // New constructs an engine over the given substrates with default
@@ -260,6 +268,10 @@ type MapPhaseResult struct {
 	FirstMapEnd, LastMapEnd simtime.Time
 	// Stats covers the map phase only.
 	Stats Stats
+	// Spans are the winning map attempts' span IDs, in split order —
+	// the dependency edges downstream shuffle/reduce spans record.
+	// Empty when no observer is attached.
+	Spans []obs.SpanID
 }
 
 // MergeMapPhases combines several map-phase results into one, as if a
@@ -298,6 +310,7 @@ func MergeMapPhases(rs []*MapPhaseResult, reducers int, ready simtime.Time) *Map
 			}
 		}
 		out.Stats.Accumulate(mp.Stats)
+		out.Spans = append(out.Spans, mp.Spans...)
 	}
 	return out
 }
@@ -308,6 +321,9 @@ type preparedSplit struct {
 	split    Split
 	parts    [][]records.Pair
 	outBytes int64
+	// worker is the pool worker that prepared the split (0 in serial
+	// mode) — observability-only attribution carried onto the map span.
+	worker int
 }
 
 // MapPhasePrep is the compute half of a map phase: every split's user
@@ -346,7 +362,7 @@ func (e *Engine) PrepareMapPhase(job *Job, inputs []Input) (*MapPhasePrep, error
 
 	part := job.partitioner()
 	prep.prepared = make([]preparedSplit, len(splits))
-	parallel.For(e.WorkerCount(), len(splits), func(i int) {
+	parallel.ForWorker(e.WorkerCount(), len(splits), func(worker, i int) {
 		s := splits[i]
 		recs := bySplit[s.ID()]
 		// Execute the user map once; attempts re-charge time only.
@@ -369,7 +385,7 @@ func (e *Engine) PrepareMapPhase(job *Job, inputs []Input) (*MapPhasePrep, error
 		for r := range parts {
 			outBytes += records.PairsSize(parts[r])
 		}
-		prep.prepared[i] = preparedSplit{split: s, parts: parts, outBytes: outBytes}
+		prep.prepared[i] = preparedSplit{split: s, parts: parts, outBytes: outBytes, worker: worker}
 	})
 	return prep, nil
 }
@@ -403,9 +419,12 @@ func (e *Engine) CommitMapPhase(prep *MapPhasePrep, ready simtime.Time) (*MapPha
 		parts := ps.parts
 		outBytes := ps.outBytes
 
-		node, end, attempts, spent, err := e.runMapAttempts(job, s, outBytes, ready)
+		node, end, attempts, spent, span, err := e.runMapAttempts(job, s, outBytes, ready, ps.worker)
 		if err != nil {
 			return nil, err
+		}
+		if span != 0 {
+			res.Spans = append(res.Spans, span)
 		}
 		res.Stats.MapTasks++
 		res.Stats.FailedAttempts += attempts - 1
@@ -457,14 +476,18 @@ func (e *Engine) RunMapPhase(job *Job, inputs []Input, ready simtime.Time) (*Map
 
 // runMapAttempts schedules attempts of one map task until one succeeds,
 // charging each attempt's duration to its node. It returns the node of
-// the successful attempt, its end time, the number of attempts, and the
-// summed virtual time spent across attempts.
-func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime.Time) (*cluster.Node, simtime.Time, int, simtime.Duration, error) {
+// the successful attempt, its end time, the number of attempts, the
+// summed virtual time spent across attempts, and the winning attempt's
+// span ID (0 without an observer).
+func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime.Time, worker int) (*cluster.Node, simtime.Time, int, simtime.Duration, obs.SpanID, error) {
 	var spent simtime.Duration
+	// prev chains retry attempts: each attempt's span depends on the
+	// failed attempt whose detection made it schedulable.
+	var prev obs.SpanID
 	for attempt := 0; attempt < e.maxAttempts(); attempt++ {
 		node := e.placementFor(job).PlaceMap(e, s, ready)
 		if node == nil {
-			return nil, 0, 0, spent, fmt.Errorf("mapreduce: job %q: no alive node for map over %s", job.Name, s.ID())
+			return nil, 0, 0, spent, 0, fmt.Errorf("mapreduce: job %q: no alive node for map over %s", job.Name, s.ID())
 		}
 		local := int64(0)
 		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, node.ID) {
@@ -477,8 +500,12 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 		spent += dur
 		if e.Faults != nil && e.Faults.MapAttemptFails(job.Name, s.ID(), attempt) {
 			e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "failed")).Inc()
-			e.Obs.Span(obs.NodeTrack(node.ID), "map", "map "+s.ID(), start, end,
-				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed"))
+			prev = e.Obs.Task(obs.TaskSpan{
+				Track: obs.NodeTrack(node.ID), Cat: "map", Name: "map " + s.ID(),
+				Start: start, End: end, Ready: ready,
+				Parent: e.SpanParent, Deps: []obs.SpanID{prev},
+				Args: []obs.Label{obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed")},
+			})
 			e.Obs.Emit(end, eventlog.TaskRetry, job.Name, eventlog.TaskRetryData{
 				Job: job.Name, Task: s.ID(), Phase: "map", Attempt: attempt + 1,
 			})
@@ -490,8 +517,15 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 		}
 		e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "ok")).Inc()
 		e.Obs.Histogram("redoop_map_task_seconds").Observe(dur.Seconds())
-		e.Obs.Span(obs.NodeTrack(node.ID), "map", "map "+s.ID(), start, end,
-			obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("job", job.Name))
+		span := e.Obs.Task(obs.TaskSpan{
+			Track: obs.NodeTrack(node.ID), Cat: "map", Name: "map " + s.ID(),
+			Start: start, End: end, Ready: ready,
+			Parent: e.SpanParent, Deps: []obs.SpanID{prev},
+			Args: []obs.Label{
+				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("job", job.Name),
+				obs.L("worker", fmt.Sprintf("%d", worker)),
+			},
+		})
 		if e.Speculative && float64(dur) > speculationThreshold*float64(base) {
 			// A straggler: launch a backup attempt once the original
 			// has clearly fallen behind; the earlier finisher wins,
@@ -503,22 +537,26 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 				// The straggler's node is the only alive node:
 				// placeBackup has nowhere else to schedule, so the
 				// original attempt stands and its end time is final.
-				return node, end, attempt + 1, spent, nil
+				return node, end, attempt + 1, spent, span, nil
 			}
 			bdur := e.jittered(fmt.Sprintf("backup|%s|%s|%d", job.Name, s.ID(), attempt), base)
 			bstart, bend := backup.Map.Acquire(detect, bdur)
 			backup.AddLoad(bdur)
 			spent += bdur
 			e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "speculative")).Inc()
-			e.Obs.Span(obs.NodeTrack(backup.ID), "map", "backup "+s.ID(), bstart, bend,
-				obs.L("job", job.Name))
+			bspan := e.Obs.Task(obs.TaskSpan{
+				Track: obs.NodeTrack(backup.ID), Cat: "map", Name: "backup " + s.ID(),
+				Start: bstart, End: bend, Ready: detect,
+				Parent: e.SpanParent, Deps: []obs.SpanID{prev},
+				Args: []obs.Label{obs.L("job", job.Name)},
+			})
 			if bend < end {
-				node, end = backup, bend
+				node, end, span = backup, bend, bspan
 			}
 		}
-		return node, end, attempt + 1, spent, nil
+		return node, end, attempt + 1, spent, span, nil
 	}
-	return nil, 0, 0, spent, fmt.Errorf("mapreduce: job %q: map task %s failed %d attempts", job.Name, s.ID(), e.maxAttempts())
+	return nil, 0, 0, spent, 0, fmt.Errorf("mapreduce: job %q: map task %s failed %d attempts", job.Name, s.ID(), e.maxAttempts())
 }
 
 // decodeForSplits reads every referenced file once and buckets its
@@ -587,6 +625,12 @@ type ReducerResult struct {
 	Output   []records.Pair
 	InBytes  int64
 	OutBytes int64
+	// Span is the winning reduce attempt's span ID and ShuffleSpan its
+	// shuffle's (0 without an observer, or when no shuffle time was
+	// charged). Redoop records them as the dependency edges of cache
+	// entries the reducer output feeds.
+	Span        obs.SpanID
+	ShuffleSpan obs.SpanID
 }
 
 // reduceCompute is one partition's compute-phase output: the user
@@ -597,6 +641,7 @@ type reduceCompute struct {
 	output   []records.Pair
 	inBytes  int64
 	outBytes int64
+	worker   int // pool worker that ran the compute (observability only)
 }
 
 // RunReducePhase shuffles the map output to reducers, then sorts,
@@ -622,7 +667,7 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 		}
 	}
 	computed := make([]reduceCompute, len(live))
-	parallel.For(e.WorkerCount(), len(live), func(i int) {
+	parallel.ForWorker(e.WorkerCount(), len(live), func(worker, i int) {
 		input := mp.Parts[live[i]]
 		grouped := GroupPairs(append([]records.Pair(nil), input...))
 		output := ReduceGroups(job.Reduce, grouped)
@@ -631,6 +676,7 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 			output:   output,
 			inBytes:  records.PairsSize(input),
 			outBytes: records.PairsSize(output),
+			worker:   worker,
 		}
 	})
 
@@ -670,6 +716,7 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 	inBytes := rc.inBytes
 	outBytes := rc.outBytes
 
+	var prev obs.SpanID // failed-attempt chain, as in runMapAttempts
 	for attempt := 0; attempt < e.maxAttempts(); attempt++ {
 		if node == nil || !node.Alive() {
 			node = e.placementFor(job).PlaceReduce(e, job, part, ready)
@@ -712,8 +759,12 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 		node.AddLoad(dur)
 		if e.Faults != nil && e.Faults.ReduceAttemptFails(job.Name, part, attempt) {
 			e.Obs.Counter("redoop_reduce_attempts_total", obs.L("result", "failed")).Inc()
-			e.Obs.Span(obs.NodeTrack(node.ID), "reduce", fmt.Sprintf("reduce p%d", part), start, end,
-				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed"))
+			prev = e.Obs.Task(obs.TaskSpan{
+				Track: obs.NodeTrack(node.ID), Cat: "reduce", Name: fmt.Sprintf("reduce p%d", part),
+				Start: start, End: end, Ready: shuffleEnd,
+				Parent: e.SpanParent, Deps: append(append([]obs.SpanID{}, mp.Spans...), prev),
+				Args: []obs.Label{obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("result", "failed")},
+			})
 			e.Obs.Emit(end, eventlog.TaskRetry, job.Name, eventlog.TaskRetryData{
 				Job: job.Name, Task: fmt.Sprintf("p%d", part), Phase: "reduce", Attempt: attempt + 1,
 			})
@@ -729,21 +780,42 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 		e.Obs.Counter("redoop_shuffle_bytes_total", obs.L("locality", "remote")).Add(float64(remote))
 		e.Obs.Histogram("redoop_shuffle_seconds").Observe(shuffleDur.Seconds())
 		e.Obs.Histogram("redoop_reduce_task_seconds").Observe(dur.Seconds())
+		var shuffleSpan obs.SpanID
 		if shuffleDur > 0 {
-			e.Obs.Span(obs.NodeTrack(node.ID), "shuffle", fmt.Sprintf("shuffle p%d", part),
-				shuffleStart, shuffleEnd, obs.L("job", job.Name))
+			// The shuffle's readiness is when the first map finished (it
+			// can't copy earlier); it depends on every map span of the
+			// wave because sorting can't start before the last one.
+			shuffleSpan = e.Obs.Task(obs.TaskSpan{
+				Track: obs.NodeTrack(node.ID), Cat: "shuffle", Name: fmt.Sprintf("shuffle p%d", part),
+				Start: shuffleStart, End: shuffleEnd, Ready: shuffleStart,
+				Parent: e.SpanParent, Deps: append(append([]obs.SpanID{}, mp.Spans...), prev),
+				Args: []obs.Label{obs.L("job", job.Name)},
+			})
 		}
-		e.Obs.Span(obs.NodeTrack(node.ID), "reduce", fmt.Sprintf("reduce p%d", part), start, end,
-			obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("job", job.Name))
+		deps := []obs.SpanID{shuffleSpan, prev}
+		if shuffleSpan == 0 {
+			deps = append(append([]obs.SpanID{}, mp.Spans...), prev)
+		}
+		span := e.Obs.Task(obs.TaskSpan{
+			Track: obs.NodeTrack(node.ID), Cat: "reduce", Name: fmt.Sprintf("reduce p%d", part),
+			Start: start, End: end, Ready: shuffleEnd,
+			Parent: e.SpanParent, Deps: deps,
+			Args: []obs.Label{
+				obs.L("attempt", fmt.Sprintf("%d", attempt+1)), obs.L("job", job.Name),
+				obs.L("worker", fmt.Sprintf("%d", rc.worker)),
+			},
+		})
 		return ReducerResult{
-			Part:     part,
-			Node:     node.ID,
-			Start:    start,
-			End:      end,
-			Input:    input,
-			Output:   output,
-			InBytes:  inBytes,
-			OutBytes: outBytes,
+			Part:        part,
+			Node:        node.ID,
+			Start:       start,
+			End:         end,
+			Input:       input,
+			Output:      output,
+			InBytes:     inBytes,
+			OutBytes:    outBytes,
+			Span:        span,
+			ShuffleSpan: shuffleSpan,
 		}, shuffleDur, nil
 	}
 	return ReducerResult{}, 0, fmt.Errorf("mapreduce: job %q: reduce %d failed %d attempts", job.Name, part, e.maxAttempts())

@@ -22,7 +22,15 @@ type Tracer struct {
 	tids   map[string]int
 	tracks []string // tid order
 	events []Event
+	nextID SpanID // last allocated task-span ID
 }
+
+// SpanID identifies one recorded task span within a Tracer. IDs are
+// allocated in record order (serial accounting order), so they are
+// deterministic across runs regardless of the compute pool width. The
+// zero SpanID means "no span" — legacy Span/Instant events carry it,
+// and a dependency on span 0 is never recorded.
+type SpanID uint64
 
 // Event is one recorded trace event.
 type Event struct {
@@ -35,11 +43,104 @@ type Event struct {
 	End     simtime.Time
 	Instant bool
 	Args    []Label
+
+	// ID identifies this span for dependency edges; zero for events
+	// recorded through Span/Instant (which predate span identity).
+	ID SpanID
+	// Parent is the enclosing span (a recurrence root for task spans);
+	// zero when the span has no recorded parent.
+	Parent SpanID
+	// Deps are the spans whose completion this span's readiness waited
+	// on (shuffle → maps, reduce → shuffle, cache task → producing
+	// tasks). An empty Deps with a non-zero ID means the span was ready
+	// at its trigger — e.g. a map over a freshly ingested pane, or a
+	// cache hit short-circuiting recomputation.
+	Deps []SpanID
+	// Ready is the instant the task became eligible to run; Start−Ready
+	// is schedule wait (slot-queueing delay). Zero-valued Ready on a
+	// legacy event means "unknown" and profilers treat it as Start.
+	Ready simtime.Time
+}
+
+// TaskSpan describes one task span with identity, dependency edges and
+// readiness, recorded via Tracer.Task.
+type TaskSpan struct {
+	Track string
+	Cat   string
+	Name  string
+	Start simtime.Time
+	End   simtime.Time
+	// Ready is when the task's inputs were available; defaults to Start
+	// when unset or later than Start.
+	Ready simtime.Time
+	// ID, when non-zero, must come from Reserve (pre-allocated roots);
+	// zero lets Task allocate the next ID.
+	ID     SpanID
+	Parent SpanID
+	Deps   []SpanID
+	Args   []Label
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer {
 	return &Tracer{tids: make(map[string]int)}
+}
+
+// Reserve pre-allocates a SpanID without recording an event, so a
+// parent span whose extent is only known at the end (a recurrence
+// root) can hand its ID to children recorded before it. A nil tracer
+// returns 0.
+func (t *Tracer) Reserve() SpanID {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// Task records a completed task span with identity and dependency
+// edges. When ts.ID is zero a fresh SpanID is allocated; a non-zero
+// ts.ID (from Reserve) records under that identity. Spans whose end
+// precedes their start are clamped to zero duration; Ready is clamped
+// to at most Start. Returns the span's ID (0 on a nil tracer).
+func (t *Tracer) Task(ts TaskSpan) SpanID {
+	if t == nil {
+		return 0
+	}
+	if ts.End < ts.Start {
+		ts.End = ts.Start
+	}
+	if ts.Ready == 0 || ts.Ready > ts.Start {
+		ts.Ready = ts.Start
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tid(ts.Track)
+	id := ts.ID
+	if id == 0 {
+		t.nextID++
+		id = t.nextID
+	}
+	// Drop zero deps (a "no producing span" sentinel, e.g. a cache
+	// carried over from an earlier recurrence) so consumers never see
+	// edges to nowhere.
+	deps := make([]SpanID, 0, len(ts.Deps))
+	for _, d := range ts.Deps {
+		if d != 0 {
+			deps = append(deps, d)
+		}
+	}
+	if len(deps) == 0 {
+		deps = nil
+	}
+	t.events = append(t.events, Event{
+		Track: ts.Track, Cat: ts.Cat, Name: ts.Name,
+		Start: ts.Start, End: ts.End, Ready: ts.Ready,
+		ID: id, Parent: ts.Parent, Deps: deps, Args: ts.Args,
+	})
+	return id
 }
 
 func (t *Tracer) tid(track string) int {
@@ -130,4 +231,21 @@ func (o *Observer) Instant(track, cat, name string, at simtime.Time, args ...Lab
 		return
 	}
 	o.Tracer.Instant(track, cat, name, at, args...)
+}
+
+// Task records a task span via the bundled tracer; nil-safe (returns 0).
+func (o *Observer) Task(ts TaskSpan) SpanID {
+	if o == nil {
+		return 0
+	}
+	return o.Tracer.Task(ts)
+}
+
+// ReserveSpanID pre-allocates a span ID via the bundled tracer;
+// nil-safe (returns 0).
+func (o *Observer) ReserveSpanID() SpanID {
+	if o == nil {
+		return 0
+	}
+	return o.Tracer.Reserve()
 }

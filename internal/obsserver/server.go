@@ -16,6 +16,11 @@
 //	                    home assignments and the cache status matrix
 //	GET /debug/health   per-query SLO health: deadline headroom, window
 //	                    lag, miss streaks, forecast anomalies
+//	GET /debug/profile  critical-path profile of the run so far: per-
+//	                    recurrence phase/wait breakdowns plus the
+//	                    cache-benefit ledger (?query= filters)
+//	GET /debug/critpath just the critical-path segment tilings
+//	                    (?query= and ?recurrence= filter)
 //	GET /debug/stream   Server-Sent Events feed of the flight recorder:
 //	                    replays retained events (?since=SEQ resumes)
 //	                    then streams live ones until the client leaves;
@@ -39,6 +44,7 @@ import (
 	"redoop/internal/health"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
+	"redoop/internal/profile"
 )
 
 // DefaultKeepAlive is the idle interval after which /debug/stream
@@ -100,6 +106,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/cache", s.handleCache)
 	mux.HandleFunc("/debug/panes", s.handlePanes)
 	mux.HandleFunc("/debug/health", s.handleHealth)
+	mux.HandleFunc("/debug/profile", s.handleProfile)
+	mux.HandleFunc("/debug/critpath", s.handleCritPath)
 	mux.HandleFunc("/debug/stream", s.handleStream)
 	return mux
 }
@@ -125,12 +133,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]string{
-		"/metrics":      "Prometheus text exposition of the metrics registry",
-		"/debug/events": "flight-recorder events (?type=&query=&since=&limit=)",
-		"/debug/cache":  "cache controller signatures and node registries",
-		"/debug/panes":  "partition plans, pane files, homes and status matrix",
-		"/debug/health": "per-query SLO health: headroom, lag, streaks, anomalies",
-		"/debug/stream": "Server-Sent Events live feed (?since=SEQ resumes)",
+		"/metrics":        "Prometheus text exposition of the metrics registry",
+		"/debug/events":   "flight-recorder events (?type=&query=&since=&limit=)",
+		"/debug/cache":    "cache controller signatures and node registries",
+		"/debug/panes":    "partition plans, pane files, homes and status matrix",
+		"/debug/health":   "per-query SLO health: headroom, lag, streaks, anomalies",
+		"/debug/profile":  "critical-path profile + cache-benefit ledger (?query=)",
+		"/debug/critpath": "critical-path segment tilings (?query=&recurrence=)",
+		"/debug/stream":   "Server-Sent Events live feed (?since=SEQ resumes)",
 	})
 }
 
@@ -244,6 +254,91 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"status":  worst,
 		"queries": queries,
 	})
+}
+
+// snapshotProfile analyzes the observer's current span and event
+// streams. Both snapshots are taken under their own locks, so the
+// profile is consistent even while recurrences execute.
+func (s *Server) snapshotProfile() *profile.Profile {
+	var spans []obs.Event
+	var events []eventlog.Event
+	if s.obs != nil {
+		spans = s.obs.Tracer.Events()
+		events = s.obs.Events.Events()
+	}
+	return profile.Analyze(spans, events)
+}
+
+// handleProfile serves the full critical-path profile of the run so
+// far: per-recurrence walls, phase and wait breakdowns, node and
+// worker attribution, and the cache-benefit ledger.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p := s.snapshotProfile()
+	if q := r.URL.Query().Get("query"); q != "" {
+		qp, ok := p.Queries[q]
+		if !ok {
+			http.Error(w, "unknown query "+q, http.StatusNotFound)
+			return
+		}
+		ledger := []profile.PaneBenefit{}
+		for _, e := range p.Ledger {
+			if e.Query == q {
+				ledger = append(ledger, e)
+			}
+		}
+		writeJSON(w, map[string]any{"query": qp, "ledger": ledger})
+		return
+	}
+	writeJSON(w, map[string]any{
+		"queries":         p.Queries,
+		"ledger":          p.Ledger,
+		"critPathTotalNS": int64(p.CritPathTotal()),
+		"timeSavedNS":     int64(p.TimeSaved()),
+	})
+}
+
+// critPathEntry is one recurrence's tiling in the /debug/critpath
+// response.
+type critPathEntry struct {
+	Query    string            `json:"query"`
+	Index    int               `json:"index"`
+	WallNS   int64             `json:"wallNS"`
+	TaskNS   int64             `json:"taskNS"`
+	WaitNS   int64             `json:"waitNS"`
+	GapNS    int64             `json:"gapNS"`
+	Segments []profile.Segment `json:"segments"`
+}
+
+// handleCritPath serves just the critical-path tilings, recurrence by
+// recurrence; ?query= and ?recurrence= narrow the response.
+func (s *Server) handleCritPath(w http.ResponseWriter, r *http.Request) {
+	p := s.snapshotProfile()
+	qFilter := r.URL.Query().Get("query")
+	rFilter := -1
+	if v := r.URL.Query().Get("recurrence"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad recurrence", http.StatusBadRequest)
+			return
+		}
+		rFilter = n
+	}
+	entries := []critPathEntry{}
+	for _, rec := range p.Recurrences {
+		if qFilter != "" && rec.Query != qFilter {
+			continue
+		}
+		if rFilter >= 0 && rec.Index != rFilter {
+			continue
+		}
+		entries = append(entries, critPathEntry{
+			Query: rec.Query, Index: rec.Index,
+			WallNS: int64(rec.Wall), TaskNS: int64(rec.CritTask),
+			WaitNS: int64(rec.CritWait), GapNS: int64(rec.CritGap),
+			Segments: rec.CritPath,
+		})
+	}
+	writeJSON(w, map[string]any{"recurrences": entries})
 }
 
 // handleStream serves the flight recorder as Server-Sent Events: the

@@ -532,3 +532,93 @@ func TestStreamKeepAlive(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileEndpoint(t *testing.T) {
+	srv, _, _ := runRecurrences(t, 3)
+	rec := get(t, srv.Handler(), "/debug/profile")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		Queries map[string]struct {
+			CritPathNS  int64 `json:"critPathNS"`
+			TimeSavedNS int64 `json:"timeSavedNS"`
+			Recurrences []struct {
+				Index  int   `json:"index"`
+				WallNS int64 `json:"wallNS"`
+			} `json:"recurrences"`
+		} `json:"queries"`
+		CritPathTotalNS int64 `json:"critPathTotalNS"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	q, ok := doc.Queries["q1"]
+	if !ok {
+		t.Fatalf("no q1 in profile: %s", rec.Body.String())
+	}
+	if len(q.Recurrences) != 3 || q.CritPathNS <= 0 {
+		t.Fatalf("q1 profile = %+v, want 3 recurrences with positive critical path", q)
+	}
+	// Overlapping windows (30s window, 10s slide) reuse cached panes
+	// from the second recurrence on.
+	if q.TimeSavedNS <= 0 {
+		t.Fatalf("q1 time saved = %d, want > 0", q.TimeSavedNS)
+	}
+	if doc.CritPathTotalNS != q.CritPathNS {
+		t.Fatalf("total %d != q1 %d", doc.CritPathTotalNS, q.CritPathNS)
+	}
+
+	// ?query= narrows; unknown names 404.
+	if rec := get(t, srv.Handler(), "/debug/profile?query=q1"); rec.Code != http.StatusOK {
+		t.Fatalf("?query=q1 status %d", rec.Code)
+	}
+	if rec := get(t, srv.Handler(), "/debug/profile?query=nope"); rec.Code != http.StatusNotFound {
+		t.Fatalf("?query=nope status %d, want 404", rec.Code)
+	}
+}
+
+func TestCritPathEndpoint(t *testing.T) {
+	srv, _, _ := runRecurrences(t, 2)
+	rec := get(t, srv.Handler(), "/debug/critpath?query=q1&recurrence=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		Recurrences []struct {
+			Query    string `json:"query"`
+			Index    int    `json:"index"`
+			WallNS   int64  `json:"wallNS"`
+			TaskNS   int64  `json:"taskNS"`
+			WaitNS   int64  `json:"waitNS"`
+			GapNS    int64  `json:"gapNS"`
+			Segments []struct {
+				Kind  string       `json:"kind"`
+				Start simtime.Time `json:"start"`
+				End   simtime.Time `json:"end"`
+			} `json:"segments"`
+		} `json:"recurrences"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(doc.Recurrences) != 1 {
+		t.Fatalf("got %d recurrences, want exactly the filtered one", len(doc.Recurrences))
+	}
+	e := doc.Recurrences[0]
+	if e.Query != "q1" || e.Index != 1 {
+		t.Fatalf("entry = %s/%d, want q1/1", e.Query, e.Index)
+	}
+	// The tiling invariant, observed through the HTTP surface.
+	var sum int64
+	for _, s := range e.Segments {
+		sum += int64(s.End.Sub(s.Start))
+	}
+	if sum != e.WallNS || e.TaskNS+e.WaitNS+e.GapNS != e.WallNS {
+		t.Fatalf("segments sum to %d, wall is %d", sum, e.WallNS)
+	}
+
+	if rec := get(t, srv.Handler(), "/debug/critpath?recurrence=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad recurrence filter: status %d, want 400", rec.Code)
+	}
+}

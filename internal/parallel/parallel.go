@@ -53,6 +53,43 @@ func For(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForWorker is For with the executing worker's index passed to the
+// body (0 in serial mode, [0, workers) otherwise). Engines use it to
+// attribute prepared work to pool workers in profiles; which worker
+// handles which index is nondeterministic in parallel mode, so the
+// attribution is observability-only and must never feed back into
+// results or virtual time.
+func ForWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // ForErr is For over a fallible body. Every index still runs (no
 // cancellation — bodies are expected to be short, pure compute), and
 // the error reported is the lowest-index one, so the surfaced failure

@@ -43,8 +43,10 @@
 //
 // -json-out writes a machine-readable run summary (configuration,
 // per-figure series with per-window timings, makespans, shuffle
-// totals, the headline speedup, and cache hit/shuffle aggregates) so
-// bench trajectories can accumulate across commits.
+// totals, the headline speedup, cache hit/shuffle aggregates, and a
+// "costs" block with the resource-accounting ledger's per-query
+// attribution and conservation verdict) so bench trajectories can
+// accumulate across commits.
 //
 // -bench-dir DIR enables trajectory mode: the run summary (with
 // per-query SLO health aggregates) is written to DIR/BENCH_<rev>.json
@@ -73,6 +75,7 @@ import (
 	"strings"
 	"time"
 
+	"redoop/internal/account"
 	"redoop/internal/core"
 	"redoop/internal/experiments"
 	"redoop/internal/health"
@@ -145,6 +148,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[introspection server on http://%s]\n", addr)
 		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
 	}
+	// One shared cost ledger across every Redoop engine the run builds,
+	// so the summary carries per-query resource attribution. Engines are
+	// collected through the same hook to total the clusters' busy time
+	// for the conservation check (engines run sequentially, so the
+	// append is race-free).
+	var acct *account.Ledger
+	var engines []*core.Engine
+	if ob != nil {
+		acct = account.New()
+		cfg.Account = acct
+		attach := cfg.OnEngine
+		cfg.OnEngine = func(e *core.Engine) {
+			engines = append(engines, e)
+			if attach != nil {
+				attach(e)
+			}
+		}
+	}
 	// Artifacts are flushed on every exit path — including figure
 	// failures — so a crashed or fault-injected run still leaves its
 	// metrics and trace behind for inspection. Returns false when an
@@ -188,6 +209,8 @@ func main() {
 			sum := buildSummary(cfg, nil, nil, ob.Metrics)
 			sum.Health = healthSummary(mon)
 			sum.Profile = profileSummary(ob, nil)
+			sum.Costs = costsSummary(acct, clusterBusyNS(engines))
+			warnConservation(sum.Costs)
 			sum.Chaos = cj
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)
@@ -311,6 +334,8 @@ func main() {
 		sum.Health = healthSummary(mon)
 		sum.Parallel = parallelSummary(par)
 		sum.Profile = profileSummary(ob, par)
+		sum.Costs = costsSummary(acct, clusterBusyNS(engines))
+		warnConservation(sum.Costs)
 		if *jsonOut != "" {
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)
@@ -338,6 +363,28 @@ func main() {
 	}
 	if !writeArtifacts() {
 		os.Exit(1)
+	}
+}
+
+// clusterBusyNS totals Node.Load() across every engine the run built —
+// the cluster-side busy time the account ledger's attributed slot
+// compute must never exceed.
+func clusterBusyNS(engines []*core.Engine) int64 {
+	var busy int64
+	for _, e := range engines {
+		for _, n := range e.MR().Cluster.Nodes() {
+			busy += int64(n.Load())
+		}
+	}
+	return busy
+}
+
+// warnConservation makes a ledger-invariant violation loud even when
+// no trajectory comparison runs (e.g. plain -json-out).
+func warnConservation(c *costsJSON) {
+	if c != nil && !c.ConservationOK {
+		fmt.Fprintf(os.Stderr, "redoop-bench: WARNING: cost ledger conservation VIOLATED (slot compute %s > cluster busy %s)\n",
+			fmtNS(c.SlotComputeNS), fmtNS(c.ClusterBusyNS))
 	}
 }
 
@@ -378,7 +425,8 @@ func runTrajectory(w io.Writer, dir, rev string, sum summaryJSON, softPct, hardP
 	rows := compareSummaries(old, sum)
 	hrows := compareHealth(old, sum)
 	pnotes := compareProfile(old, sum)
-	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, softPct, hardPct)
+	cnotes := compareCosts(old, sum)
+	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, cnotes, softPct, hardPct)
 	return hard, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"redoop/internal/account"
 	"redoop/internal/experiments"
 	"redoop/internal/health"
 	"redoop/internal/obs"
@@ -126,6 +127,35 @@ type profileJSON struct {
 	Queries        []profileQueryJSON `json:"queries,omitempty"`
 }
 
+// costQueryJSON is one query's cost-ledger aggregate over the whole
+// run: virtual compute per the account ledger, attributed IO bytes,
+// cache occupancy, and the recompute time its cache hits saved.
+type costQueryJSON struct {
+	Query             string  `json:"query"`
+	Tenant            string  `json:"tenant,omitempty"`
+	TotalComputeNS    int64   `json:"totalComputeNS"`
+	SlotComputeNS     int64   `json:"slotComputeNS"`
+	IOBytes           int64   `json:"ioBytes"`
+	CacheByteSeconds  float64 `json:"cacheByteSeconds"`
+	PeakResidentBytes int64   `json:"peakResidentBytes"`
+	SavedNS           int64   `json:"savedNS"`
+	CacheROI          float64 `json:"cacheROI"`
+}
+
+// costsJSON folds the resource-accounting ledger into the trajectory:
+// per-query cost rows, per-tenant rollups, and the conservation check
+// (attributed slot compute must not exceed the clusters' busy time,
+// and every cache residency must be closed exactly once or still
+// open). ConservationOK=false in a new entry is surfaced loudly by the
+// trajectory comparison.
+type costsJSON struct {
+	ConservationOK bool                  `json:"conservationOK"`
+	ClusterBusyNS  int64                 `json:"clusterBusyNS"`
+	SlotComputeNS  int64                 `json:"slotComputeNS"`
+	Queries        []costQueryJSON       `json:"queries,omitempty"`
+	Tenants        []account.TenantCosts `json:"tenants,omitempty"`
+}
+
 type summaryJSON struct {
 	Tool string `json:"tool"`
 	// Rev identifies the revision a trajectory entry was measured at
@@ -142,6 +172,10 @@ type summaryJSON struct {
 	// schedule and the oracle's per-regime verdicts (full detail with
 	// -chaos-report).
 	Chaos *chaosJSON `json:"chaos,omitempty"`
+	// Costs is the per-query resource-accounting block; absent in
+	// entries written before the ledger existed, which the trajectory
+	// comparison tolerates.
+	Costs *costsJSON `json:"costs,omitempty"`
 }
 
 func seriesSummary(s experiments.Series) seriesJSON {
@@ -278,6 +312,51 @@ func profileSummary(ob *obs.Observer, par *experiments.ParallelSpeedupResult) *p
 		})
 	}
 	return pj
+}
+
+// costsSummary folds the account ledger's end-of-run snapshot into the
+// summary schema; nil ledger (or one that metered nothing) in, nil
+// out. busyNS is the summed Node.Load() across every engine the run
+// built — the conservation denominator.
+func costsSummary(acct *account.Ledger, busyNS int64) *costsJSON {
+	if acct == nil {
+		return nil
+	}
+	snaps := acct.Snapshot()
+	if len(snaps) == 0 {
+		return nil
+	}
+	cj := &costsJSON{
+		ConservationOK: acct.CheckConservation(busyNS) == nil,
+		ClusterBusyNS:  busyNS,
+		SlotComputeNS:  acct.SlotComputeNS(),
+	}
+	// Tenant rollups only when something is actually tenanted — an
+	// all-anonymous run would just duplicate the query totals.
+	for _, qc := range snaps {
+		if qc.Tenant != "" {
+			cj.Tenants = account.RollupTenants(snaps)
+			break
+		}
+	}
+	for _, qc := range snaps {
+		var ioBytes int64
+		for _, b := range qc.IOBytes {
+			ioBytes += b
+		}
+		cj.Queries = append(cj.Queries, costQueryJSON{
+			Query:             qc.Query,
+			Tenant:            qc.Tenant,
+			TotalComputeNS:    qc.TotalComputeNS,
+			SlotComputeNS:     qc.SlotComputeNS,
+			IOBytes:           ioBytes,
+			CacheByteSeconds:  qc.CacheByteSeconds,
+			PeakResidentBytes: qc.PeakResidentBytes,
+			SavedNS:           qc.SavedNS,
+			CacheROI:          qc.CacheROI,
+		})
+	}
+	return cj
 }
 
 // healthSummary folds the monitor's end-of-run snapshot into the

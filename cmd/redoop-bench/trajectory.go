@@ -226,9 +226,50 @@ func compareProfile(old, cur summaryJSON) []string {
 	return out
 }
 
+// compareCosts reports movements in the cost-ledger aggregates between
+// two trajectory entries. Informational only, with one exception: a
+// conservation violation in the new entry is surfaced loudly. Entries
+// written before the costs block existed simply lack the key — the
+// comparison treats a missing old block as "nothing to compare
+// against" rather than an error, so trajectories spanning the schema
+// change keep working.
+func compareCosts(old, cur summaryJSON) []string {
+	if cur.Costs == nil {
+		return nil
+	}
+	var out []string
+	if !cur.Costs.ConservationOK {
+		out = append(out, "resource-accounting conservation VIOLATED (slot compute exceeds cluster busy time)")
+	}
+	if old.Costs == nil {
+		return out
+	}
+	oldIdx := make(map[string]costQueryJSON)
+	for _, q := range old.Costs.Queries {
+		oldIdx[q.Query] = q
+	}
+	for _, q := range cur.Costs.Queries {
+		o, ok := oldIdx[q.Query]
+		if !ok {
+			continue
+		}
+		if o.TotalComputeNS > 0 {
+			out = append(out, fmt.Sprintf("%s compute %s -> %s  %+6.1f%%",
+				q.Query, fmtNS(o.TotalComputeNS), fmtNS(q.TotalComputeNS),
+				pctChange(o.TotalComputeNS, q.TotalComputeNS)))
+		}
+		if o.SavedNS > 0 && q.SavedNS != o.SavedNS {
+			out = append(out, fmt.Sprintf("%s cache saving %s -> %s  %+6.1f%%",
+				q.Query, fmtNS(o.SavedNS), fmtNS(q.SavedNS),
+				pctChange(o.SavedNS, q.SavedNS)))
+		}
+	}
+	return out
+}
+
 // regressReport writes the comparison and returns whether any timing
 // row regressed past the soft or the hard threshold (in percent).
-func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes []string, softPct, hardPct float64) (soft, hard bool) {
+func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes, cnotes []string, softPct, hardPct float64) (soft, hard bool) {
 	fmt.Fprintf(w, "\ntrajectory: %s -> %s\n", revLabel(oldRev), revLabel(curRev))
 	if len(rows) == 0 {
 		fmt.Fprintf(w, "  no comparable series (different figure subsets?)\n")
@@ -269,6 +310,9 @@ func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []
 	}
 	for _, n := range pnotes {
 		fmt.Fprintf(w, "  profile: %s\n", n)
+	}
+	for _, n := range cnotes {
+		fmt.Fprintf(w, "  costs: %s\n", n)
 	}
 	switch {
 	case hard:

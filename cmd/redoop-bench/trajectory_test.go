@@ -108,7 +108,7 @@ func TestRegressReportThresholds(t *testing.T) {
 		{Key: seriesKey{"Figure 6", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1000, NewNS: 1080, Pct: 8},
 	}
 	var buf bytes.Buffer
-	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, 5, 15)
+	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, nil, 5, 15)
 	if !soft || hard {
 		t.Errorf("8%% over soft=5 hard=15: soft=%v hard=%v, want soft only", soft, hard)
 	}
@@ -118,7 +118,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = 20
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, 5, 15)
 	if !hard {
 		t.Errorf("20%% over hard=15: hard=%v, want true", hard)
 	}
@@ -128,7 +128,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = -8
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, 5, 15)
 	if soft || hard {
 		t.Errorf("improvement flagged as regression: soft=%v hard=%v", soft, hard)
 	}
@@ -144,7 +144,7 @@ func TestRegressReportHealthLines(t *testing.T) {
 		StatusOld: "OK", StatusNew: "AT_RISK",
 	}}
 	var buf bytes.Buffer
-	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, 5, 15)
+	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, nil, 5, 15)
 	out := buf.String()
 	if !strings.Contains(out, "deadline misses 0 -> 2") || !strings.Contains(out, "status OK -> AT_RISK") {
 		t.Errorf("health lines missing:\n%s", out)
@@ -178,6 +178,101 @@ func TestCompareProfile(t *testing.T) {
 	// No profile on the new side: nothing to say.
 	if notes := compareProfile(old, summaryJSON{}); notes != nil {
 		t.Errorf("nil profile produced notes: %v", notes)
+	}
+}
+
+func TestCompareCosts(t *testing.T) {
+	cur := summaryJSON{Costs: &costsJSON{
+		ConservationOK: true,
+		Queries: []costQueryJSON{{
+			Query: "q1", TotalComputeNS: 1200, SavedNS: 400,
+		}},
+	}}
+	old := summaryJSON{Costs: &costsJSON{
+		ConservationOK: true,
+		Queries: []costQueryJSON{{
+			Query: "q1", TotalComputeNS: 1000, SavedNS: 500,
+		}},
+	}}
+	notes := compareCosts(old, cur)
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{"q1 compute", "+20.0%", "cache saving", "-20.0%"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+
+	// A conservation violation in the new entry is reported even with
+	// no prior costs block to compare against.
+	cur.Costs.ConservationOK = false
+	notes = compareCosts(summaryJSON{}, cur)
+	if len(notes) != 1 || !strings.Contains(notes[0], "VIOLATED") {
+		t.Errorf("violation notes = %v", notes)
+	}
+
+	// No costs block on the new side: nothing to say.
+	if notes := compareCosts(old, summaryJSON{}); notes != nil {
+		t.Errorf("nil costs produced notes: %v", notes)
+	}
+}
+
+// TestTrajectoryToleratesOldFormatEntries pins the schema-evolution
+// contract: a prior BENCH_<rev>.json written before the profile and
+// costs blocks existed (no "profile" or "costs" keys at all) must
+// still load and compare cleanly against a current entry that carries
+// both — the new blocks are informational-only for such pairs, never
+// an error.
+func TestTrajectoryToleratesOldFormatEntries(t *testing.T) {
+	dir := t.TempDir()
+	oldJSON := `{
+		"tool": "redoop-bench",
+		"rev": "ancient",
+		"config": {"workers": 10},
+		"figures": [{
+			"name": "Figure 6", "query": "q1",
+			"panels": [{"overlap": 0.9, "series": [{
+				"system": "Redoop", "makespanNS": 1000, "meanSteadyNS": 100
+			}]}]
+		}],
+		"health": [{"query": "q1", "status": "OK"}]
+	}`
+	prior := filepath.Join(dir, "BENCH_ancient.json")
+	if err := os.WriteFile(prior, []byte(oldJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := readSummary(prior)
+	if err != nil {
+		t.Fatalf("old-format entry failed to load: %v", err)
+	}
+	if old.Profile != nil || old.Costs != nil {
+		t.Fatalf("absent blocks decoded non-nil: profile=%v costs=%v", old.Profile, old.Costs)
+	}
+
+	cur := mkSummary("modern", 1000, 100)
+	cur.Profile = &profileJSON{CritPathNS: 1200, LedgerOK: true}
+	cur.Costs = &costsJSON{ConservationOK: true, Queries: []costQueryJSON{{Query: "q1", TotalComputeNS: 900}}}
+
+	// End-to-end through runTrajectory: the comparison must neither
+	// error nor let the schema gap masquerade as a regression.
+	time.Sleep(10 * time.Millisecond)
+	var buf bytes.Buffer
+	hard, err := runTrajectory(&buf, dir, "modern", cur, 5, 15, true)
+	if err != nil {
+		t.Fatalf("comparison against old-format entry errored: %v", err)
+	}
+	if hard {
+		t.Errorf("old-format gap reported as hard regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ancient -> modern") {
+		t.Errorf("report lacks rev labels:\n%s", buf.String())
+	}
+
+	// And the pure comparison helpers are nil-tolerant both ways.
+	if notes := compareCosts(old, cur); len(notes) != 0 {
+		t.Errorf("old entry without costs produced comparison notes: %v", notes)
+	}
+	if notes := compareProfile(old, cur); len(notes) != 0 {
+		t.Errorf("old entry without profile produced comparison notes: %v", notes)
 	}
 }
 

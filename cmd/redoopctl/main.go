@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	redoopctl [metrics|explain|health|profile] [-query agg|join] [-overlap 0.9]
+//	redoopctl [metrics|explain|health|profile|costs] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-chaos SEED[:profile]]
 //	          [-top K] [-seed N]
 //	          [-workers N] [-spikewin N] [-spikefactor F] [-deadline DUR]
+//	          [-cache-budget BYTESEC]
 //	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
 //	          [-folded-out FILE] [-critpath-out FILE]
 //
@@ -41,7 +42,11 @@
 // detector. -deadline DUR tightens the SLO deadline from the natural
 // slide (simulated responses are virtual milliseconds against
 // multi-minute slides) so misses and the AT_RISK/MISSING_DEADLINES
-// escalation can be observed on a real run.
+// escalation can be observed on a real run. -cache-budget B flags any
+// query whose cumulative cache occupancy exceeds B byte·seconds as
+// AT_RISK (cost governance; 0 disables) — it escalates an OK status
+// only, never masking a worse deadline-driven one, and applies to
+// deadline-less queries too.
 //
 // The "profile" subcommand runs the query twice — once on a serial
 // compute pool, once on the -workers pool (default GOMAXPROCS) — and
@@ -57,6 +62,20 @@
 // -folded-out writes the flamegraph folded stacks and -critpath-out
 // the Chrome-trace critical-path overlay (both also work outside the
 // profile subcommand, from the same instrumented run).
+//
+// The "costs" subcommand runs BOTH figure workloads — the WCC
+// aggregation as tenant-a and the FFG join as tenant-b — against one
+// shared cost ledger and prints the accounting report: the top-K
+// queries by attributed compute with per-phase breakdowns, IO bytes,
+// cache occupancy in byte·seconds, recompute nanoseconds saved by
+// cache hits, and the cache-ROI quotient (saved ns per resident
+// byte·second), followed by per-tenant rollups. After each run the
+// ledger's conservation invariants are checked against the engine's
+// own totals — attributed slot compute must not exceed the cluster's
+// accrued busy time, and cache residencies must reconcile — and any
+// violation fails the invocation with a non-zero exit (the CI smoke
+// step relies on this). The report is byte-identical across -workers
+// settings because all metering happens in serial commit paths.
 //
 // -chaos SEED[:profile] runs the query under a deterministic seeded
 // fault schedule (node crashes and revivals, cache losses, pane-file
@@ -86,9 +105,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"redoop/internal/account"
 	"redoop/internal/baseline"
 	"redoop/internal/chaos"
 	"redoop/internal/core"
@@ -124,6 +145,7 @@ func main() {
 		spikeWin    = flag.Int("spikewin", -1, "multiply this window's input volume by -spikefactor (oversized-batch fault)")
 		spikeFac    = flag.Float64("spikefactor", 10, "input volume multiplier for -spikewin")
 		deadline    = flag.Duration("deadline", 0, "override the SLO deadline (default: the query's slide, in virtual time)")
+		cacheBudget = flag.Float64("cache-budget", 0, "flag queries whose cumulative cache occupancy exceeds this many byte·seconds as AT_RISK (0 disables)")
 		metricsOut  = flag.String("metrics-out", "", "write a Prometheus text exposition of the run's metrics to this file")
 		traceOut    = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
 		foldedOut   = flag.String("folded-out", "", "write flamegraph folded stacks of the run's task spans to this file")
@@ -135,10 +157,11 @@ func main() {
 	explainMode := len(args) > 0 && args[0] == "explain"
 	healthMode := len(args) > 0 && args[0] == "health"
 	profileMode := len(args) > 0 && args[0] == "profile"
-	if metricsMode || explainMode || healthMode || profileMode {
+	costsMode := len(args) > 0 && args[0] == "costs"
+	if metricsMode || explainMode || healthMode || profileMode || costsMode {
 		args = args[1:]
 	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health or profile)\n", args[0])
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health, profile or costs)\n", args[0])
 		os.Exit(2)
 	}
 	flag.CommandLine.Parse(args)
@@ -187,6 +210,12 @@ func main() {
 	// the introspection server's /debug/health sees the same trackers.
 	hcfg := health.DefaultConfig()
 	hcfg.DeadlineOverride = simtime.Duration(*deadline)
+	hcfg.CacheByteSecondBudget = *cacheBudget
+	// The budget check reads cache occupancy from the cost ledger, so
+	// health mode needs one attached for the numbers to be non-zero.
+	if healthMode && cfg.Account == nil {
+		cfg.Account = account.New()
+	}
 	mon := health.NewMonitor(hcfg)
 	if ob != nil {
 		mon.SetObserver(ob)
@@ -205,10 +234,10 @@ func main() {
 		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
 	}
 
-	// In metrics, explain, health and profile mode the report owns
-	// stdout; the table moves to stderr so both remain usable.
+	// In metrics, explain, health, profile and costs mode the report
+	// owns stdout; the table moves to stderr so both remain usable.
 	tableOut := io.Writer(os.Stdout)
-	if metricsMode || explainMode || healthMode || profileMode {
+	if metricsMode || explainMode || healthMode || profileMode || costsMode {
 		tableOut = os.Stderr
 	}
 
@@ -225,7 +254,7 @@ func main() {
 		scfg.Health = health.NewMonitor(hcfg)
 		scfg.OnEngine = nil
 		t0 := time.Now()
-		if err := run(io.Discard, scfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, 0, *spikeWin, *spikeFac, chaosSched); err != nil {
+		if _, err := run(io.Discard, scfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, 0, *spikeWin, *spikeFac, chaosSched, ""); err != nil {
 			fmt.Fprintf(os.Stderr, "redoopctl: serial reference run: %v\n", err)
 			os.Exit(1)
 		}
@@ -233,7 +262,12 @@ func main() {
 	}
 
 	t0 := time.Now()
-	runErr := run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched)
+	var runErr error
+	if costsMode {
+		runErr = runCosts(tableOut, os.Stdout, cfg, *overlap, *adaptive, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched)
+	} else {
+		_, runErr = run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched, "")
+	}
 	parallelElapsed := time.Since(t0)
 
 	// Artifacts and the metrics dump are emitted even on failure so
@@ -347,7 +381,50 @@ func queryName(kind string) string {
 	return "q1"
 }
 
-func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64, chaosSched *chaos.Schedule) error {
+// runCosts is the costs subcommand: both figure workloads, different
+// tenants, one shared ledger; prints the accounting report to reportW
+// and fails when any conservation invariant is violated.
+func runCosts(tableW, reportW io.Writer, cfg experiments.Config, overlap float64, adaptive bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64, chaosSched *chaos.Schedule) error {
+	acct := account.New()
+	cfg.Account = acct
+	var violations []string
+	for _, wl := range []struct{ kind, tenant string }{
+		{"agg", "tenant-a"},
+		{"join", "tenant-b"},
+	} {
+		eng, err := run(tableW, cfg, wl.kind, overlap, adaptive, false, failNode, dropCache, 0, spikeWin, spikeFac, chaosSched, wl.tenant)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(tableW)
+		// Reconcile the ledger against the engine's own totals: the
+		// compute attributed to this query can be at most the busy time
+		// its cluster accrued, and every registered residency must have
+		// been expired or still be open.
+		var busy int64
+		for _, n := range eng.MR().Cluster.Nodes() {
+			busy += int64(n.Load())
+		}
+		name := eng.AccountName()
+		if err := acct.CheckConservation(busy, name); err != nil {
+			violations = append(violations, err.Error())
+			fmt.Fprintf(reportW, "conservation %-4s VIOLATED: %v\n", name, err)
+		} else {
+			fmt.Fprintf(reportW, "conservation %-4s ok: slot compute %s ≤ cluster busy %s\n",
+				name, fmtMS(simtime.Duration(acct.SlotComputeNS(name))), fmtMS(simtime.Duration(busy)))
+		}
+	}
+	fmt.Fprintln(reportW)
+	if err := account.WriteReport(reportW, acct.Snapshot(), topK); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("ledger conservation violated: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}
+
+func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64, chaosSched *chaos.Schedule, tenant string) (*core.Engine, error) {
 	mr := cfg.NewRuntime(7)
 	slide := cfg.SlideFor(overlap)
 
@@ -372,8 +449,10 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 			return workload.FFGEvents(ffg, start, end, n/4)
 		}
 	default:
-		return fmt.Errorf("unknown query %q (want agg or join)", kind)
+		return nil, fmt.Errorf("unknown query %q (want agg or join)", kind)
 	}
+
+	q.TenantID = tenant
 
 	spec := q.Spec()
 	pane := spec.PaneUnit()
@@ -388,10 +467,10 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	if useBase {
 		drv, err = baseline.NewDriver(mr, q)
 	} else {
-		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive, Health: cfg.Health})
+		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive, Health: cfg.Health, Account: cfg.Account})
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if eng != nil && cfg.OnEngine != nil {
 		cfg.OnEngine(eng)
@@ -412,7 +491,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	if chaosSched != nil {
 		ora, err = oracle.New(eng)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inj = chaos.NewInjector(chaosSched, mr)
 		inj.OnCorrupt = ora.ExcludePath
@@ -437,7 +516,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 			start := int64(fed) * pane
 			for src := 0; src < sources; src++ {
 				if err := ingest(src, gen(src, start, start+pane, n)); err != nil {
-					return err
+					return nil, err
 				}
 			}
 		}
@@ -452,7 +531,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 		}
 		if inj != nil {
 			if err := inj.BeforeRecurrence(r, eng, oracleInner); err != nil {
-				return err
+				return nil, err
 			}
 		}
 
@@ -463,14 +542,14 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 		if useBase {
 			res, err := drv.RunNext()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			resp, shuffle, reduce, read = res.ResponseTime, res.Stats.ShuffleTime, res.Stats.ReduceTime, res.Stats.BytesRead
 			lastOut = res.Output
 		} else {
 			res, err := eng.RunNext()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			resp, shuffle, reduce, read = res.ResponseTime, res.Stats.ShuffleTime, res.Stats.ReduceTime, res.Stats.BytesRead
 			lastOut = res.Output
@@ -496,7 +575,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 		fmt.Fprintf(w, "%-7d %14s %12s %12s %12d %s\n", r+1,
 			fmtMS(resp), fmtMS(shuffle), fmtMS(reduce), read, notes)
 		if verdictErr != nil {
-			return verdictErr
+			return nil, verdictErr
 		}
 	}
 
@@ -515,7 +594,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 			}
 		}
 	}
-	return nil
+	return eng, nil
 }
 
 func fmtMS(d simtime.Duration) string {

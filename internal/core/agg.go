@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"redoop/internal/account"
 	"redoop/internal/mapreduce"
 	"redoop/internal/parallel"
 	"redoop/internal/records"
@@ -246,7 +247,7 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 			continue
 		}
 		inBytes := records.PairsSize(subOut[part])
-		ct := e.runCacheTask(fmt.Sprintf("combine pane %d p%d", int64(p), part), readyAt[part],
+		ct := e.runCacheTask(fmt.Sprintf("combine pane %d p%d", int64(p), part), account.PhaseCombine, readyAt[part],
 			[]cacheRef{{node: home.ID, bytes: inBytes, readyAt: readyAt[part]}},
 			e.mr.Cost.MergeTask(inBytes, int64(len(routData[part]))))
 		stats.ReduceTime += ct.dur
@@ -278,39 +279,41 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins []cacheRef, stats *mapreduce.Stats) ([]cacheRef, error) {
 	q := e.query
 	refs := make([]cacheRef, q.NumReducers)
-	// Re-reducing cached inputs is pure compute; fan it out per
-	// partition before the serial scheduling pass.
+	// Re-reducing cached inputs is pure compute; the serial commit pass
+	// does the scheduling, cache registration, and ledger charges.
 	rebuilt := make([][]byte, len(rins))
-	if err := parallel.ForErr(e.mr.WorkerCount(), len(rins), func(part int) error {
-		if rins[part].bytes == 0 {
+	if err := parallel.CommitOrderErr(e.mr.WorkerCount(), len(rins),
+		func(part int) error {
+			if rins[part].bytes == 0 {
+				return nil
+			}
+			pairs, err := e.readCache(rins[part])
+			if err != nil {
+				return err
+			}
+			out := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
+			rebuilt[part] = records.EncodePairs(out)
 			return nil
-		}
-		pairs, err := e.readCache(rins[part])
-		if err != nil {
-			return err
-		}
-		out := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
-		rebuilt[part] = records.EncodePairs(out)
-		return nil
-	}); err != nil {
+		},
+		func(part int) error {
+			rin := rins[part]
+			if rin.bytes == 0 {
+				refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil, cacheMeta{span: rin.span})
+				return nil
+			}
+			outData := rebuilt[part]
+			ct := e.runCacheTask(fmt.Sprintf("rebuild pane %d p%d", int64(p), part), account.PhaseReduce, trigger, []cacheRef{rin},
+				e.mr.Cost.ReduceTask(rin.bytes, int64(len(outData))))
+			stats.ReduceTime += ct.dur
+			stats.ReduceTasks++
+			stats.BytesCacheRead += rin.bytes
+			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, outData, cacheMeta{span: ct.span, recompute: ct.dur})
+			if ct.end > stats.End {
+				stats.End = ct.end
+			}
+			return nil
+		}); err != nil {
 		return nil, err
-	}
-	for part := range rins {
-		rin := rins[part]
-		if rin.bytes == 0 {
-			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil, cacheMeta{span: rin.span})
-			continue
-		}
-		outData := rebuilt[part]
-		ct := e.runCacheTask(fmt.Sprintf("rebuild pane %d p%d", int64(p), part), trigger, []cacheRef{rin},
-			e.mr.Cost.ReduceTask(rin.bytes, int64(len(outData))))
-		stats.ReduceTime += ct.dur
-		stats.ReduceTasks++
-		stats.BytesCacheRead += rin.bytes
-		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, outData, cacheMeta{span: ct.span, recompute: ct.dur})
-		if ct.end > stats.End {
-			stats.End = ct.end
-		}
 	}
 	if err := e.matrix.Update(p); err != nil {
 		return nil, err
@@ -366,7 +369,7 @@ func (e *Engine) finalizeAggWindow(lo, hi window.PaneID, trigger simtime.Time, r
 		if len(fp.caches) == 0 {
 			continue
 		}
-		ct := e.runCacheTask(fmt.Sprintf("finalize p%d", part), trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
+		ct := e.runCacheTask(fmt.Sprintf("finalize p%d", part), account.PhaseReduce, trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
 		stats.ReduceTime += ct.dur
 		stats.ReduceTasks++
 		stats.BytesCacheRead += fp.inBytes

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"redoop/internal/account"
 	"redoop/internal/health"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
@@ -67,6 +68,13 @@ type Config struct {
 	// The engine registers its query at construction (deadline = the
 	// slide for time-based windows) and reports every recurrence.
 	Health *health.Monitor
+	// Account optionally attaches a cost ledger, usually shared between
+	// engines so per-query costs land in one place. The engine registers
+	// its query (and tenant) at construction, hooks every slot, cache
+	// and shuffle charge, and claims its DFS data directory so the DFS
+	// attributes read/write/replication bytes to it. Nil disables
+	// accounting at ~zero cost.
+	Account *account.Ledger
 }
 
 // RecurrenceResult reports one execution of the recurring query.
@@ -145,6 +153,12 @@ type Engine struct {
 	// query's registration on it. Always non-nil after NewEngine.
 	healthMon *health.Monitor
 	healthTrk *health.Tracker
+
+	// acct is the (possibly shared, possibly nil) cost ledger;
+	// acctName is this query's account on it — the query name, or a
+	// suffixed variant when several engines run same-named queries.
+	acct     *account.Ledger
+	acctName string
 
 	// lastForecast is the profiler's previous next-recurrence forecast,
 	// compared against the realized response time to expose the Holt
@@ -267,6 +281,23 @@ func NewEngine(cfg Config) (*Engine, error) {
 		deadline = simtime.Duration(q.Spec().Slide)
 	}
 	e.healthTrk = mon.Register(q.Name, deadline)
+	// The cost ledger follows the same sharing rules: fill in a missing
+	// observer, never detach one. The engine claims its DFS data
+	// directory so reads/writes/replication under it are attributed to
+	// this query, and propagates the ledger to the MapReduce runtime so
+	// task execution charges land on the same accounts.
+	e.acct = cfg.Account
+	e.acctName = e.acct.Register(q.Name, q.TenantID)
+	if e.acct != nil {
+		if e.acct.Observer() == nil && e.obs != nil {
+			e.acct.SetObserver(e.obs)
+		}
+		if cfg.MR.Account == nil {
+			cfg.MR.Account = e.acct
+		}
+		cfg.MR.DFS.SetAccount(e.acct)
+		cfg.MR.DFS.AttributePrefix(dataDir+"/", e.acctName)
+	}
 	matrix.SetObserver(e.obs, q.Name)
 	e.qIdx = ctrl.RegisterQuery(q.Name)
 	for i, src := range q.Sources {
@@ -367,6 +398,13 @@ func (e *Engine) ForceProactive(subPanes int) error {
 
 // Controller returns the (possibly shared) cache controller.
 func (e *Engine) Controller() *Controller { return e.ctrl }
+
+// Account returns the engine's cost ledger (nil when accounting is
+// disabled) and AccountName the account its costs are attributed to.
+func (e *Engine) Account() *account.Ledger { return e.acct }
+
+// AccountName returns the ledger account name of this engine's query.
+func (e *Engine) AccountName() string { return e.acctName }
 
 // Scheduler returns the query's cache-aware scheduler.
 func (e *Engine) Scheduler() *Scheduler { return e.sched }
@@ -525,7 +563,7 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		}
 	}
 
-	e.retireExpired(r)
+	e.retireExpired(r, res.CompletedAt)
 	purged := 0
 	for _, m := range e.managers {
 		purged += m.Tick()
@@ -534,6 +572,9 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	if e.log != nil && purged > 0 {
 		e.log.Debug("purged expired caches", "query", e.query.Name, "count", purged)
 	}
+	// Move the ledger's accrual watermark to the recurrence's end so
+	// open residencies accrue byte·seconds through the work just done.
+	e.acct.Advance(res.CompletedAt)
 
 	// Profile and adapt for the next recurrence (§3.3).
 	var windowBytes int64
@@ -625,6 +666,7 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		ReplanFired:      replanned,
 		NewestPackedUnit: newest,
 		CoveredUnit:      closeUnit,
+		CacheByteSeconds: e.acct.ByteSeconds(e.acctName),
 	})
 
 	e.mu.Lock()
@@ -697,6 +739,10 @@ func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt s
 		Bytes: int64(len(data)), Recurrence: e.NextRecurrence(),
 		RecomputeNS: int64(meta.recompute),
 	})
+	// Open the ledger's residency interval (a refresh or re-homing of
+	// the same pid closes the old interval ledger-side, so byte·seconds
+	// never double-count).
+	e.acct.CacheRegistered(e.acctName, pid, int(typ), int64(len(data)), readyAt, meta.recompute)
 	return cacheRef{pid: pid, typ: typ, node: node, readyAt: readyAt, bytes: int64(len(data)), span: meta.span}
 }
 
@@ -751,6 +797,11 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 		e.sched.ReduceTasks.RemoveMatching(func(id string) bool {
 			return containsPID(id, pid)
 		})
+		// The bytes stopped being resident when chaos destroyed them,
+		// but §5 discovers the loss lazily — here, at the trigger. The
+		// ledger closes the residency at discovery time, the earliest
+		// instant the runtime can know about it.
+		e.acct.CacheExpired(pid, int(typ), e.curTrigger)
 		return cacheRef{}, false
 	}
 	e.obs.Counter("redoop_cache_lookups_total",
@@ -760,6 +811,7 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 		Bytes: sig.Bytes, Recurrence: e.NextRecurrence(),
 	})
 	e.ctrl.ClaimUser(pid, typ, e.qIdx)
+	e.acct.CacheHit(e.acctName, pid, int(typ), e.curTrigger)
 	return cacheRef{pid: pid, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
 }
 
@@ -837,6 +889,7 @@ func (e *Engine) paneJob(src int) *mapreduce.Job {
 		CacheReduceInput: true,
 		LocalOutput:      true, // pane outputs are reduce-output caches
 		Place:            e.sched,
+		Query:            e.acctName,
 	}
 }
 
@@ -856,8 +909,10 @@ type cacheTask struct {
 // on the spans that produced the caches this recurrence (a carried-over
 // cache contributes no edge — the hit short-circuits the walk), and
 // each named cache's load cost is emitted as a cache.load event for the
-// profiler's benefit ledger.
-func (e *Engine) runCacheTask(name string, ready simtime.Time, caches []cacheRef, work simtime.Duration) cacheTask {
+// profiler's benefit ledger. The slot time is split for the cost
+// ledger: the cache-load share under PhaseCacheLoad, the supplied work
+// under the caller's phase, summing exactly to the node's AddLoad.
+func (e *Engine) runCacheTask(name string, phase account.Phase, ready simtime.Time, caches []cacheRef, work simtime.Duration) cacheTask {
 	locs := make([]CacheLoc, len(caches))
 	deps := make([]obs.SpanID, 0, len(caches))
 	for i, c := range caches {
@@ -868,9 +923,12 @@ func (e *Engine) runCacheTask(name string, ready simtime.Time, caches []cacheRef
 		deps = append(deps, c.span)
 	}
 	node := e.sched.PickCacheTaskNode(ready, locs)
-	dur := e.sched.CacheCost(node.ID, locs) + work
+	load := e.sched.CacheCost(node.ID, locs)
+	dur := load + work
 	start, end := node.Reduce.Acquire(ready, dur)
 	node.AddLoad(dur)
+	e.acct.AddCompute(e.acctName, account.PhaseCacheLoad, load)
+	e.acct.AddCompute(e.acctName, phase, work)
 	for _, c := range caches {
 		local := c.node == node.ID
 		locality := "remote"
@@ -879,11 +937,15 @@ func (e *Engine) runCacheTask(name string, ready simtime.Time, caches []cacheRef
 		}
 		e.obs.Counter("redoop_cache_read_bytes_total", obs.L("locality", locality)).Add(float64(c.bytes))
 		if c.pid != "" {
+			loadNS := e.mr.Cost.CacheRead(c.bytes, local)
 			e.obs.Emit(start, eventlog.CacheLoad, e.query.Name, eventlog.CacheLoadData{
 				PID: c.pid, Node: node.ID, Local: local, Bytes: c.bytes,
-				LoadNS:     int64(e.mr.Cost.CacheRead(c.bytes, local)),
+				LoadNS:     int64(loadNS),
 				Recurrence: e.NextRecurrence(),
 			})
+			// Net a hit's saving by the load actually paid (no-op for
+			// caches that were not hit this recurrence).
+			e.acct.CacheLoaded(c.pid, int(c.typ), loadNS)
 		}
 	}
 	span := e.obs.Task(obs.TaskSpan{
@@ -900,8 +962,12 @@ func (e *Engine) runCacheTask(name string, ready simtime.Time, caches []cacheRef
 // query, triggering purge notifications, and shifts the status matrix.
 // Each source retires against its own window frame; the per-source
 // bound advances only past the leading run of exhausted panes so a
-// pane with pending partner work is retried next recurrence.
-func (e *Engine) retireExpired(r int) {
+// pane with pending partner work is retried next recurrence. `at` is
+// the recurrence's completion instant — the ledger closes purged
+// caches' byte·second residency there, but only when MarkQueryDone
+// reports the cache actually purged (shared caches survive until every
+// consumer retires them, and keep accruing until then).
+func (e *Engine) retireExpired(r int, at simtime.Time) {
 	R := e.query.NumReducers
 	n := len(e.query.Sources)
 	for d := 0; d < n; d++ {
@@ -912,9 +978,15 @@ func (e *Engine) retireExpired(r int) {
 				break
 			}
 			for part := 0; part < R; part++ {
-				e.ctrl.MarkQueryDone(e.query.rinPID(d, e.frames[d].Pane, p, part), ReduceInput, e.qIdx)
+				rin := e.query.rinPID(d, e.frames[d].Pane, p, part)
+				if e.ctrl.MarkQueryDone(rin, ReduceInput, e.qIdx) {
+					e.acct.CacheExpired(rin, int(ReduceInput), at)
+				}
 				if n == 1 {
-					e.ctrl.MarkQueryDone(e.query.routPanePID(p, part), ReduceOutput, e.qIdx)
+					rout := e.query.routPanePID(p, part)
+					if e.ctrl.MarkQueryDone(rout, ReduceOutput, e.qIdx) {
+						e.acct.CacheExpired(rout, int(ReduceOutput), at)
+					}
 				}
 			}
 			if n > 1 {
@@ -924,7 +996,10 @@ func (e *Engine) retireExpired(r int) {
 				// coordinate (partners within p's lifespan) is dead.
 				e.forEachLifespanTuple(d, p, func(t paneTuple) {
 					for part := 0; part < R; part++ {
-						e.ctrl.MarkQueryDone(e.query.routTuplePID(t, part), ReduceOutput, e.qIdx)
+						rout := e.query.routTuplePID(t, part)
+						if e.ctrl.MarkQueryDone(rout, ReduceOutput, e.qIdx) {
+							e.acct.CacheExpired(rout, int(ReduceOutput), at)
+						}
 					}
 				})
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"redoop/internal/account"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/parallel"
@@ -227,6 +228,13 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		stats.ShuffleTime += availAt.Sub(shuffleStart)
 		stats.ReduceTime += spill
 		stats.BytesShuffled += inBytes
+		// Ledger: the copy is shuffle (elapsed, not slot time); the
+		// slot-held spill splits into its sort and disk-write (reduce)
+		// shares, summing exactly to the AddLoad above.
+		e.acct.AddCompute(e.acctName, account.PhaseShuffle, availAt.Sub(shuffleStart))
+		e.acct.AddCompute(e.acctName, account.PhaseSort, e.mr.Cost.Sort(inBytes))
+		e.acct.AddCompute(e.acctName, account.PhaseReduce, spill-e.mr.Cost.Sort(inBytes))
+		e.acct.AddIO(e.acctName, account.IOShuffle, inBytes)
 		shuffleSpan := e.obs.Task(obs.TaskSpan{
 			Track: obs.NodeTrack(home.ID), Cat: "shuffle",
 			Name:  fmt.Sprintf("shuffle %s pane %d p%d", q.Sources[src].Name, int64(p), part),
@@ -410,7 +418,7 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 			}
 			continue
 		}
-		ct := e.runCacheTask(fmt.Sprintf("join %s p%d", id, part), baseReady, caches,
+		ct := e.runCacheTask(fmt.Sprintf("join %s p%d", id, part), account.PhaseReduce, baseReady, caches,
 			e.mr.Cost.CachedReduceTask(inBytes, outBytes))
 		stats.ReduceTasks++
 		stats.ReduceTime += ct.dur
@@ -525,6 +533,7 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 		start, end := node.Reduce.Acquire(ready, dur)
 		node.AddLoad(dur)
 		stats.ReduceTime += dur
+		e.acct.AddCompute(e.acctName, account.PhaseReduce, dur)
 		e.obs.Task(obs.TaskSpan{
 			Track: obs.NodeTrack(node.ID), Cat: "cachetask", Name: "publish manifest",
 			Start: start, End: end, Ready: ready,
@@ -585,7 +594,7 @@ func (e *Engine) finalizeJoinWindow(los, his []window.PaneID, trigger simtime.Ti
 		if len(fp.caches) == 0 {
 			continue
 		}
-		ct := e.runCacheTask(fmt.Sprintf("finalize p%d", part), trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
+		ct := e.runCacheTask(fmt.Sprintf("finalize p%d", part), account.PhaseReduce, trigger, fp.caches, e.mr.Cost.MergeTask(fp.inBytes, fp.outBytes))
 		stats.ReduceTime += ct.dur
 		stats.ReduceTasks++
 		stats.BytesCacheRead += fp.inBytes

@@ -64,6 +64,10 @@ type Query struct {
 	// Partition overrides the default hash partitioner; like
 	// NumReducers it is fixed for the query's lifetime.
 	Partition mapreduce.Partitioner
+	// TenantID optionally names the tenant the query runs on behalf
+	// of. Purely an accounting dimension: the cost ledger rolls
+	// per-query resources up to it; empty means untenanted.
+	TenantID string
 }
 
 // Validate reports specification errors.

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
+	"redoop/internal/account"
 	"redoop/internal/obs"
 	"redoop/internal/simtime"
 )
@@ -87,6 +89,18 @@ type DFS struct {
 	// happen "in the background" off the task critical path, matching
 	// HDFS pipelined writes and namenode-driven re-replication.
 	transferCost func(bytes int64) simtime.Duration
+	// acct optionally attributes per-path IO bytes to cost-ledger
+	// accounts; prefixes maps path prefixes (query data directories)
+	// to account names, longest prefix winning. Paths matching no
+	// prefix stay unattributed.
+	acct     *account.Ledger
+	prefixes []prefixRule
+}
+
+// prefixRule attributes paths under Prefix to ledger account Query.
+type prefixRule struct {
+	Prefix string
+	Query  string
 }
 
 // ReplicationTrack is the trace track DFS replication spans land on.
@@ -106,6 +120,51 @@ func (d *DFS) SetObserver(o *obs.Observer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.obs = o
+}
+
+// SetAccount attaches the cost ledger IO bytes are attributed to; nil
+// detaches it (prefix registrations are kept).
+func (d *DFS) SetAccount(l *account.Ledger) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.acct = l
+}
+
+// AttributePrefix routes IO on paths under prefix to the named ledger
+// account. The longest matching prefix wins, so nested directories may
+// carry their own attribution. Re-registering a prefix replaces its
+// account.
+func (d *DFS) AttributePrefix(prefix, query string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.prefixes {
+		if d.prefixes[i].Prefix == prefix {
+			d.prefixes[i].Query = query
+			return
+		}
+	}
+	d.prefixes = append(d.prefixes, prefixRule{Prefix: prefix, Query: query})
+	// Longest-first keeps resolution a simple scan-to-first-match.
+	sort.Slice(d.prefixes, func(i, j int) bool {
+		if len(d.prefixes[i].Prefix) != len(d.prefixes[j].Prefix) {
+			return len(d.prefixes[i].Prefix) > len(d.prefixes[j].Prefix)
+		}
+		return d.prefixes[i].Prefix < d.prefixes[j].Prefix
+	})
+}
+
+// accountFor resolves a path's ledger account ("" = unattributed);
+// caller holds d.mu (read or write).
+func (d *DFS) accountFor(path string) string {
+	if d.acct == nil {
+		return ""
+	}
+	for _, r := range d.prefixes {
+		if strings.HasPrefix(path, r.Prefix) {
+			return r.Query
+		}
+	}
+	return ""
 }
 
 // New creates an empty DFS.
@@ -200,6 +259,7 @@ func (d *DFS) Write(path string, data []byte) error {
 	d.obs.Counter("redoop_dfs_writes_total").Inc()
 	d.obs.Counter("redoop_dfs_write_bytes_total").Add(float64(len(data)))
 	d.obs.Gauge("redoop_dfs_bytes").Add(float64(int64(len(data)) - replaced))
+	d.acct.AddIO(d.accountFor(path), account.IODFSWrite, int64(len(data)))
 	f := &file{data: append([]byte(nil), data...)}
 	for off := int64(0); off < int64(len(data)); off += d.cfg.BlockSize {
 		size := d.cfg.BlockSize
@@ -233,6 +293,9 @@ func (d *DFS) WriteAt(path string, data []byte, at simtime.Time) error {
 	d.mu.RLock()
 	cost, o := d.transferCost, d.obs
 	copies := int64(d.cfg.Replication) - 1
+	if copies > 0 {
+		d.acct.AddIO(d.accountFor(path), account.IODFSRepl, int64(len(data))*copies)
+	}
 	d.mu.RUnlock()
 	if cost == nil || o == nil || len(data) == 0 || copies <= 0 {
 		return nil
@@ -254,6 +317,7 @@ func (d *DFS) Read(path string) ([]byte, error) {
 	}
 	d.obs.Counter("redoop_dfs_reads_total").Inc()
 	d.obs.Counter("redoop_dfs_read_bytes_total").Add(float64(len(f.data)))
+	d.acct.AddIO(d.accountFor(path), account.IODFSRead, int64(len(f.data)))
 	return append([]byte(nil), f.data...), nil
 }
 
@@ -271,6 +335,7 @@ func (d *DFS) ReadBlock(path string, index int) ([]byte, error) {
 	b := f.blocks[index]
 	d.obs.Counter("redoop_dfs_reads_total").Inc()
 	d.obs.Counter("redoop_dfs_read_bytes_total").Add(float64(b.Size))
+	d.acct.AddIO(d.accountFor(path), account.IODFSRead, b.Size)
 	return append([]byte(nil), f.data[b.Offset:b.Offset+b.Size]...), nil
 }
 
@@ -365,7 +430,8 @@ func (d *DFS) FailNode(node int) int64 {
 	}
 	d.alive[node] = false
 	var moved int64
-	for _, f := range d.files {
+	for p, f := range d.files {
+		var pathMoved int64
 		for i := range f.blocks {
 			b := &f.blocks[i]
 			kept := b.Replicas[:0]
@@ -389,9 +455,14 @@ func (d *DFS) FailNode(node int) int64 {
 			if len(add) > 0 {
 				b.Replicas = append(b.Replicas, add...)
 				sort.Ints(b.Replicas)
-				moved += b.Size * int64(len(add))
+				pathMoved += b.Size * int64(len(add))
 			}
 		}
+		moved += pathMoved
+		// Failure-driven re-replication is billed to the file's owner:
+		// the resident bytes whose redundancy the query's data needed
+		// restoring.
+		d.acct.AddIO(d.accountFor(p), account.IODFSRepl, pathMoved)
 	}
 	d.rereplicated += moved
 	d.obs.Counter("redoop_dfs_node_failures_total").Inc()

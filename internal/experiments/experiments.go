@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"redoop/internal/account"
 	"redoop/internal/baseline"
 	"redoop/internal/chaos"
 	"redoop/internal/cluster"
@@ -70,6 +71,11 @@ type Config struct {
 	// a single /debug/health snapshot; nil gives each engine a private
 	// monitor.
 	Health *health.Monitor
+	// Account optionally shares one cost ledger across every Redoop
+	// engine an experiment builds, so a whole figure's queries roll up
+	// into a single /debug/costs snapshot; nil disables cost
+	// accounting.
+	Account *account.Ledger
 	// OnEngine, when non-nil, receives every Redoop engine an
 	// experiment builds, as soon as it exists — the hook a live
 	// introspection server uses to attach its /debug endpoints to
@@ -361,7 +367,7 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 	mr := c.NewRuntime(1)
 	mr.Faults = spec.faults
 	q := spec.query()
-	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health})
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account})
 	if err != nil {
 		return Series{}, err
 	}

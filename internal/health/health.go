@@ -100,6 +100,10 @@ type Config struct {
 	// recurrences in virtual milliseconds against multi-minute slides,
 	// so operators tighten the SLO to exercise the miss machinery.
 	DeadlineOverride simtime.Duration
+	// CacheByteSecondBudget flags a query AT_RISK when its cumulative
+	// cache occupancy (byte·seconds, from the cost ledger) exceeds this
+	// value. Applies even to deadline-less queries. 0 disables.
+	CacheByteSecondBudget float64
 }
 
 // DefaultConfig returns the default thresholds.
@@ -157,6 +161,10 @@ type Sample struct {
 	// the window lag.
 	NewestPackedUnit int64
 	CoveredUnit      int64
+	// CacheByteSeconds is the query's cumulative cache occupancy from
+	// the cost ledger (0 when no ledger is attached). Compared against
+	// Config.CacheByteSecondBudget.
+	CacheByteSeconds float64
 }
 
 // QueryStatus is one query's health snapshot, JSON-shaped for
@@ -190,6 +198,11 @@ type QueryStatus struct {
 	// profiler warms up).
 	ResidualEWMANS int64 `json:"residualEwmaNS"`
 	LastForecastNS int64 `json:"lastForecastNS"`
+	// CacheByteSeconds is the query's cumulative cache occupancy;
+	// OverCacheBudget reports whether it exceeds the configured
+	// byte·second budget (always false when the budget is disabled).
+	CacheByteSeconds float64 `json:"cacheByteSeconds"`
+	OverCacheBudget  bool    `json:"overCacheBudget"`
 }
 
 // Monitor tracks the health of any number of recurring queries. One
@@ -346,6 +359,8 @@ type Tracker struct {
 	resSamples     int
 	status         Status
 	lastForecastNS int64
+	cacheByteSec   float64
+	overBudget     bool
 }
 
 // Name returns the tracker's (possibly suffixed) query name.
@@ -392,6 +407,8 @@ func (t *Tracker) statusLocked() QueryStatus {
 		AdaptivityMisses: t.adaptMisses,
 		ResidualEWMANS:   int64(t.resEWMA),
 		LastForecastNS:   t.lastForecastNS,
+		CacheByteSeconds: t.cacheByteSec,
+		OverCacheBudget:  t.overBudget,
 	}
 }
 
@@ -461,6 +478,11 @@ func (t *Tracker) Observe(s Sample) {
 		t.adaptMisses++
 	}
 
+	// Cache-budget check is deadline-independent: a count-based query
+	// with no SLO can still hog the caches.
+	t.cacheByteSec = s.CacheByteSeconds
+	t.overBudget = cfg.CacheByteSecondBudget > 0 && s.CacheByteSeconds > cfg.CacheByteSecondBudget
+
 	prev := t.status
 	next := StatusOK
 	if t.deadline > 0 {
@@ -470,6 +492,9 @@ func (t *Tracker) Observe(s Sample) {
 		case missed || float64(t.headroom) < cfg.AtRiskFraction*float64(t.deadline):
 			next = StatusAtRisk
 		}
+	}
+	if t.overBudget && next == StatusOK {
+		next = StatusAtRisk
 	}
 	t.status = next
 	headroom := t.headroom

@@ -92,6 +92,66 @@ func TestStatusTransitions(t *testing.T) {
 	}
 }
 
+// TestCacheByteSecondBudget pins the cost-governance hook: a query
+// whose cumulative cache occupancy exceeds the configured byte·second
+// budget is escalated from OK to AT_RISK, the escalation applies to
+// deadline-less queries too, and it never downgrades a status the
+// deadline machinery already made worse.
+func TestCacheByteSecondBudget(t *testing.T) {
+	m := NewMonitor(Config{CacheByteSecondBudget: 1000})
+	trk := m.Register("q1", 100*simtime.Millisecond)
+
+	s := sampleAt(0, 50*simtime.Millisecond, 0, false)
+	s.CacheByteSeconds = 999
+	trk.Observe(s)
+	if st := trk.Status(); st.Status != StatusOK || st.OverCacheBudget {
+		t.Fatalf("under budget: %+v", st)
+	}
+
+	s = sampleAt(1, 50*simtime.Millisecond, 0, false)
+	s.CacheByteSeconds = 1001
+	trk.Observe(s)
+	st := trk.Status()
+	if st.Status != StatusAtRisk || !st.OverCacheBudget {
+		t.Fatalf("over budget: %+v", st)
+	}
+	if st.CacheByteSeconds != 1001 {
+		t.Fatalf("byte·seconds = %v, want 1001", st.CacheByteSeconds)
+	}
+
+	// Over budget AND missing deadlines: the worse status wins.
+	miss := Config{CacheByteSecondBudget: 1000, MissStreak: 1}
+	m2 := NewMonitor(miss)
+	trk2 := m2.Register("q2", 100*simtime.Millisecond)
+	s = sampleAt(0, 150*simtime.Millisecond, 0, false)
+	s.CacheByteSeconds = 2000
+	trk2.Observe(s)
+	if st := trk2.Status(); st.Status != StatusMissingDeadlines || !st.OverCacheBudget {
+		t.Fatalf("budget must not mask missed deadlines: %+v", st)
+	}
+
+	// Deadline-less queries still get the budget escalation — cost
+	// governance is independent of SLO deadlines.
+	m3 := NewMonitor(Config{CacheByteSecondBudget: 1000})
+	trk3 := m3.Register("q3", 0)
+	s = sampleAt(0, 50*simtime.Millisecond, 0, false)
+	s.CacheByteSeconds = 5000
+	trk3.Observe(s)
+	if st := trk3.Status(); st.Status != StatusAtRisk || !st.OverCacheBudget {
+		t.Fatalf("deadline-less over budget: %+v", st)
+	}
+
+	// Zero budget disables the check entirely.
+	m4 := NewMonitor(Config{})
+	trk4 := m4.Register("q4", 100*simtime.Millisecond)
+	s = sampleAt(0, 50*simtime.Millisecond, 0, false)
+	s.CacheByteSeconds = 1e12
+	trk4.Observe(s)
+	if st := trk4.Status(); st.Status != StatusOK || st.OverCacheBudget {
+		t.Fatalf("disabled budget still fired: %+v", st)
+	}
+}
+
 func TestAnomalyDetectionAndAdaptivityMiss(t *testing.T) {
 	o := obs.New()
 	m := NewMonitor(Config{AnomalyK: 3, ResidualAlpha: 0.5, MinResidualSamples: 2})

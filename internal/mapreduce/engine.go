@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"redoop/internal/account"
 	"redoop/internal/cluster"
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
@@ -91,6 +92,12 @@ type Engine struct {
 	// single-goroutine (see the concurrency contract), so a plain field
 	// suffices.
 	SpanParent obs.SpanID
+
+	// Account is the optional cost ledger. Jobs carrying a Query name
+	// have their slot time (map/sort/reduce), shuffle time and shuffle
+	// bytes attributed to that account from the serial accounting
+	// paths; nil (or an unnamed job) disables metering.
+	Account *account.Ledger
 }
 
 // New constructs an engine over the given substrates with default
@@ -429,6 +436,9 @@ func (e *Engine) CommitMapPhase(prep *MapPhasePrep, ready simtime.Time) (*MapPha
 		res.Stats.MapTasks++
 		res.Stats.FailedAttempts += attempts - 1
 		res.Stats.MapTime += spent
+		// spent sums every attempt's slot occupancy (failed and
+		// speculative included), matching the AddLoad charges exactly.
+		e.Account.AddCompute(job.Query, account.PhaseMap, spent)
 		res.Stats.BytesRead += s.Size()
 		locality := "remote"
 		if e.DFS.HasLocalReplica(s.Path, s.Block.Index, node.ID) {
@@ -687,7 +697,7 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 		if node == nil {
 			return nil, stats, fmt.Errorf("mapreduce: job %q: no alive node for reduce %d", job.Name, r)
 		}
-		rr, shuffleDur, err := e.runReduceAttempts(job, r, node, mp, computed[i], ready)
+		rr, shuffleDur, spent, err := e.runReduceAttempts(job, r, node, mp, computed[i], ready)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -696,6 +706,18 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 		stats.ReduceTime += rr.End.Sub(rr.Start) // sort + group + reduce calls + write
 		stats.BytesShuffled += rr.InBytes
 		stats.BytesOutput += rr.OutBytes
+		// Ledger: shuffle is elapsed copy time (no slot held); the slot
+		// time spent across every attempt splits into the modeled sort
+		// share and the rest of the reduce work, so the slot-phase sum
+		// equals the AddLoad charges exactly.
+		e.Account.AddCompute(job.Query, account.PhaseShuffle, shuffleDur)
+		sortShare := e.Cost.Sort(rr.InBytes)
+		if sortShare > spent {
+			sortShare = spent
+		}
+		e.Account.AddCompute(job.Query, account.PhaseSort, sortShare)
+		e.Account.AddCompute(job.Query, account.PhaseReduce, spent-sortShare)
+		e.Account.AddIO(job.Query, account.IOShuffle, rr.InBytes)
 		e.Obs.Counter("redoop_reduce_tasks_total").Inc()
 		e.Obs.Counter("redoop_output_bytes_total").Add(float64(rr.OutBytes))
 		if rr.End > stats.End {
@@ -709,8 +731,10 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 // runReduceAttempts schedules one reduce partition's attempts. The
 // first attempt runs on the placed node; a failed attempt re-places.
 // The user reduce has already executed (once, in the parallel compute
-// phase); attempts charge time only.
-func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *MapPhaseResult, rc reduceCompute, ready simtime.Time) (ReducerResult, simtime.Duration, error) {
+// phase); attempts charge time only. spent sums every attempt's slot
+// occupancy — failed attempts burn slots too — matching the AddLoad
+// charges exactly.
+func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *MapPhaseResult, rc reduceCompute, ready simtime.Time) (rres ReducerResult, shuffle, spent simtime.Duration, err error) {
 	input := rc.input
 	output := rc.output
 	inBytes := rc.inBytes
@@ -721,7 +745,7 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 		if node == nil || !node.Alive() {
 			node = e.placementFor(job).PlaceReduce(e, job, part, ready)
 			if node == nil {
-				return ReducerResult{}, 0, fmt.Errorf("mapreduce: job %q: no alive node for reduce %d", job.Name, part)
+				return ReducerResult{}, 0, spent, fmt.Errorf("mapreduce: job %q: no alive node for reduce %d", job.Name, part)
 			}
 		}
 		// Shuffle: the reducer starts copying when the first map ends
@@ -757,6 +781,7 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 		dur = e.jittered(fmt.Sprintf("reduce|%s|%d|%d", job.Name, part, attempt), dur)
 		start, end := node.Reduce.Acquire(shuffleEnd, dur)
 		node.AddLoad(dur)
+		spent += dur
 		if e.Faults != nil && e.Faults.ReduceAttemptFails(job.Name, part, attempt) {
 			e.Obs.Counter("redoop_reduce_attempts_total", obs.L("result", "failed")).Inc()
 			prev = e.Obs.Task(obs.TaskSpan{
@@ -816,9 +841,9 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 			OutBytes:    outBytes,
 			Span:        span,
 			ShuffleSpan: shuffleSpan,
-		}, shuffleDur, nil
+		}, shuffleDur, spent, nil
 	}
-	return ReducerResult{}, 0, fmt.Errorf("mapreduce: job %q: reduce %d failed %d attempts", job.Name, part, e.maxAttempts())
+	return ReducerResult{}, 0, spent, fmt.Errorf("mapreduce: job %q: reduce %d failed %d attempts", job.Name, part, e.maxAttempts())
 }
 
 // Result is the outcome of a complete job run.

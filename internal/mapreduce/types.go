@@ -85,6 +85,10 @@ type Job struct {
 	// Plain jobs commit their output to the DFS, paying pipeline
 	// replication across the network.
 	LocalOutput bool
+	// Query names the cost-ledger account this job's work is billed
+	// to (see internal/account). Empty leaves the job unattributed:
+	// the engine runs it normally but meters nothing.
+	Query string
 }
 
 // Validate reports job specification errors.

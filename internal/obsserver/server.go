@@ -21,6 +21,11 @@
 //	                    cache-benefit ledger (?query= filters)
 //	GET /debug/critpath just the critical-path segment tilings
 //	                    (?query= and ?recurrence= filter)
+//	GET /debug/costs    per-query resource costs from the accounting
+//	                    ledger: phase compute, IO bytes, cache
+//	                    byte·seconds, recompute saved, cache ROI, plus
+//	                    per-tenant rollups
+//	GET /debug/         HTML index of the mounted debug endpoints
 //	GET /debug/stream   Server-Sent Events feed of the flight recorder:
 //	                    replays retained events (?since=SEQ resumes)
 //	                    then streams live ones until the client leaves;
@@ -34,12 +39,15 @@ package obsserver
 import (
 	"encoding/json"
 	"fmt"
+	"html"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
+	"redoop/internal/account"
 	"redoop/internal/core"
 	"redoop/internal/health"
 	"redoop/internal/obs"
@@ -108,7 +116,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/health", s.handleHealth)
 	mux.HandleFunc("/debug/profile", s.handleProfile)
 	mux.HandleFunc("/debug/critpath", s.handleCritPath)
+	mux.HandleFunc("/debug/costs", s.handleCosts)
 	mux.HandleFunc("/debug/stream", s.handleStream)
+	mux.HandleFunc("/debug/", s.handleDebugIndex)
 	return mux
 }
 
@@ -132,7 +142,13 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	writeJSON(w, map[string]string{
+	writeJSON(w, endpointDocs())
+}
+
+// endpointDocs maps every mounted endpoint to its one-line description;
+// the JSON root index and the /debug/ HTML index both render it.
+func endpointDocs() map[string]string {
+	return map[string]string{
 		"/metrics":        "Prometheus text exposition of the metrics registry",
 		"/debug/events":   "flight-recorder events (?type=&query=&since=&limit=)",
 		"/debug/cache":    "cache controller signatures and node registries",
@@ -140,7 +156,66 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"/debug/health":   "per-query SLO health: headroom, lag, streaks, anomalies",
 		"/debug/profile":  "critical-path profile + cache-benefit ledger (?query=)",
 		"/debug/critpath": "critical-path segment tilings (?query=&recurrence=)",
+		"/debug/costs":    "per-query resource costs, cache ROI and tenant rollups",
 		"/debug/stream":   "Server-Sent Events live feed (?since=SEQ resumes)",
+	}
+}
+
+// handleDebugIndex serves /debug/ as a small HTML directory of the
+// mounted debug endpoints, so a browser landing there can click through
+// instead of guessing paths. Any other unmatched /debug/* path 404s.
+func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/debug/" && r.URL.Path != "/debug" {
+		http.NotFound(w, r)
+		return
+	}
+	docs := endpointDocs()
+	paths := make([]string, 0, len(docs))
+	for p := range docs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html>\n<html><head><title>redoop debug</title></head><body>\n")
+	fmt.Fprint(w, "<h1>redoop debug endpoints</h1>\n<ul>\n")
+	for _, p := range paths {
+		fmt.Fprintf(w, "<li><a href=%q>%s</a> — %s</li>\n",
+			p, html.EscapeString(p), html.EscapeString(docs[p]))
+	}
+	fmt.Fprint(w, "</ul>\n</body></html>\n")
+}
+
+// handleCosts merges the cost-ledger snapshots of every distinct ledger
+// the attached engines account to (engines usually share one) into a
+// per-query cost document with per-tenant rollups.
+func (s *Server) handleCosts(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	engines := append([]*core.Engine(nil), s.engines...)
+	s.mu.Unlock()
+	var ledgers []*account.Ledger
+	for _, e := range engines {
+		l := e.Account()
+		if l == nil {
+			continue
+		}
+		seen := false
+		for _, have := range ledgers {
+			if have == l {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ledgers = append(ledgers, l)
+		}
+	}
+	queries := []account.QueryCosts{}
+	for _, l := range ledgers {
+		queries = append(queries, l.Snapshot()...)
+	}
+	writeJSON(w, map[string]any{
+		"queries": queries,
+		"tenants": account.RollupTenants(queries),
 	})
 }
 

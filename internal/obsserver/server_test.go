@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"redoop/internal/account"
 	"redoop/internal/cluster"
 	"redoop/internal/core"
 	"redoop/internal/dfs"
@@ -620,5 +621,91 @@ func TestCritPathEndpoint(t *testing.T) {
 
 	if rec := get(t, srv.Handler(), "/debug/critpath?recurrence=bogus"); rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad recurrence filter: status %d, want 400", rec.Code)
+	}
+}
+
+// TestCostsEndpoint drives two engines sharing one cost ledger
+// (different tenants) and checks /debug/costs reports each query once
+// with nonzero compute, plus per-tenant rollups.
+func TestCostsEndpoint(t *testing.T) {
+	ob := obs.New()
+	ledger := account.New()
+	q1 := countQuery("qa")
+	q1.TenantID = "tenant-a"
+	q2 := countQuery("qb")
+	q2.TenantID = "tenant-b"
+	e1, err := core.NewEngine(core.Config{MR: newRig(2, ob), Query: q1, Account: ledger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.NewEngine(core.Config{MR: newRig(2, ob), Query: q2, Account: ledger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []*core.Engine{e1, e2} {
+		for fed := 0; fed < int(testWin/testSlide); fed++ {
+			if err := eng.Ingest(0, genWords(11, fed, 200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.RunNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := obsserver.New(ob)
+	srv.Attach(e1, e2)
+	rec := get(t, srv.Handler(), "/debug/costs")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc struct {
+		Queries []account.QueryCosts  `json:"queries"`
+		Tenants []account.TenantCosts `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Queries) != 2 {
+		t.Fatalf("queries = %+v, want qa and qb once each (shared ledger deduplicated)", doc.Queries)
+	}
+	for _, q := range doc.Queries {
+		if q.TotalComputeNS <= 0 {
+			t.Errorf("query %s metered no compute", q.Query)
+		}
+	}
+	if len(doc.Tenants) != 2 {
+		t.Fatalf("tenants = %+v, want tenant-a and tenant-b", doc.Tenants)
+	}
+	for _, tc := range doc.Tenants {
+		if tc.Queries != 1 || tc.TotalComputeNS <= 0 {
+			t.Errorf("tenant rollup %+v wrong", tc)
+		}
+	}
+}
+
+// TestDebugIndexPage checks /debug/ lists every mounted endpoint as an
+// HTML directory and unmatched /debug/* paths still 404.
+func TestDebugIndexPage(t *testing.T) {
+	srv := obsserver.New(obs.New())
+	h := srv.Handler()
+	rec := get(t, h, "/debug/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("content type = %q, want text/html", ct)
+	}
+	body := rec.Body.String()
+	for _, path := range []string{
+		"/metrics", "/debug/events", "/debug/cache", "/debug/panes",
+		"/debug/health", "/debug/profile", "/debug/critpath",
+		"/debug/costs", "/debug/stream",
+	} {
+		if !strings.Contains(body, fmt.Sprintf("href=%q", path)) {
+			t.Errorf("/debug/ index is missing a link to %s", path)
+		}
+	}
+	if rec := get(t, h, "/debug/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown debug path status = %d, want 404", rec.Code)
 	}
 }

@@ -19,6 +19,7 @@ func (o *Oracle) checkInvariants(res *core.RecurrenceResult, v *Verdict) {
 	o.checkMatrixAndCaches(res, v)
 	o.checkRegistries(v)
 	o.checkHeaders(res, v)
+	o.checkAccounting(v)
 }
 
 // drainTransitions moves illegal ready transitions recorded by the
@@ -158,6 +159,54 @@ func (o *Oracle) checkMatrixAndCaches(res *core.RecurrenceResult, v *Verdict) {
 		}
 	}
 	walk(0)
+}
+
+// checkAccounting asserts the cost ledger's conservation invariants
+// when one is attached (see internal/account): the query's slot-held
+// compute cannot exceed the cluster's total accrued busy time (every
+// metered nanosecond was also charged to a node via AddLoad), the
+// ledger's residency counters must reconcile (registered = expired +
+// open), and every residency still accruing byte·seconds must map to a
+// live CacheAvailable controller signature of the same size — occupancy
+// may only be charged for bytes the scheduler can actually find.
+// Chaos-dropped caches are discovered lazily (§5) at the next lookup,
+// which closes their residencies before this runs, so at Check time the
+// ledger and controller must agree.
+func (o *Oracle) checkAccounting(v *Verdict) {
+	acct := o.eng.Account()
+	if acct == nil {
+		return
+	}
+	name := o.eng.AccountName()
+	var busy int64
+	for _, n := range o.eng.MR().Cluster.Nodes() {
+		busy += int64(n.Load())
+	}
+	if err := acct.CheckConservation(busy, name); err != nil {
+		v.Violations = append(v.Violations, fmt.Sprintf("accounting: %v", err))
+	}
+	ctrl := o.eng.Controller()
+	for _, r := range acct.OpenResidencies() {
+		if r.Query != name {
+			continue
+		}
+		sig, ok := ctrl.Lookup(r.PID, core.CacheType(r.Type))
+		if !ok {
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"accounting: open residency %s (type %d) has no controller signature", r.PID, r.Type))
+			continue
+		}
+		if sig.Ready != core.CacheAvailable {
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"accounting: open residency %s (type %d) is %s, want CacheAvailable", r.PID, r.Type, sig.Ready))
+			continue
+		}
+		if sig.Bytes != r.Bytes {
+			v.Violations = append(v.Violations, fmt.Sprintf(
+				"accounting: open residency %s (type %d) accrues %d bytes but the controller records %d",
+				r.PID, r.Type, r.Bytes, sig.Bytes))
+		}
+	}
 }
 
 // checkRegistries asserts node-registry hygiene: after the managers'

@@ -43,9 +43,11 @@
 //
 // -json-out writes a machine-readable run summary (configuration,
 // per-figure series with per-window timings, makespans, shuffle
-// totals, the headline speedup, cache hit/shuffle aggregates, and a
+// totals, the headline speedup, cache hit/shuffle aggregates, a
 // "costs" block with the resource-accounting ledger's per-query
-// attribution and conservation verdict) so bench trajectories can
+// attribution and conservation verdict, and a "lineage" block with
+// the provenance store's totals — derivation nodes, edges, distinct
+// plan fingerprints, rebuild count) so bench trajectories can
 // accumulate across commits.
 //
 // -bench-dir DIR enables trajectory mode: the run summary (with
@@ -79,6 +81,7 @@ import (
 	"redoop/internal/core"
 	"redoop/internal/experiments"
 	"redoop/internal/health"
+	"redoop/internal/lineage"
 	"redoop/internal/obs"
 	"redoop/internal/obsserver"
 )
@@ -158,6 +161,10 @@ func main() {
 	if ob != nil {
 		acct = account.New()
 		cfg.Account = acct
+		// One shared provenance store too, so the summary's lineage
+		// block covers every engine and /debug/lineage (with -serve)
+		// shows the whole run's derivation DAG.
+		cfg.Lineage = lineage.New(0)
 		attach := cfg.OnEngine
 		cfg.OnEngine = func(e *core.Engine) {
 			engines = append(engines, e)
@@ -211,6 +218,7 @@ func main() {
 			sum.Profile = profileSummary(ob, nil)
 			sum.Costs = costsSummary(acct, clusterBusyNS(engines))
 			warnConservation(sum.Costs)
+			sum.Lineage = lineageSummary(cfg.Lineage)
 			sum.Chaos = cj
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)
@@ -336,6 +344,7 @@ func main() {
 		sum.Profile = profileSummary(ob, par)
 		sum.Costs = costsSummary(acct, clusterBusyNS(engines))
 		warnConservation(sum.Costs)
+		sum.Lineage = lineageSummary(cfg.Lineage)
 		if *jsonOut != "" {
 			if err := obs.WriteFileAtomic(*jsonOut, func(w io.Writer) error {
 				return writeSummary(w, sum)
@@ -426,7 +435,8 @@ func runTrajectory(w io.Writer, dir, rev string, sum summaryJSON, softPct, hardP
 	hrows := compareHealth(old, sum)
 	pnotes := compareProfile(old, sum)
 	cnotes := compareCosts(old, sum)
-	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, cnotes, softPct, hardPct)
+	lnotes := compareLineage(old, sum)
+	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, cnotes, lnotes, softPct, hardPct)
 	return hard, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"redoop/internal/account"
 	"redoop/internal/experiments"
 	"redoop/internal/health"
+	"redoop/internal/lineage"
 	"redoop/internal/obs"
 	"redoop/internal/profile"
 )
@@ -156,6 +157,22 @@ type costsJSON struct {
 	Tenants        []account.TenantCosts `json:"tenants,omitempty"`
 }
 
+// lineageJSON folds the provenance store's end-of-run totals into the
+// trajectory: how many derivation nodes and input edges the run
+// recorded, how many distinct plan fingerprints it saw, and how many
+// cache entries had to be rebuilt after a fault. A rebuild count that
+// jumps between revisions on a clean (non-chaos) run is a recovery
+// path firing where none should.
+type lineageJSON struct {
+	Nodes                int `json:"nodes"`
+	Edges                int `json:"edges"`
+	Batches              int `json:"batches"`
+	DistinctFingerprints int `json:"distinctFingerprints"`
+	Rebuilds             int `json:"rebuilds"`
+	Evicted              int `json:"evicted"`
+	Faults               int `json:"faults"`
+}
+
 type summaryJSON struct {
 	Tool string `json:"tool"`
 	// Rev identifies the revision a trajectory entry was measured at
@@ -176,6 +193,10 @@ type summaryJSON struct {
 	// entries written before the ledger existed, which the trajectory
 	// comparison tolerates.
 	Costs *costsJSON `json:"costs,omitempty"`
+	// Lineage is the provenance-store block; absent in entries written
+	// before the store existed, which the trajectory comparison
+	// tolerates.
+	Lineage *lineageJSON `json:"lineage,omitempty"`
 }
 
 func seriesSummary(s experiments.Series) seriesJSON {
@@ -357,6 +378,28 @@ func costsSummary(acct *account.Ledger, busyNS int64) *costsJSON {
 		})
 	}
 	return cj
+}
+
+// lineageSummary folds the provenance store's end-of-run stats into
+// the summary schema; nil store (or one that recorded nothing) in, nil
+// out.
+func lineageSummary(lin *lineage.Store) *lineageJSON {
+	if lin == nil {
+		return nil
+	}
+	st := lin.Stats()
+	if st.Nodes == 0 && st.Batches == 0 {
+		return nil
+	}
+	return &lineageJSON{
+		Nodes:                st.Nodes,
+		Edges:                st.Edges,
+		Batches:              st.Batches,
+		DistinctFingerprints: st.DistinctFingerprints,
+		Rebuilds:             st.Rebuilds,
+		Evicted:              st.Evicted,
+		Faults:               st.Faults,
+	}
 }
 
 // healthSummary folds the monitor's end-of-run snapshot into the

@@ -267,9 +267,41 @@ func compareCosts(old, cur summaryJSON) []string {
 	return out
 }
 
+// compareLineage reports movements in the provenance-store aggregates
+// between two trajectory entries. Informational only — node and edge
+// counts scale with the workload — but a rebuild count appearing on a
+// clean run is called out, since rebuilds mean the recovery ladder
+// fired. Entries written before the lineage block existed simply lack
+// the key; a missing old block is "nothing to compare against", so
+// trajectories spanning the schema change keep working.
+func compareLineage(old, cur summaryJSON) []string {
+	if cur.Lineage == nil {
+		return nil
+	}
+	var out []string
+	if cur.Lineage.Rebuilds > 0 && cur.Chaos == nil {
+		out = append(out, fmt.Sprintf("%d cache rebuilds on a clean run (recovery fired without injected faults)", cur.Lineage.Rebuilds))
+	}
+	if old.Lineage == nil {
+		return out
+	}
+	if old.Lineage.Nodes != cur.Lineage.Nodes || old.Lineage.Edges != cur.Lineage.Edges {
+		out = append(out, fmt.Sprintf("derivations %d -> %d, edges %d -> %d",
+			old.Lineage.Nodes, cur.Lineage.Nodes, old.Lineage.Edges, cur.Lineage.Edges))
+	}
+	if old.Lineage.DistinctFingerprints != cur.Lineage.DistinctFingerprints {
+		out = append(out, fmt.Sprintf("distinct plan fingerprints %d -> %d",
+			old.Lineage.DistinctFingerprints, cur.Lineage.DistinctFingerprints))
+	}
+	if old.Lineage.Rebuilds != cur.Lineage.Rebuilds {
+		out = append(out, fmt.Sprintf("rebuilds %d -> %d", old.Lineage.Rebuilds, cur.Lineage.Rebuilds))
+	}
+	return out
+}
+
 // regressReport writes the comparison and returns whether any timing
 // row regressed past the soft or the hard threshold (in percent).
-func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes, cnotes []string, softPct, hardPct float64) (soft, hard bool) {
+func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes, cnotes, lnotes []string, softPct, hardPct float64) (soft, hard bool) {
 	fmt.Fprintf(w, "\ntrajectory: %s -> %s\n", revLabel(oldRev), revLabel(curRev))
 	if len(rows) == 0 {
 		fmt.Fprintf(w, "  no comparable series (different figure subsets?)\n")
@@ -313,6 +345,9 @@ func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []
 	}
 	for _, n := range cnotes {
 		fmt.Fprintf(w, "  costs: %s\n", n)
+	}
+	for _, n := range lnotes {
+		fmt.Fprintf(w, "  lineage: %s\n", n)
 	}
 	switch {
 	case hard:

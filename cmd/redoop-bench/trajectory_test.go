@@ -108,7 +108,7 @@ func TestRegressReportThresholds(t *testing.T) {
 		{Key: seriesKey{"Figure 6", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1000, NewNS: 1080, Pct: 8},
 	}
 	var buf bytes.Buffer
-	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, nil, 5, 15)
+	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, 5, 15)
 	if !soft || hard {
 		t.Errorf("8%% over soft=5 hard=15: soft=%v hard=%v, want soft only", soft, hard)
 	}
@@ -118,7 +118,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = 20
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, 5, 15)
 	if !hard {
 		t.Errorf("20%% over hard=15: hard=%v, want true", hard)
 	}
@@ -128,7 +128,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = -8
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, 5, 15)
 	if soft || hard {
 		t.Errorf("improvement flagged as regression: soft=%v hard=%v", soft, hard)
 	}
@@ -144,7 +144,7 @@ func TestRegressReportHealthLines(t *testing.T) {
 		StatusOld: "OK", StatusNew: "AT_RISK",
 	}}
 	var buf bytes.Buffer
-	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, nil, 5, 15)
+	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, nil, nil, 5, 15)
 	out := buf.String()
 	if !strings.Contains(out, "deadline misses 0 -> 2") || !strings.Contains(out, "status OK -> AT_RISK") {
 		t.Errorf("health lines missing:\n%s", out)
@@ -216,11 +216,43 @@ func TestCompareCosts(t *testing.T) {
 	}
 }
 
+func TestCompareLineage(t *testing.T) {
+	old := summaryJSON{Lineage: &lineageJSON{
+		Nodes: 100, Edges: 200, DistinctFingerprints: 2, Rebuilds: 0,
+	}}
+	cur := summaryJSON{Lineage: &lineageJSON{
+		Nodes: 120, Edges: 260, DistinctFingerprints: 3, Rebuilds: 1,
+	}}
+	notes := compareLineage(old, cur)
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{
+		"derivations 100 -> 120", "edges 200 -> 260",
+		"fingerprints 2 -> 3", "rebuilds 0 -> 1",
+		"rebuilds on a clean run",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+
+	// Rebuilds under chaos are expected, not called out.
+	cur.Chaos = &chaosJSON{}
+	notes = compareLineage(summaryJSON{}, cur)
+	if len(notes) != 0 {
+		t.Errorf("chaos-run rebuilds produced notes: %v", notes)
+	}
+
+	// No lineage block on the new side: nothing to say.
+	if notes := compareLineage(old, summaryJSON{}); notes != nil {
+		t.Errorf("nil lineage produced notes: %v", notes)
+	}
+}
+
 // TestTrajectoryToleratesOldFormatEntries pins the schema-evolution
-// contract: a prior BENCH_<rev>.json written before the profile and
-// costs blocks existed (no "profile" or "costs" keys at all) must
+// contract: a prior BENCH_<rev>.json written before the profile,
+// costs and lineage blocks existed (none of those keys at all) must
 // still load and compare cleanly against a current entry that carries
-// both — the new blocks are informational-only for such pairs, never
+// them — the new blocks are informational-only for such pairs, never
 // an error.
 func TestTrajectoryToleratesOldFormatEntries(t *testing.T) {
 	dir := t.TempDir()
@@ -244,13 +276,14 @@ func TestTrajectoryToleratesOldFormatEntries(t *testing.T) {
 	if err != nil {
 		t.Fatalf("old-format entry failed to load: %v", err)
 	}
-	if old.Profile != nil || old.Costs != nil {
-		t.Fatalf("absent blocks decoded non-nil: profile=%v costs=%v", old.Profile, old.Costs)
+	if old.Profile != nil || old.Costs != nil || old.Lineage != nil {
+		t.Fatalf("absent blocks decoded non-nil: profile=%v costs=%v lineage=%v", old.Profile, old.Costs, old.Lineage)
 	}
 
 	cur := mkSummary("modern", 1000, 100)
 	cur.Profile = &profileJSON{CritPathNS: 1200, LedgerOK: true}
 	cur.Costs = &costsJSON{ConservationOK: true, Queries: []costQueryJSON{{Query: "q1", TotalComputeNS: 900}}}
+	cur.Lineage = &lineageJSON{Nodes: 100, Edges: 200, DistinctFingerprints: 1}
 
 	// End-to-end through runTrajectory: the comparison must neither
 	// error nor let the schema gap masquerade as a regression.
@@ -273,6 +306,9 @@ func TestTrajectoryToleratesOldFormatEntries(t *testing.T) {
 	}
 	if notes := compareProfile(old, cur); len(notes) != 0 {
 		t.Errorf("old entry without profile produced comparison notes: %v", notes)
+	}
+	if notes := compareLineage(old, cur); len(notes) != 0 {
+		t.Errorf("old entry without lineage produced comparison notes: %v", notes)
 	}
 }
 

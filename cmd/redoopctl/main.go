@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	redoopctl [metrics|explain|health|profile|costs] [-query agg|join] [-overlap 0.9]
+//	redoopctl [metrics|explain|health|profile|costs|lineage] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-chaos SEED[:profile]]
 //	          [-top K] [-seed N]
@@ -12,6 +12,7 @@
 //	          [-cache-budget BYTESEC]
 //	          [-metrics-out FILE] [-trace-out FILE] [-serve ADDR]
 //	          [-folded-out FILE] [-critpath-out FILE]
+//	          [-dot-out FILE] [-lineage-out FILE]
 //
 // -workers sets the host-side parallel compute pool the engine uses
 // (0 = GOMAXPROCS, 1 = serial). It changes only real elapsed time:
@@ -77,6 +78,23 @@
 // step relies on this). The report is byte-identical across -workers
 // settings because all metering happens in serial commit paths.
 //
+// The "lineage" subcommand runs BOTH figure workloads against one
+// shared provenance store and cost ledger, with the differential
+// oracle attached to every window: besides the byte-for-byte output
+// check, the oracle's lineage pass machine-checks the store — closure
+// (every resident cache copy has a derivation, every claimed batch and
+// input edge resolves, consumer links are symmetric) and a sampled
+// derivation audit that recomputes pane bytes strictly from the
+// lineage-claimed input records and asserts SHA equality with what the
+// store recorded. Any violation fails the invocation with a non-zero
+// exit (the CI smoke step relies on this). The report prints the
+// per-query plan fingerprint, the final window's derivation DAG with
+// per-edge virtual-time build costs joined against the cost ledger's
+// attributed compute, and the store totals. -dot-out writes the whole
+// derivation DAG as a Graphviz digraph and -lineage-out as JSON; both
+// also work outside the subcommand (they attach a provenance store to
+// any Redoop run) and are written even when the run fails partway.
+//
 // -chaos SEED[:profile] runs the query under a deterministic seeded
 // fault schedule (node crashes and revivals, cache losses, pane-file
 // corruption, delayed batches, stragglers — profile selects the fault
@@ -116,6 +134,7 @@ import (
 	"redoop/internal/experiments"
 	"redoop/internal/explain"
 	"redoop/internal/health"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
@@ -150,6 +169,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a Perfetto-loadable Chrome trace JSON of the run to this file")
 		foldedOut   = flag.String("folded-out", "", "write flamegraph folded stacks of the run's task spans to this file")
 		critpathOut = flag.String("critpath-out", "", "write a Chrome trace JSON with the critical-path overlay to this file")
+		dotOut      = flag.String("dot-out", "", "write the run's derivation DAG as a Graphviz digraph to this file (attaches a provenance store)")
+		lineageOut  = flag.String("lineage-out", "", "write the run's provenance store (stats, plans, derivation DAG) as JSON to this file")
 		serveAddr   = flag.String("serve", "", "serve the live introspection HTTP endpoints on this address (e.g. :8080) during the run, then until interrupted")
 	)
 	args := os.Args[1:]
@@ -158,10 +179,11 @@ func main() {
 	healthMode := len(args) > 0 && args[0] == "health"
 	profileMode := len(args) > 0 && args[0] == "profile"
 	costsMode := len(args) > 0 && args[0] == "costs"
-	if metricsMode || explainMode || healthMode || profileMode || costsMode {
+	lineageMode := len(args) > 0 && args[0] == "lineage"
+	if metricsMode || explainMode || healthMode || profileMode || costsMode || lineageMode {
 		args = args[1:]
 	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health, profile or costs)\n", args[0])
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health, profile, costs or lineage)\n", args[0])
 		os.Exit(2)
 	}
 	flag.CommandLine.Parse(args)
@@ -197,6 +219,22 @@ func main() {
 	if profileMode && *useBase {
 		fmt.Fprintln(os.Stderr, "redoopctl: profile needs the instrumented Redoop engine; it cannot be combined with -baseline")
 		os.Exit(2)
+	}
+	if (lineageMode || *dotOut != "" || *lineageOut != "") && *useBase {
+		fmt.Fprintln(os.Stderr, "redoopctl: the baseline driver records no provenance; lineage cannot be combined with -baseline")
+		os.Exit(2)
+	}
+
+	// Lineage mode (and the standalone DAG artifacts) attach a shared
+	// provenance store; the subcommand's report additionally joins the
+	// DAG against the cost ledger, so it needs one. -serve attaches
+	// one too (baseline excepted — it records no provenance), so
+	// /debug/lineage has a live store to show.
+	if lineageMode || *dotOut != "" || *lineageOut != "" || (*serveAddr != "" && !*useBase) {
+		cfg.Lineage = lineage.New(0)
+	}
+	if lineageMode && cfg.Account == nil {
+		cfg.Account = account.New()
 	}
 
 	var ob *obs.Observer
@@ -234,10 +272,11 @@ func main() {
 		cfg.OnEngine = func(e *core.Engine) { srv.Attach(e) }
 	}
 
-	// In metrics, explain, health, profile and costs mode the report
-	// owns stdout; the table moves to stderr so both remain usable.
+	// In metrics, explain, health, profile, costs and lineage mode the
+	// report owns stdout; the table moves to stderr so both remain
+	// usable.
 	tableOut := io.Writer(os.Stdout)
-	if metricsMode || explainMode || healthMode || profileMode || costsMode {
+	if metricsMode || explainMode || healthMode || profileMode || costsMode || lineageMode {
 		tableOut = os.Stderr
 	}
 
@@ -254,7 +293,7 @@ func main() {
 		scfg.Health = health.NewMonitor(hcfg)
 		scfg.OnEngine = nil
 		t0 := time.Now()
-		if _, err := run(io.Discard, scfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, 0, *spikeWin, *spikeFac, chaosSched, ""); err != nil {
+		if _, err := run(io.Discard, scfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, 0, *spikeWin, *spikeFac, chaosSched, false, ""); err != nil {
 			fmt.Fprintf(os.Stderr, "redoopctl: serial reference run: %v\n", err)
 			os.Exit(1)
 		}
@@ -263,10 +302,13 @@ func main() {
 
 	t0 := time.Now()
 	var runErr error
-	if costsMode {
+	switch {
+	case costsMode:
 		runErr = runCosts(tableOut, os.Stdout, cfg, *overlap, *adaptive, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched)
-	} else {
-		_, runErr = run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched, "")
+	case lineageMode:
+		runErr = runLineage(tableOut, os.Stdout, cfg, *overlap, *adaptive, *failNode, *dropCache, *spikeWin, *spikeFac, chaosSched)
+	default:
+		_, runErr = run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched, false, "")
 	}
 	parallelElapsed := time.Since(t0)
 
@@ -357,6 +399,12 @@ func main() {
 			artifactErr = true
 		}
 	}
+	if cfg.Lineage != nil && (*dotOut != "" || *lineageOut != "") {
+		if err := writeLineageArtifacts(cfg.Lineage, *dotOut, *lineageOut); err != nil {
+			fmt.Fprintf(os.Stderr, "redoopctl: %v\n", err)
+			artifactErr = true
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "redoopctl: %v\n", runErr)
 		os.Exit(1)
@@ -392,7 +440,7 @@ func runCosts(tableW, reportW io.Writer, cfg experiments.Config, overlap float64
 		{"agg", "tenant-a"},
 		{"join", "tenant-b"},
 	} {
-		eng, err := run(tableW, cfg, wl.kind, overlap, adaptive, false, failNode, dropCache, 0, spikeWin, spikeFac, chaosSched, wl.tenant)
+		eng, err := run(tableW, cfg, wl.kind, overlap, adaptive, false, failNode, dropCache, 0, spikeWin, spikeFac, chaosSched, false, wl.tenant)
 		if err != nil {
 			return err
 		}
@@ -424,7 +472,7 @@ func runCosts(tableW, reportW io.Writer, cfg experiments.Config, overlap float64
 	return nil
 }
 
-func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64, chaosSched *chaos.Schedule, tenant string) (*core.Engine, error) {
+func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adaptive, useBase bool, failNode int, dropCache bool, topK, spikeWin int, spikeFac float64, chaosSched *chaos.Schedule, forceOracle bool, tenant string) (*core.Engine, error) {
 	mr := cfg.NewRuntime(7)
 	slide := cfg.SlideFor(overlap)
 
@@ -467,7 +515,7 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	if useBase {
 		drv, err = baseline.NewDriver(mr, q)
 	} else {
-		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive, Health: cfg.Health, Account: cfg.Account})
+		eng, err = core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: adaptive, Health: cfg.Health, Account: cfg.Account, Lineage: cfg.Lineage})
 	}
 	if err != nil {
 		return nil, err
@@ -484,18 +532,23 @@ func run(w io.Writer, cfg experiments.Config, kind string, overlap float64, adap
 	}
 	// Under -chaos, batches tee into the oracle on their way to the
 	// engine, and the injector's delay gate wraps the whole chain so a
-	// held batch is still observed by the oracle when released.
+	// held batch is still observed by the oracle when released. The
+	// lineage subcommand forces the oracle on even without chaos — its
+	// lineage pass is the machine check the subcommand exists for.
 	var ora *oracle.Oracle
 	var inj *chaos.Injector
 	var oracleInner func(src int, rs []records.Record) error
-	if chaosSched != nil {
+	if chaosSched != nil || forceOracle {
 		ora, err = oracle.New(eng)
 		if err != nil {
 			return nil, err
 		}
+		oracleInner = ora.WrapIngest(eng.Ingest)
+		ingest = oracleInner
+	}
+	if chaosSched != nil {
 		inj = chaos.NewInjector(chaosSched, mr)
 		inj.OnCorrupt = ora.ExcludePath
-		oracleInner = ora.WrapIngest(eng.Ingest)
 		ingest = inj.WrapIngest(eng, oracleInner)
 		fmt.Fprintf(w, "chaos: seed %d profile %s, %d scheduled faults\n\n",
 			chaosSched.Seed, chaosSched.Profile, len(chaosSched.Actions))

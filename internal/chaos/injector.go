@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redoop/internal/core"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -135,6 +136,10 @@ func (in *Injector) BeforeRecurrence(r int, eng *core.Engine, ingest func(src in
 			}
 			moved := in.mr.DFS.FailNodeAt(n, in.triggerTime(eng, r))
 			in.mr.Cluster.FailNode(n)
+			in.mr.Lineage.RecordFault(lineage.Fault{
+				Kind: string(NodeCrash), Node: n, Recurrence: r,
+				AtNS: int64(in.triggerTime(eng, r)),
+			})
 			in.applied = append(in.applied, Applied{
 				Recurrence: r, Kind: NodeCrash, Node: n,
 				Detail: fmt.Sprintf("re-replicated %d bytes", moved),
@@ -153,6 +158,10 @@ func (in *Injector) BeforeRecurrence(r int, eng *core.Engine, ingest func(src in
 				continue
 			}
 			dropped := in.mr.Cluster.DropLocal(n, "cache/")
+			in.mr.Lineage.RecordFault(lineage.Fault{
+				Kind: string(CacheDrop), Node: n, Recurrence: r,
+				AtNS: int64(in.triggerTime(eng, r)),
+			})
 			in.applied = append(in.applied, Applied{
 				Recurrence: r, Kind: CacheDrop, Node: n,
 				Detail: fmt.Sprintf("dropped %d cache entries", dropped),
@@ -245,6 +254,10 @@ func (in *Injector) corruptPane(r int, eng *core.Engine, a Action) error {
 	if in.OnCorrupt != nil {
 		in.OnCorrupt(path)
 	}
+	in.mr.Lineage.RecordFault(lineage.Fault{
+		Kind: string(a.Kind), Node: -1, Path: path, Recurrence: r,
+		AtNS: int64(in.triggerTime(eng, r)),
+	})
 	in.applied = append(in.applied, Applied{
 		Recurrence: r, Kind: a.Kind, Node: -1, Target: path, Detail: detail,
 	})

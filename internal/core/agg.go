@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redoop/internal/account"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/parallel"
 	"redoop/internal/records"
@@ -151,6 +152,7 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 		mapShare = (mp.Stats.MapTime + rstats.ShuffleTime) / simtime.Duration(live)
 	}
 	refs = make([]cacheRef, R)
+	batches := e.linBatches(0, p)
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
 		if home == nil {
@@ -167,7 +169,15 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 				recompute: mapShare + e.mr.Cost.Sort(rinBytes) + e.mr.Cost.DiskWrite(rinBytes)}
 			routMeta = cacheMeta{span: rr.Span, recompute: rr.End.Sub(rr.Start)}
 		}
-		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, node, readyAt, rinData[part], e.rinUsers(0), rinMeta)
+		rinPID := q.rinPID(0, e.frames[0].Pane, p, part)
+		if e.lin != nil {
+			rinMeta.lin = &linMeta{kind: "pane-rin", pane: int64(p), part: part, job: job.Name, batches: batches}
+		}
+		e.registerCacheFor(rinPID, ReduceInput, node, readyAt, rinData[part], e.rinUsers(0), rinMeta)
+		if e.lin != nil {
+			routMeta.lin = &linMeta{kind: "pane-rout", pane: int64(p), part: part, job: job.Name,
+				inputs: []lineage.InputRef{e.linInput(rinPID, ReduceInput)}}
+		}
 		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, readyAt, routData[part], routMeta)
 	}
 	if err := e.matrix.Update(p); err != nil {
@@ -236,14 +246,24 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 	})
 
 	refs := make([]cacheRef, R)
+	batches := e.linBatches(0, p)
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
 		if home == nil {
 			return nil, fmt.Errorf("core: no alive node to home partition %d", part)
 		}
+		rinPID := q.rinPID(0, e.frames[0].Pane, p, part)
 		if len(subOut[part]) == 0 {
-			e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, home.ID, trigger, nil, e.rinUsers(0), cacheMeta{})
-			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, home.ID, trigger, nil, cacheMeta{})
+			var rinMeta, routMeta cacheMeta
+			if e.lin != nil {
+				rinMeta.lin = &linMeta{kind: "pane-rin", pane: int64(p), part: part, job: job.Name, batches: batches}
+			}
+			e.registerCacheFor(rinPID, ReduceInput, home.ID, trigger, nil, e.rinUsers(0), rinMeta)
+			if e.lin != nil {
+				routMeta.lin = &linMeta{kind: "pane-rout", pane: int64(p), part: part, job: job.Name,
+					inputs: []lineage.InputRef{e.linInput(rinPID, ReduceInput)}}
+			}
+			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, home.ID, trigger, nil, routMeta)
 			continue
 		}
 		inBytes := records.PairsSize(subOut[part])
@@ -261,7 +281,14 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 			recompute: e.mr.Cost.Sort(rinBytes) + e.mr.Cost.DiskWrite(rinBytes)}
 		routMeta := cacheMeta{span: ct.span,
 			recompute: e.mr.Cost.ReduceTask(rinBytes, int64(len(routData[part])))}
-		e.registerCacheFor(q.rinPID(0, e.frames[0].Pane, p, part), ReduceInput, ct.node, ct.end, rinData[part], e.rinUsers(0), rinMeta)
+		if e.lin != nil {
+			rinMeta.lin = &linMeta{kind: "pane-rin", pane: int64(p), part: part, job: job.Name, batches: batches}
+		}
+		e.registerCacheFor(rinPID, ReduceInput, ct.node, ct.end, rinData[part], e.rinUsers(0), rinMeta)
+		if e.lin != nil {
+			routMeta.lin = &linMeta{kind: "pane-rout", pane: int64(p), part: part, job: job.Name,
+				inputs: []lineage.InputRef{e.linInput(rinPID, ReduceInput)}}
+		}
 		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, routData[part], routMeta)
 		if ct.end > stats.End {
 			stats.End = ct.end
@@ -297,8 +324,13 @@ func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins [
 		},
 		func(part int) error {
 			rin := rins[part]
+			routMeta := cacheMeta{span: rin.span}
+			if e.lin != nil {
+				routMeta.lin = &linMeta{kind: "pane-rout", pane: int64(p), part: part,
+					inputs: []lineage.InputRef{e.linInput(rin.pid, ReduceInput)}}
+			}
 			if rin.bytes == 0 {
-				refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil, cacheMeta{span: rin.span})
+				refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil, routMeta)
 				return nil
 			}
 			outData := rebuilt[part]
@@ -307,7 +339,9 @@ func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins [
 			stats.ReduceTime += ct.dur
 			stats.ReduceTasks++
 			stats.BytesCacheRead += rin.bytes
-			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, outData, cacheMeta{span: ct.span, recompute: ct.dur})
+			routMeta.span = ct.span
+			routMeta.recompute = ct.dur
+			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, outData, routMeta)
 			if ct.end > stats.End {
 				stats.End = ct.end
 			}

@@ -8,6 +8,7 @@ import (
 
 	"redoop/internal/account"
 	"redoop/internal/health"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
@@ -75,6 +76,15 @@ type Config struct {
 	// attributes read/write/replication bytes to it. Nil disables
 	// accounting at ~zero cost.
 	Account *account.Ledger
+	// Lineage optionally attaches a provenance store, usually shared
+	// between engines so one store holds every query's derivation DAG.
+	// The engine records, at its serial commit points, a derivation node
+	// for every pane cache and emitted window — input batches down to
+	// record-offset ranges, the plan fingerprint, cache copy history,
+	// and downstream consumers — and propagates the store to the
+	// MapReduce runtime (task attempts) and DFS (replica history). Nil
+	// disables provenance at ~zero cost.
+	Lineage *lineage.Store
 }
 
 // RecurrenceResult reports one execution of the recurring query.
@@ -159,6 +169,12 @@ type Engine struct {
 	// suffixed variant when several engines run same-named queries.
 	acct     *account.Ledger
 	acctName string
+
+	// lin is the (possibly shared, possibly nil) provenance store;
+	// planFP is the query's canonical plan fingerprint, computed even
+	// when lineage is disabled so callers can always read it.
+	lin    *lineage.Store
+	planFP string
 
 	// lastForecast is the profiler's previous next-recurrence forecast,
 	// compared against the realized response time to expose the Holt
@@ -298,6 +314,22 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.MR.DFS.SetAccount(e.acct)
 		cfg.MR.DFS.AttributePrefix(dataDir+"/", e.acctName)
 	}
+	// The provenance store follows the same sharing rules: propagate it
+	// to the MapReduce runtime (task-attempt provenance) and the DFS
+	// (pane-file replica history, bounded to this query's data
+	// directory). The plan fingerprint is computed unconditionally — it
+	// is the reuse seam — but only recorded when a store is attached.
+	plan := lineagePlan(q, frames)
+	e.planFP = lineage.Fingerprint(plan)
+	e.lin = cfg.Lineage
+	if e.lin != nil {
+		e.lin.RecordPlan(e.planFP, plan)
+		if cfg.MR.Lineage == nil {
+			cfg.MR.Lineage = e.lin
+		}
+		cfg.MR.DFS.SetLineage(e.lin)
+		cfg.MR.DFS.LineagePrefix(dataDir + "/")
+	}
 	matrix.SetObserver(e.obs, q.Name)
 	e.qIdx = ctrl.RegisterQuery(q.Name)
 	for i, src := range q.Sources {
@@ -406,6 +438,16 @@ func (e *Engine) Account() *account.Ledger { return e.acct }
 // AccountName returns the ledger account name of this engine's query.
 func (e *Engine) AccountName() string { return e.acctName }
 
+// Lineage returns the engine's provenance store (nil when lineage is
+// disabled).
+func (e *Engine) Lineage() *lineage.Store { return e.lin }
+
+// PlanFingerprint returns the query's canonical plan fingerprint — the
+// hex SHA-256 of its operator lineage, stable across -workers settings
+// and recurrences. It is always available, even without a lineage
+// store.
+func (e *Engine) PlanFingerprint() string { return e.planFP }
+
 // Scheduler returns the query's cache-aware scheduler.
 func (e *Engine) Scheduler() *Scheduler { return e.sched }
 
@@ -453,6 +495,23 @@ func (e *Engine) NextRecurrence() int {
 func (e *Engine) Ingest(src int, recs []records.Record) error {
 	if src < 0 || src >= len(e.srcs) {
 		return fmt.Errorf("core: query %q has no source %d", e.query.Name, src)
+	}
+	if e.lin != nil && len(recs) > 0 {
+		// Record the batch's provenance before delivery: which
+		// contiguous record-index runs land in which pane. Ingest calls
+		// are serial per the data model, so the per-source batch
+		// sequence is deterministic.
+		frame := e.frames[src]
+		var runs []lineage.PaneRange
+		start, cur := 0, frame.PaneOf(recs[0].Ts)
+		for i := 1; i < len(recs); i++ {
+			if p := frame.PaneOf(recs[i].Ts); p != cur {
+				runs = append(runs, lineage.PaneRange{Pane: int64(cur), R: lineage.Range{Lo: start, Hi: i}})
+				start, cur = i, p
+			}
+		}
+		runs = append(runs, lineage.PaneRange{Pane: int64(cur), R: lineage.Range{Lo: start, Hi: len(recs)}})
+		e.lin.RecordBatch(e.acctName, e.query.Sources[src].Name, len(recs), runs)
 	}
 	return e.srcs[src].Ingest(recs)
 }
@@ -563,6 +622,7 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 		}
 	}
 
+	e.linRecordWindow(r, res)
 	e.retireExpired(r, res.CompletedAt)
 	purged := 0
 	for _, m := range e.managers {
@@ -707,6 +767,40 @@ func (c cacheRef) loc() CacheLoc { return CacheLoc{Node: c.node, Bytes: c.bytes}
 type cacheMeta struct {
 	span      obs.SpanID
 	recompute simtime.Duration
+	// lin, when non-nil, carries the registration's lineage context: the
+	// derivation node recorded for the cached bytes at this serial
+	// commit point.
+	lin *linMeta
+}
+
+// linMeta is the lineage context of one cache registration: what kind
+// of derivation the bytes are, which pane/partition they belong to, and
+// which raw batches / upstream derivations produced them.
+type linMeta struct {
+	kind    string
+	pane    int64
+	part    int
+	job     string
+	batches []lineage.BatchRef
+	inputs  []lineage.InputRef
+}
+
+// linBatches returns the retained raw-batch claims on pane p of source
+// src (nil when lineage is disabled).
+func (e *Engine) linBatches(src int, p window.PaneID) []lineage.BatchRef {
+	if e.lin == nil {
+		return nil
+	}
+	return e.lin.BatchesForPane(e.acctName, e.query.Sources[src].Name, int64(p))
+}
+
+// linInput references the derivation of cache pid/typ as an upstream
+// input, carrying its insertion seq so closure checks can tell a
+// legitimately evicted input from a bookkeeping hole.
+func (e *Engine) linInput(pid string, typ CacheType) lineage.InputRef {
+	id := lineage.DerivID(pid, int(typ))
+	seq, _ := e.lin.Seq(id)
+	return lineage.InputRef{ID: id, Seq: seq}
 }
 
 // registerCache persists bytes as a cache on a node and registers its
@@ -726,9 +820,13 @@ func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt s
 	// node's copy — the signature moves with the rebuild, so bytes
 	// left behind would otherwise be orphaned forever: unexpired,
 	// undiscoverable, and invisible to every future purge notice.
-	if old, ok := e.ctrl.Lookup(pid, typ); ok && old.NID != node {
-		if oldReg := e.ctrl.Registry(old.NID); oldReg != nil {
-			oldReg.MarkExpired(pid, typ)
+	prevNode, hadPrev := -1, false
+	if old, ok := e.ctrl.Lookup(pid, typ); ok {
+		prevNode, hadPrev = old.NID, true
+		if old.NID != node {
+			if oldReg := e.ctrl.Registry(old.NID); oldReg != nil {
+				oldReg.MarkExpired(pid, typ)
+			}
 		}
 	}
 	reg := e.ctrl.Registry(node)
@@ -739,6 +837,35 @@ func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt s
 		Bytes: int64(len(data)), Recurrence: e.NextRecurrence(),
 		RecomputeNS: int64(meta.recompute),
 	})
+	if e.lin != nil && meta.lin != nil {
+		m := meta.lin
+		id := lineage.DerivID(pid, int(typ))
+		rebuilt, cause := e.lin.RecordDerivation(lineage.Derivation{
+			ID: id, Kind: m.kind, Query: e.acctName, Fingerprint: e.planFP,
+			Recurrence: e.NextRecurrence(), Pane: m.pane, Part: m.part,
+			Bytes: int64(len(data)), SHA: lineage.SHA(data),
+			CostNS: int64(meta.recompute), Job: m.job,
+			Batches: m.batches, Inputs: m.inputs,
+		})
+		ev := lineage.CopyEvent{Kind: "register", Node: node, AtNS: int64(readyAt)}
+		if hadPrev && prevNode != node {
+			ev = lineage.CopyEvent{Kind: "rehome", Node: node, From: prevNode, AtNS: int64(readyAt)}
+			e.obs.Emit(readyAt, eventlog.LineageCopyRehome, e.query.Name, eventlog.LineageRehomeData{
+				ID: id, From: prevNode, To: node,
+			})
+		}
+		e.lin.AddCopy(id, ev)
+		if rebuilt {
+			e.obs.Emit(readyAt, eventlog.LineageRebuild, e.query.Name, eventlog.LineageRebuildData{
+				ID: id, Kind: m.kind, Cause: cause,
+			})
+		} else {
+			e.obs.Emit(readyAt, eventlog.LineageDerived, e.query.Name, eventlog.LineageDerivedData{
+				ID: id, Kind: m.kind, Pane: m.pane, Part: m.part,
+				Bytes: int64(len(data)), Fingerprint: e.planFP,
+			})
+		}
+	}
 	// Open the ledger's residency interval (a refresh or re-homing of
 	// the same pid closes the old interval ledger-side, so byte·seconds
 	// never double-count).
@@ -800,8 +927,11 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 		// The bytes stopped being resident when chaos destroyed them,
 		// but §5 discovers the loss lazily — here, at the trigger. The
 		// ledger closes the residency at discovery time, the earliest
-		// instant the runtime can know about it.
+		// instant the runtime can know about it. The lineage store
+		// matches the loss against the most recent recorded fault so the
+		// rebuild that follows can name its cause.
 		e.acct.CacheExpired(pid, int(typ), e.curTrigger)
+		e.lin.MarkLost(lineage.DerivID(pid, int(typ)), sig.NID, int64(e.curTrigger))
 		return cacheRef{}, false
 	}
 	e.obs.Counter("redoop_cache_lookups_total",
@@ -812,6 +942,8 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 	})
 	e.ctrl.ClaimUser(pid, typ, e.qIdx)
 	e.acct.CacheHit(e.acctName, pid, int(typ), e.curTrigger)
+	e.lin.AddCopy(lineage.DerivID(pid, int(typ)),
+		lineage.CopyEvent{Kind: "hit", Node: sig.NID, AtNS: int64(e.curTrigger)})
 	return cacheRef{pid: pid, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
 }
 
@@ -981,11 +1113,13 @@ func (e *Engine) retireExpired(r int, at simtime.Time) {
 				rin := e.query.rinPID(d, e.frames[d].Pane, p, part)
 				if e.ctrl.MarkQueryDone(rin, ReduceInput, e.qIdx) {
 					e.acct.CacheExpired(rin, int(ReduceInput), at)
+					e.lin.MarkExpired(lineage.DerivID(rin, int(ReduceInput)), int64(at))
 				}
 				if n == 1 {
 					rout := e.query.routPanePID(p, part)
 					if e.ctrl.MarkQueryDone(rout, ReduceOutput, e.qIdx) {
 						e.acct.CacheExpired(rout, int(ReduceOutput), at)
+						e.lin.MarkExpired(lineage.DerivID(rout, int(ReduceOutput)), int64(at))
 					}
 				}
 			}
@@ -999,6 +1133,7 @@ func (e *Engine) retireExpired(r int, at simtime.Time) {
 						rout := e.query.routTuplePID(t, part)
 						if e.ctrl.MarkQueryDone(rout, ReduceOutput, e.qIdx) {
 							e.acct.CacheExpired(rout, int(ReduceOutput), at)
+							e.lin.MarkExpired(lineage.DerivID(rout, int(ReduceOutput)), int64(at))
 						}
 					}
 				})
@@ -1047,6 +1182,49 @@ func (e *Engine) forEachLifespanTuple(dim int, p window.PaneID, fn func(paneTupl
 		los[d], his[d] = lo, hi
 	}
 	forEachTupleRanges(los, his, fn)
+}
+
+// linRecordWindow records the emitted window of recurrence r as a
+// derivation node consuming the window's pane (or pane-tuple) output
+// caches. Window nodes are born expired: their bytes go to the consumer
+// rather than a cache, so they must not pin the store's bounded
+// eviction the way resident caches do.
+func (e *Engine) linRecordWindow(r int, res *RecurrenceResult) {
+	if e.lin == nil {
+		return
+	}
+	q := e.query
+	var inputs []lineage.InputRef
+	if len(q.Sources) == 1 {
+		for p := res.WindowLo; p <= res.WindowHi; p++ {
+			for part := 0; part < q.NumReducers; part++ {
+				inputs = append(inputs, e.linInput(q.routPanePID(p, part), ReduceOutput))
+			}
+		}
+	} else {
+		n := len(q.Sources)
+		los := make([]window.PaneID, n)
+		his := make([]window.PaneID, n)
+		for d := 0; d < n; d++ {
+			los[d], his[d] = e.frames[d].WindowRange(r)
+		}
+		forEachTupleRanges(los, his, func(t paneTuple) {
+			for part := 0; part < q.NumReducers; part++ {
+				inputs = append(inputs, e.linInput(q.routTuplePID(t, part), ReduceOutput))
+			}
+		})
+	}
+	data := records.EncodePairs(res.Output)
+	e.lin.RecordDerivation(lineage.Derivation{
+		ID: lineage.WindowID(e.acctName, r), Kind: "window", Query: e.acctName,
+		Fingerprint: e.planFP, Recurrence: r, Pane: int64(res.WindowLo),
+		Bytes: int64(len(data)), SHA: lineage.SHA(data),
+		CostNS: int64(res.ResponseTime), Inputs: inputs, Expired: true,
+	})
+	e.obs.Emit(res.CompletedAt, eventlog.LineageDerived, q.Name, eventlog.LineageDerivedData{
+		ID: lineage.WindowID(e.acctName, r), Kind: "window",
+		Pane: int64(res.WindowLo), Bytes: int64(len(data)), Fingerprint: e.planFP,
+	})
 }
 
 // containsPID reports whether a task-list entry ID references the pid.

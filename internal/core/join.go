@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"redoop/internal/account"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/parallel"
@@ -194,6 +195,8 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 	if live > 0 {
 		mapShare = mp.Stats.MapTime / simtime.Duration(live)
 	}
+	batches := e.linBatches(src, p)
+	jobName := fmt.Sprintf("%s/%s", q.Name, q.Sources[src].Name)
 	for part := 0; part < R; part++ {
 		home := e.sched.HomeNode(part)
 		if home == nil {
@@ -204,8 +207,12 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		if e.proactive {
 			readyAt = mp.LastMapEnd
 		}
+		var rinLin *linMeta
+		if e.lin != nil {
+			rinLin = &linMeta{kind: "pane-rin", pane: int64(p), part: part, job: jobName, batches: batches}
+		}
 		if inBytes == 0 {
-			refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID, readyAt, nil, e.rinUsers(src), cacheMeta{})
+			refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID, readyAt, nil, e.rinUsers(src), cacheMeta{lin: rinLin})
 			continue
 		}
 		// The reducer-side copy: bytes from maps colocated with the
@@ -251,7 +258,7 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		})
 		refs[part] = e.registerCacheFor(q.rinPID(src, e.frames[src].Pane, p, part), ReduceInput, home.ID,
 			end, sortedData[part], e.rinUsers(src),
-			cacheMeta{span: spillSpan, recompute: mapShare + availAt.Sub(shuffleStart) + spill})
+			cacheMeta{span: spillSpan, recompute: mapShare + availAt.Sub(shuffleStart) + spill, lin: rinLin})
 		if end > stats.End {
 			stats.End = end
 		}
@@ -404,6 +411,16 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 	}
 	// Phase 2 (serial, partition order): Eq. 4 scheduling, cache
 	// registration and stats.
+	linTuple := func(t paneTuple, part int) *linMeta {
+		if e.lin == nil {
+			return nil
+		}
+		ins := make([]lineage.InputRef, 0, n)
+		for d := 0; d < n; d++ {
+			ins = append(ins, e.linInput(q.rinPID(d, e.frames[d].Pane, t[d], part), ReduceInput))
+		}
+		return &linMeta{kind: "tuple-rout", pane: int64(t[0]), part: part, inputs: ins}
+	}
 	for part := 0; part < R; part++ {
 		caches := computed[part].caches
 		outs := computed[part].outs
@@ -414,7 +431,7 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 			home := e.sched.HomeNode(part)
 			for i, to := range outs {
 				out[to.key][part] = e.registerCache(q.routTuplePID(group.tuples[i], part),
-					ReduceOutput, home.ID, baseReady, nil, cacheMeta{})
+					ReduceOutput, home.ID, baseReady, nil, cacheMeta{lin: linTuple(group.tuples[i], part)})
 			}
 			continue
 		}
@@ -428,7 +445,8 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 			// modeled cached-reduce over this tuple's share of the batch.
 			out[to.key][part] = e.registerCache(q.routTuplePID(group.tuples[i], part),
 				ReduceOutput, ct.node, ct.end, to.data,
-				cacheMeta{span: ct.span, recompute: e.mr.Cost.CachedReduceTask(to.inBytes, int64(len(to.data)))})
+				cacheMeta{span: ct.span, recompute: e.mr.Cost.CachedReduceTask(to.inBytes, int64(len(to.data))),
+					lin: linTuple(group.tuples[i], part)})
 		}
 		if ct.end > stats.End {
 			stats.End = ct.end

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+
+	"redoop/internal/lineage"
+	"redoop/internal/window"
+)
+
+// funcSymbol resolves a map/reduce/partition function to its runtime
+// symbol name — the operator identity the plan fingerprint hashes.
+// Symbols are resolved from the binary's function table, so they are
+// stable across -workers settings, recurrences and runs of one build;
+// "-" stands for an absent operator.
+func funcSymbol(fn any) string {
+	v := reflect.ValueOf(fn)
+	if !v.IsValid() || v.Kind() != reflect.Func || v.IsNil() {
+		return "-"
+	}
+	if f := runtime.FuncForPC(v.Pointer()); f != nil {
+		return f.Name()
+	}
+	return "-"
+}
+
+// lineagePlan renders the query as a lineage.Plan: the canonical
+// operator lineage (window geometry, per-source map symbols, combine /
+// reduce / merge / partition symbols, reducer arity) that determines a
+// pane's cached bytes given the same raw records. Fingerprint(lineagePlan(q))
+// is the seam a ReStore-style cross-job reuse layer matches against.
+func lineagePlan(q *Query, frames []window.Frame) lineage.Plan {
+	spec := q.Spec()
+	p := lineage.Plan{
+		WindowKind:  spec.Kind.String(),
+		WinUnits:    spec.Win,
+		SlideUnits:  spec.Slide,
+		PaneUnits:   frames[0].Pane,
+		Combine:     funcSymbol(q.Combine),
+		Reduce:      funcSymbol(q.Reduce),
+		Merge:       funcSymbol(q.Merge),
+		Partition:   funcSymbol(q.Partition),
+		NumReducers: q.NumReducers,
+	}
+	for i, s := range q.Sources {
+		p.Sources = append(p.Sources, lineage.PlanSource{
+			Name:     s.Name,
+			CacheKey: s.CacheKey,
+			Map:      funcSymbol(q.Maps[i]),
+		})
+	}
+	return p
+}

@@ -25,6 +25,7 @@ import (
 	"redoop/internal/dfs"
 	"redoop/internal/health"
 	"redoop/internal/iocost"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/oracle"
@@ -88,6 +89,12 @@ type Config struct {
 	// scripted FaultPlan. The Hadoop baseline runs clean — chaos
 	// verifies Redoop's recovery, not Hadoop's.
 	Chaos *chaos.Schedule
+	// Lineage optionally shares one provenance store across every
+	// Redoop engine an experiment builds, so a whole figure's
+	// derivations land in a single /debug/lineage snapshot. When nil
+	// and OracleCheck is set, each Redoop run gets a private store so
+	// the oracle's lineage audit always has provenance to check.
+	Lineage *lineage.Store
 	// OracleCheck runs the differential window oracle after every
 	// Redoop recurrence: a divergence from baseline recomputation or
 	// a structural-invariant violation fails the run.
@@ -367,7 +374,11 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 	mr := c.NewRuntime(1)
 	mr.Faults = spec.faults
 	q := spec.query()
-	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account})
+	lin := c.Lineage
+	if lin == nil && c.OracleCheck {
+		lin = lineage.New(0)
+	}
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account, Lineage: lin})
 	if err != nil {
 		return Series{}, err
 	}

@@ -1,0 +1,110 @@
+// Package lineage is Redoop's provenance store: a concurrency-safe,
+// bounded record of how every cached pane and emitted window was
+// derived — which input batches (down to record-offset ranges) fed it,
+// which task attempts on which nodes produced it, where its cache
+// copies lived over time, and which downstream windows consumed it.
+//
+// The store is fed exclusively from the engines' serial commit points
+// (cache registration, window finalization, task-attempt accounting),
+// so its contents are byte-identical across -workers settings — the
+// differential oracle asserts exactly that, along with structural
+// closure (every resident cache entry has a derivation, every
+// derivation's inputs exist or are marked expired/evicted) and a
+// byte-equality recomputation of sampled panes from their claimed
+// inputs.
+//
+// Each derivation carries the canonical *plan fingerprint* of the
+// map/combine/partition/reduce lineage that produced it. The
+// fingerprint is the seam a ReStore-style cross-job reuse layer
+// (PAPERS.md, arxiv 1203.0061) matches against: two queries whose
+// plans fingerprint identically can, in principle, share materialized
+// panes.
+package lineage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// PlanSource describes one data source of a plan: its name, the
+// cross-query cache-sharing key (empty when unshared), and the symbol
+// of the map function applied to its records.
+type PlanSource struct {
+	Name     string
+	CacheKey string
+	// Map is the map function's symbol (e.g. the runtime function
+	// name); "-" or "" for none.
+	Map string
+}
+
+// Plan is a neutral description of a recurring query's operator
+// lineage — everything that determines the bytes of a pane's reduce
+// input/output given the same raw records. It deliberately lives in
+// this leaf package (not internal/core) so every layer can fingerprint
+// plans without import cycles.
+type Plan struct {
+	// WindowKind is "time" or "count".
+	WindowKind string
+	// WinUnits, SlideUnits and PaneUnits are the window geometry in
+	// the kind's units; PaneUnits = GCD(win, slide).
+	WinUnits   int64
+	SlideUnits int64
+	PaneUnits  int64
+	// Sources in declaration order.
+	Sources []PlanSource
+	// Combine, Reduce, Merge and Partition are operator symbols ("-"
+	// or "" when absent).
+	Combine   string
+	Reduce    string
+	Merge     string
+	Partition string
+	// NumReducers fixes the partitioning arity; cached reduce inputs
+	// are only aligned for equal arities (paper §4.3).
+	NumReducers int
+}
+
+// canonical renders the plan as an unambiguous string: every field is
+// length-prefixed so no concatenation of distinct plans collides.
+func (p Plan) canonical() string {
+	var b strings.Builder
+	field := func(s string) {
+		fmt.Fprintf(&b, "%d:%s;", len(s), s)
+	}
+	field(p.WindowKind)
+	fmt.Fprintf(&b, "w%d|s%d|p%d;", p.WinUnits, p.SlideUnits, p.PaneUnits)
+	fmt.Fprintf(&b, "srcs%d;", len(p.Sources))
+	for _, s := range p.Sources {
+		field(s.Name)
+		field(s.CacheKey)
+		field(s.Map)
+	}
+	field(p.Combine)
+	field(p.Reduce)
+	field(p.Merge)
+	field(p.Partition)
+	fmt.Fprintf(&b, "r%d;", p.NumReducers)
+	return b.String()
+}
+
+// SHA returns the hex SHA-256 of a derivation's cached bytes ("" for
+// empty data) — the figure the oracle's recomputation pass matches.
+func SHA(data []byte) string {
+	if len(data) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint returns the canonical plan fingerprint: a hex SHA-256 of
+// the plan's unambiguous encoding. Equal plans always fingerprint
+// equally; plans differing in any field (window geometry, source set,
+// operator symbols, reducer arity) fingerprint differently up to hash
+// collision. The fingerprint is stable across -workers settings,
+// recurrences and runs of the same binary.
+func Fingerprint(p Plan) string {
+	sum := sha256.Sum256([]byte(p.canonical()))
+	return hex.EncodeToString(sum[:])
+}

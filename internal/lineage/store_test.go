@@ -1,0 +1,216 @@
+package lineage
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	if seq := s.RecordBatch("q", "S1", 3, nil); seq != -1 {
+		t.Fatalf("nil RecordBatch = %d, want -1", seq)
+	}
+	s.RecordPlan("fp", Plan{})
+	s.RecordDerivation(Derivation{ID: "x"})
+	s.AddCopy("x", CopyEvent{})
+	s.MarkExpired("x", 0)
+	s.MarkLost("x", 1, 0)
+	s.RecordAttempt(Attempt{Job: "j"})
+	s.RecordFault(Fault{})
+	s.RecordFileEvent("p", FileEvent{})
+	if _, ok := s.Lookup("x"); ok {
+		t.Fatal("nil Lookup found something")
+	}
+	if got := s.Closure(nil); got != nil {
+		t.Fatalf("nil Closure = %v", got)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+	if _, ok := s.Trace("x"); ok {
+		t.Fatal("nil Trace found something")
+	}
+}
+
+func TestDerivationLifecycleAndClosure(t *testing.T) {
+	s := New(0)
+	s.RecordBatch("q", "S1", 10, []PaneRange{{Pane: 0, R: Range{0, 10}}})
+	s.RecordBatch("q", "S1", 5, []PaneRange{{Pane: 1, R: Range{0, 5}}})
+
+	rinID := DerivID("query/q/S1/u900/P0/r3", 0)
+	batches := s.BatchesForPane("q", "S1", 0)
+	if len(batches) != 1 || batches[0].Ranges[0] != (Range{0, 10}) {
+		t.Fatalf("BatchesForPane = %+v", batches)
+	}
+	rebuilt, _ := s.RecordDerivation(Derivation{
+		ID: rinID, Kind: "pane-rin", Query: "q", Pane: 0, Batches: batches,
+	})
+	if rebuilt {
+		t.Fatal("first build reported as rebuild")
+	}
+	s.AddCopy(rinID, CopyEvent{Kind: "register", Node: 2, AtNS: 100})
+
+	routID := DerivID("query/q/P0/r3", 1)
+	seq, _ := s.Seq(rinID)
+	s.RecordDerivation(Derivation{
+		ID: routID, Kind: "pane-rout", Query: "q", Pane: 0,
+		Inputs: []InputRef{{ID: rinID, Seq: seq}},
+	})
+	if d, _ := s.Lookup(rinID); len(d.Consumers) != 1 || d.Consumers[0] != routID {
+		t.Fatalf("consumer edge missing: %+v", d.Consumers)
+	}
+
+	resident := []ResidentRef{{ID: rinID, Node: 2}, {ID: routID, Node: 2}}
+	if bad := s.Closure(resident); len(bad) != 0 {
+		t.Fatalf("closure violations: %v", bad)
+	}
+	if bad := s.Closure([]ResidentRef{{ID: "ghost"}}); len(bad) != 1 ||
+		!strings.Contains(bad[0], "no derivation") {
+		t.Fatalf("ghost resident not flagged: %v", bad)
+	}
+
+	// Loss then rebuild: cause comes from the recorded fault.
+	s.RecordFault(Fault{Kind: "node-crash", Node: 2, Recurrence: 4, AtNS: 500})
+	cause := s.MarkLost(rinID, 2, 600)
+	if !strings.Contains(cause, "node-crash") {
+		t.Fatalf("MarkLost cause = %q", cause)
+	}
+	rebuilt, cause2 := s.RecordDerivation(Derivation{
+		ID: rinID, Kind: "pane-rin", Query: "q", Pane: 0, Recurrence: 4, Batches: batches,
+	})
+	if !rebuilt || !strings.Contains(cause2, "node-crash") {
+		t.Fatalf("rebuild = %v cause = %q", rebuilt, cause2)
+	}
+	if st := s.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", st.Rebuilds)
+	}
+
+	tr, ok := s.Trace(routID)
+	if !ok {
+		t.Fatal("Trace failed")
+	}
+	foundBatch := false
+	for _, n := range tr.Nodes {
+		if n.Kind == "batch" {
+			foundBatch = true
+		}
+	}
+	if !foundBatch {
+		t.Fatalf("trace misses raw batch ancestors: %+v", tr.Nodes)
+	}
+	if dot := tr.DOT(); !strings.Contains(dot, "digraph lineage") {
+		t.Fatalf("DOT output malformed: %s", dot)
+	}
+}
+
+// Two engines running a same-named query against one shared store
+// collide on derivation IDs (IDs embed the raw query name) while
+// keeping distinct accounting names. That collision is an alias, not
+// a recovery rebuild: the node is re-homed to the latest writer and
+// neither Builds nor the rebuild counter moves.
+func TestAliasedWriteIsNotARebuild(t *testing.T) {
+	s := New(0)
+	id := DerivID("query/q1/P0/r0", 1)
+	s.RecordDerivation(Derivation{ID: id, Kind: "pane-rout", Query: "q1", Bytes: 10})
+	s.AddCopy(id, CopyEvent{Kind: "register", Node: 1, AtNS: 50})
+
+	rebuilt, cause := s.RecordDerivation(Derivation{ID: id, Kind: "pane-rout", Query: "q1#2", Bytes: 12})
+	if rebuilt || cause != "" {
+		t.Fatalf("alias write reported as rebuild (%v, %q)", rebuilt, cause)
+	}
+	d, ok := s.Lookup(id)
+	if !ok {
+		t.Fatal("derivation lost after alias write")
+	}
+	if d.Query != "q1#2" || d.Bytes != 12 {
+		t.Fatalf("node not re-homed: query %q bytes %d", d.Query, d.Bytes)
+	}
+	if d.Builds != 1 {
+		t.Fatalf("Builds = %d after alias write, want 1", d.Builds)
+	}
+	if len(d.Copies) != 1 {
+		t.Fatalf("copy history dropped on re-home: %+v", d.Copies)
+	}
+	if st := s.Stats(); st.Rebuilds != 0 {
+		t.Fatalf("Rebuilds = %d after alias write, want 0", st.Rebuilds)
+	}
+
+	// A second write from the now-owning query IS a rebuild.
+	rebuilt, _ = s.RecordDerivation(Derivation{ID: id, Kind: "pane-rout", Query: "q1#2", Bytes: 12})
+	if !rebuilt {
+		t.Fatal("same-query re-record not counted as rebuild")
+	}
+	if st := s.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", st.Rebuilds)
+	}
+}
+
+func TestBoundedEvictionKeepsResidentNodes(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10; i++ {
+		id := DerivID("p", i)
+		s.RecordDerivation(Derivation{ID: id, Kind: "pane-rin", Query: "q"})
+		if i < 8 {
+			s.MarkExpired(id, int64(i))
+		}
+	}
+	st := s.Stats()
+	if st.Nodes > 4+2 { // the two resident nodes may hold the line
+		t.Fatalf("store exceeded bound: %d nodes", st.Nodes)
+	}
+	// Resident (unexpired) derivations must survive eviction.
+	for i := 8; i < 10; i++ {
+		if _, ok := s.Lookup(DerivID("p", i)); !ok {
+			t.Fatalf("resident derivation %d evicted", i)
+		}
+	}
+	if s.Watermark() == 0 {
+		t.Fatal("eviction did not advance the watermark")
+	}
+	// A reference below the watermark counts as evicted, not missing.
+	evictedSeq := uint64(1)
+	s.RecordDerivation(Derivation{
+		ID: "consumer", Kind: "window", Query: "q",
+		Inputs: []InputRef{{ID: DerivID("p", 0), Seq: evictedSeq}},
+	})
+	if bad := s.Closure(nil); len(bad) != 0 {
+		t.Fatalf("evicted input flagged as violation: %v", bad)
+	}
+}
+
+func TestFingerprintInjectivityViolationSurfacesInClosure(t *testing.T) {
+	s := New(0)
+	s.RecordPlan("samefp", Plan{Reduce: "a"})
+	s.RecordPlan("samefp", Plan{Reduce: "b"})
+	bad := s.Closure(nil)
+	if len(bad) != 1 || !strings.Contains(bad[0], "two plans") {
+		t.Fatalf("collision not surfaced: %v", bad)
+	}
+}
+
+func TestSnapshotDeepEqualAndIndependence(t *testing.T) {
+	build := func() *Store {
+		s := New(0)
+		s.RecordBatch("q", "S1", 3, []PaneRange{{Pane: 0, R: Range{0, 3}}})
+		s.RecordPlan("fp", Plan{Reduce: "r"})
+		s.RecordDerivation(Derivation{ID: "a", Kind: "pane-rin", Query: "q",
+			Batches: s.BatchesForPane("q", "S1", 0)})
+		s.AddCopy("a", CopyEvent{Kind: "register", Node: 1, AtNS: 10})
+		s.RecordAttempt(Attempt{Job: "j", Task: "t", Phase: "map", Node: 1, OK: true})
+		s.RecordFileEvent("/data/f", FileEvent{Kind: "place", Nodes: []int{1, 2}})
+		return s
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical construction produced unequal snapshots:\n%+v\nvs\n%+v", a, b)
+	}
+	// The snapshot must be a deep copy: mutating it must not leak back.
+	a.Derivations[0].Consumers = append(a.Derivations[0].Consumers, "x")
+	s := build()
+	snap := s.Snapshot()
+	snap.Derivations[0].Batches[0].Ranges[0].Hi = 99
+	if d, _ := s.Lookup("a"); d.Batches[0].Ranges[0].Hi == 99 {
+		t.Fatal("snapshot aliases store memory")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"redoop/internal/cluster"
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
+	"redoop/internal/lineage"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/parallel"
@@ -98,6 +99,13 @@ type Engine struct {
 	// bytes attributed to that account from the serial accounting
 	// paths; nil (or an unnamed job) disables metering.
 	Account *account.Ledger
+
+	// Lineage is the optional provenance store. Every task attempt
+	// (winning, failed, speculative) is recorded under its job name from
+	// the serial accounting paths, so derivations carrying the job name
+	// join against the exact attempts that produced them. Nil disables
+	// attempt provenance.
+	Lineage *lineage.Store
 }
 
 // New constructs an engine over the given substrates with default
@@ -519,6 +527,10 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 			e.Obs.Emit(end, eventlog.TaskRetry, job.Name, eventlog.TaskRetryData{
 				Job: job.Name, Task: s.ID(), Phase: "map", Attempt: attempt + 1,
 			})
+			e.Lineage.RecordAttempt(lineage.Attempt{
+				Job: job.Name, Task: s.ID(), Phase: "map", Node: node.ID,
+				Attempt: attempt + 1, StartNS: int64(start), EndNS: int64(end),
+			})
 			// The failed attempt occupied the slot for its full
 			// duration; the retry becomes schedulable when the
 			// failure is detected, i.e. at the attempt's end.
@@ -527,6 +539,10 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 		}
 		e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "ok")).Inc()
 		e.Obs.Histogram("redoop_map_task_seconds").Observe(dur.Seconds())
+		e.Lineage.RecordAttempt(lineage.Attempt{
+			Job: job.Name, Task: s.ID(), Phase: "map", Node: node.ID,
+			Attempt: attempt + 1, OK: true, StartNS: int64(start), EndNS: int64(end),
+		})
 		span := e.Obs.Task(obs.TaskSpan{
 			Track: obs.NodeTrack(node.ID), Cat: "map", Name: "map " + s.ID(),
 			Start: start, End: end, Ready: ready,
@@ -554,6 +570,10 @@ func (e *Engine) runMapAttempts(job *Job, s Split, outBytes int64, ready simtime
 			backup.AddLoad(bdur)
 			spent += bdur
 			e.Obs.Counter("redoop_map_attempts_total", obs.L("result", "speculative")).Inc()
+			e.Lineage.RecordAttempt(lineage.Attempt{
+				Job: job.Name, Task: s.ID(), Phase: "map-backup", Node: backup.ID,
+				Attempt: attempt + 1, OK: bend < end, StartNS: int64(bstart), EndNS: int64(bend),
+			})
 			bspan := e.Obs.Task(obs.TaskSpan{
 				Track: obs.NodeTrack(backup.ID), Cat: "map", Name: "backup " + s.ID(),
 				Start: bstart, End: bend, Ready: detect,
@@ -793,6 +813,10 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 			e.Obs.Emit(end, eventlog.TaskRetry, job.Name, eventlog.TaskRetryData{
 				Job: job.Name, Task: fmt.Sprintf("p%d", part), Phase: "reduce", Attempt: attempt + 1,
 			})
+			e.Lineage.RecordAttempt(lineage.Attempt{
+				Job: job.Name, Task: fmt.Sprintf("p%d", part), Phase: "reduce", Node: node.ID,
+				Attempt: attempt + 1, StartNS: int64(start), EndNS: int64(end),
+			})
 			// A reduce failure entails retrieving the map outputs
 			// again and re-executing (paper §2.2): the retry is
 			// re-placed and re-pays the shuffle from its new start.
@@ -801,6 +825,10 @@ func (e *Engine) runReduceAttempts(job *Job, part int, node *cluster.Node, mp *M
 			continue
 		}
 		e.Obs.Counter("redoop_reduce_attempts_total", obs.L("result", "ok")).Inc()
+		e.Lineage.RecordAttempt(lineage.Attempt{
+			Job: job.Name, Task: fmt.Sprintf("p%d", part), Phase: "reduce", Node: node.ID,
+			Attempt: attempt + 1, OK: true, StartNS: int64(start), EndNS: int64(end),
+		})
 		e.Obs.Counter("redoop_shuffle_bytes_total", obs.L("locality", "local")).Add(float64(local))
 		e.Obs.Counter("redoop_shuffle_bytes_total", obs.L("locality", "remote")).Add(float64(remote))
 		e.Obs.Histogram("redoop_shuffle_seconds").Observe(shuffleDur.Seconds())

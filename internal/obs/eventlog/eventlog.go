@@ -62,6 +62,17 @@ const (
 	// AdaptivityMiss is a forecast anomaly the adaptive re-planner did
 	// not react to — the §3.3 loop missed a regime change.
 	AdaptivityMiss Type = "health.adaptivity_miss"
+	// LineageDerived is one derivation node recorded in the provenance
+	// store: a pane cache or emitted window, with its plan fingerprint
+	// (LineageDerivedData).
+	LineageDerived Type = "lineage.derived"
+	// LineageCopyRehome is a cache copy re-homed to a different node by
+	// a rebuild (LineageRehomeData).
+	LineageCopyRehome Type = "lineage.copy_rehome"
+	// LineageRebuild is a derivation rebuilt after its cached bytes were
+	// lost, with the fault named as the cause when one matches
+	// (LineageRebuildData).
+	LineageRebuild Type = "lineage.rebuild"
 )
 
 // Event is one recorded entry of the flight recorder.
@@ -226,6 +237,33 @@ type AdaptivityMissData struct {
 	ForecastNS int64 `json:"forecastNS"`
 	ActualNS   int64 `json:"actualNS"`
 	ResidualNS int64 `json:"residualNS"`
+}
+
+// LineageDerivedData records one derivation node entering the
+// provenance store.
+type LineageDerivedData struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Pane        int64  `json:"pane"`
+	Part        int    `json:"part"`
+	Bytes       int64  `json:"bytes"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// LineageRehomeData records a cache copy re-homed across nodes by a
+// rebuild.
+type LineageRehomeData struct {
+	ID   string `json:"id"`
+	From int    `json:"from"`
+	To   int    `json:"to"`
+}
+
+// LineageRebuildData records a derivation rebuilt after loss; Cause
+// names the matched fault ("" when none matched).
+type LineageRebuildData struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Cause string `json:"cause,omitempty"`
 }
 
 // DefaultCapacity bounds the default flight recorder. At Redoop's

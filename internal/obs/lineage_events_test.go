@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+
+	"redoop/internal/obs/eventlog"
+)
+
+// TestLineageEventsRingOverflowAccounted floods a small flight
+// recorder with lineage.* typed events past its capacity and asserts
+// redoop_eventlog_dropped_total accounts for every overwritten event:
+// provenance emissions ride the same bounded ring as every other
+// event family, and their loss is never silent.
+func TestLineageEventsRingOverflowAccounted(t *testing.T) {
+	o := New()
+	const cap = 8
+	o.Events = eventlog.NewLog(cap)
+
+	types := []eventlog.Type{eventlog.LineageDerived, eventlog.LineageCopyRehome, eventlog.LineageRebuild}
+	payload := func(typ eventlog.Type, i int) any {
+		switch typ {
+		case eventlog.LineageDerived:
+			return eventlog.LineageDerivedData{ID: "query/q/P1/r0|1", Kind: "pane-rout", Pane: int64(i), Bytes: 64}
+		case eventlog.LineageCopyRehome:
+			return eventlog.LineageRehomeData{ID: "query/q/P1/r0|1", From: 0, To: 1}
+		default:
+			return eventlog.LineageRebuildData{ID: "query/q/P1/r0|1", Kind: "pane-rout", Cause: "node-crash node 1 @r2"}
+		}
+	}
+
+	const emitted = cap + 13
+	for i := 0; i < emitted; i++ {
+		typ := types[i%len(types)]
+		o.Emit(0, typ, "q", payload(typ, i))
+	}
+
+	dropped := o.Metrics.Counter("redoop_eventlog_dropped_total").Value()
+	if want := float64(emitted - cap); dropped != want {
+		t.Fatalf("redoop_eventlog_dropped_total = %v, want %v (emitted %d into a %d-slot ring)",
+			dropped, want, emitted, cap)
+	}
+
+	// The ring retains exactly the newest cap events, all lineage-typed.
+	evs := o.Events.Since(0)
+	if len(evs) != cap {
+		t.Fatalf("ring retains %d events, want %d", len(evs), cap)
+	}
+	for _, e := range evs {
+		switch e.Type {
+		case eventlog.LineageDerived, eventlog.LineageCopyRehome, eventlog.LineageRebuild:
+		default:
+			t.Fatalf("retained event has unexpected type %q", e.Type)
+		}
+	}
+	if first := evs[0].Seq; first != emitted-cap+1 {
+		t.Fatalf("oldest retained seq = %d, want %d", first, emitted-cap+1)
+	}
+}

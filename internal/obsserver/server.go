@@ -25,6 +25,10 @@
 //	                    ledger: phase compute, IO bytes, cache
 //	                    byte·seconds, recompute saved, cache ROI, plus
 //	                    per-tenant rollups
+//	GET /debug/lineage  provenance store: the derivation DAG with plan
+//	                    fingerprints, batch claims and rebuild history
+//	                    (?query=&pane=&fingerprint= filter, ?id= traces
+//	                    one node, ?format=dot renders Graphviz)
 //	GET /debug/         HTML index of the mounted debug endpoints
 //	GET /debug/stream   Server-Sent Events feed of the flight recorder:
 //	                    replays retained events (?since=SEQ resumes)
@@ -50,6 +54,7 @@ import (
 	"redoop/internal/account"
 	"redoop/internal/core"
 	"redoop/internal/health"
+	"redoop/internal/lineage"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/profile"
@@ -105,20 +110,41 @@ func (s *Server) Attach(engines ...*core.Engine) {
 	}
 }
 
+// endpoint is one mounted route: its path, the one-line description
+// the indexes render, and its handler.
+type endpoint struct {
+	path string
+	doc  string
+	h    http.HandlerFunc
+}
+
+// endpoints is the single route registry: Handler mounts exactly these
+// routes (plus the two index pages) and endpointDocs derives the
+// catalogue from the same table, so the mux and the documentation
+// cannot drift apart.
+func (s *Server) endpoints() []endpoint {
+	return []endpoint{
+		{"/metrics", "Prometheus text exposition of the metrics registry", s.handleMetrics},
+		{"/debug/events", "flight-recorder events (?type=&query=&since=&limit=)", s.handleEvents},
+		{"/debug/cache", "cache controller signatures and node registries", s.handleCache},
+		{"/debug/panes", "partition plans, pane files, homes and status matrix", s.handlePanes},
+		{"/debug/health", "per-query SLO health: headroom, lag, streaks, anomalies", s.handleHealth},
+		{"/debug/profile", "critical-path profile + cache-benefit ledger (?query=)", s.handleProfile},
+		{"/debug/critpath", "critical-path segment tilings (?query=&recurrence=)", s.handleCritPath},
+		{"/debug/costs", "per-query resource costs, cache ROI and tenant rollups", s.handleCosts},
+		{"/debug/lineage", "provenance store: derivation DAG, plans, stats (?query=&pane=&fingerprint=&id=&format=dot)", s.handleLineage},
+		{"/debug/stream", "Server-Sent Events live feed (?since=SEQ resumes)", s.handleStream},
+	}
+}
+
 // Handler returns the server's route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/events", s.handleEvents)
-	mux.HandleFunc("/debug/cache", s.handleCache)
-	mux.HandleFunc("/debug/panes", s.handlePanes)
-	mux.HandleFunc("/debug/health", s.handleHealth)
-	mux.HandleFunc("/debug/profile", s.handleProfile)
-	mux.HandleFunc("/debug/critpath", s.handleCritPath)
-	mux.HandleFunc("/debug/costs", s.handleCosts)
-	mux.HandleFunc("/debug/stream", s.handleStream)
 	mux.HandleFunc("/debug/", s.handleDebugIndex)
+	for _, ep := range s.endpoints() {
+		mux.HandleFunc(ep.path, ep.h)
+	}
 	return mux
 }
 
@@ -142,23 +168,18 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	writeJSON(w, endpointDocs())
+	writeJSON(w, s.endpointDocs())
 }
 
 // endpointDocs maps every mounted endpoint to its one-line description;
-// the JSON root index and the /debug/ HTML index both render it.
-func endpointDocs() map[string]string {
-	return map[string]string{
-		"/metrics":        "Prometheus text exposition of the metrics registry",
-		"/debug/events":   "flight-recorder events (?type=&query=&since=&limit=)",
-		"/debug/cache":    "cache controller signatures and node registries",
-		"/debug/panes":    "partition plans, pane files, homes and status matrix",
-		"/debug/health":   "per-query SLO health: headroom, lag, streaks, anomalies",
-		"/debug/profile":  "critical-path profile + cache-benefit ledger (?query=)",
-		"/debug/critpath": "critical-path segment tilings (?query=&recurrence=)",
-		"/debug/costs":    "per-query resource costs, cache ROI and tenant rollups",
-		"/debug/stream":   "Server-Sent Events live feed (?since=SEQ resumes)",
+// the JSON root index and the /debug/ HTML index both render it. It is
+// derived from the endpoints table, never hand-maintained.
+func (s *Server) endpointDocs() map[string]string {
+	docs := make(map[string]string)
+	for _, ep := range s.endpoints() {
+		docs[ep.path] = ep.doc
 	}
+	return docs
 }
 
 // handleDebugIndex serves /debug/ as a small HTML directory of the
@@ -169,7 +190,7 @@ func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	docs := endpointDocs()
+	docs := s.endpointDocs()
 	paths := make([]string, 0, len(docs))
 	for p := range docs {
 		paths = append(paths, p)
@@ -217,6 +238,108 @@ func (s *Server) handleCosts(w http.ResponseWriter, _ *http.Request) {
 		"queries": queries,
 		"tenants": account.RollupTenants(queries),
 	})
+}
+
+// lineageStores collects the distinct provenance stores the attached
+// engines record into (engines usually share one), mirroring the
+// ledger dedup in handleCosts.
+func (s *Server) lineageStores() []*lineage.Store {
+	s.mu.Lock()
+	engines := append([]*core.Engine(nil), s.engines...)
+	s.mu.Unlock()
+	var stores []*lineage.Store
+	for _, e := range engines {
+		lin := e.Lineage()
+		if lin == nil {
+			continue
+		}
+		seen := false
+		for _, have := range stores {
+			if have == lin {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			stores = append(stores, lin)
+		}
+	}
+	return stores
+}
+
+// handleLineage serves the provenance store: by default the whole
+// retained derivation DAG (?query=, ?pane=, ?fingerprint= narrow it),
+// or the ancestor/descendant trace of one node via ?id=. ?format=dot
+// renders Graphviz instead of the JSON envelope.
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	stores := s.lineageStores()
+	qs := r.URL.Query()
+	pane := int64(-1)
+	if v := qs.Get("pane"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad pane", http.StatusBadRequest)
+			return
+		}
+		pane = n
+	}
+	dot := false
+	switch qs.Get("format") {
+	case "", "json":
+	case "dot":
+		dot = true
+	default:
+		http.Error(w, "bad format (want json or dot)", http.StatusBadRequest)
+		return
+	}
+
+	if id := qs.Get("id"); id != "" {
+		for _, lin := range stores {
+			if tr, ok := lin.Trace(id); ok {
+				if dot {
+					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+					fmt.Fprint(w, tr.DOT())
+					return
+				}
+				writeJSON(w, tr)
+				return
+			}
+		}
+		http.Error(w, "unknown derivation "+id, http.StatusNotFound)
+		return
+	}
+
+	query := qs.Get("query")
+	fp := qs.Get("fingerprint")
+	if dot {
+		// Stores are disjoint by construction (each derivation ID embeds
+		// its query), so their graphs concatenate into one digraph.
+		var merged lineage.Trace
+		for _, lin := range stores {
+			tr := lin.Graph(query, pane, fp)
+			merged.Nodes = append(merged.Nodes, tr.Nodes...)
+			merged.Edges = append(merged.Edges, tr.Edges...)
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, merged.DOT())
+		return
+	}
+	type storeDoc struct {
+		Stats     lineage.Stats     `json:"stats"`
+		Watermark uint64            `json:"watermark"`
+		Plans     map[string]string `json:"plans"`
+		Graph     lineage.Trace     `json:"graph"`
+	}
+	docs := []storeDoc{}
+	for _, lin := range stores {
+		docs = append(docs, storeDoc{
+			Stats:     lin.Stats(),
+			Watermark: lin.Watermark(),
+			Plans:     lin.Plans(),
+			Graph:     lin.Graph(query, pane, fp),
+		})
+	}
+	writeJSON(w, map[string]any{"stores": docs})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -2,11 +2,13 @@ package obsserver_test
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,6 +20,7 @@ import (
 	"redoop/internal/dfs"
 	"redoop/internal/health"
 	"redoop/internal/iocost"
+	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
@@ -707,5 +710,175 @@ func TestDebugIndexPage(t *testing.T) {
 	}
 	if rec := get(t, h, "/debug/nope"); rec.Code != http.StatusNotFound {
 		t.Errorf("unknown debug path status = %d, want 404", rec.Code)
+	}
+}
+
+// TestEndpointCatalogueMatchesMux is the drift guard: every endpoint
+// the root catalogue documents must actually be mounted (non-404), and
+// the catalogue must carry every route the table mounts — both sides
+// now derive from one registry, so this fails the moment someone adds
+// a route or a doc line anywhere else.
+func TestEndpointCatalogueMatchesMux(t *testing.T) {
+	srv := obsserver.New(obs.New())
+	h := srv.Handler()
+
+	var docs map[string]string
+	rec := get(t, h, "/")
+	if err := json.Unmarshal(rec.Body.Bytes(), &docs); err != nil {
+		t.Fatalf("bad catalogue JSON: %v", err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("empty endpoint catalogue")
+	}
+	// Probe with a pre-cancelled request context so /debug/stream (an
+	// SSE endpoint that otherwise serves forever) returns after its
+	// backlog replay.
+	probe := func(path string) int {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		req := httptest.NewRequest("GET", path, nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	for path, doc := range docs {
+		if doc == "" {
+			t.Errorf("catalogued endpoint %s has no description", path)
+		}
+		if code := probe(path); code == http.StatusNotFound {
+			t.Errorf("catalogued endpoint %s is not mounted (404)", path)
+		}
+	}
+	// Spot-check the routes the catalogue must cover, including the
+	// provenance endpoint this PR adds.
+	for _, path := range []string{
+		"/metrics", "/debug/events", "/debug/cache", "/debug/panes",
+		"/debug/health", "/debug/profile", "/debug/critpath",
+		"/debug/costs", "/debug/lineage", "/debug/stream",
+	} {
+		if _, ok := docs[path]; !ok {
+			t.Errorf("catalogue is missing %s", path)
+		}
+	}
+}
+
+// TestLineageEndpoint drives an engine with a provenance store attached
+// and exercises /debug/lineage: the JSON envelope with stats, plans and
+// the derivation DAG; query/pane/fingerprint filters; single-node
+// traces via ?id=; DOT rendering; and the error paths.
+func TestLineageEndpoint(t *testing.T) {
+	ob := obs.New()
+	lin := lineage.New(0)
+	mr := newRig(4, ob)
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: countQuery("q1"), Lineage: lin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slidesPerWin := int(testWin / testSlide)
+	fed := 0
+	for r := 0; r < 3; r++ {
+		for ; fed < slidesPerWin+r; fed++ {
+			if err := eng.Ingest(0, genWords(11, fed, 200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.RunNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := obsserver.New(ob)
+	srv.Attach(eng)
+	h := srv.Handler()
+
+	type storeDoc struct {
+		Stats     lineage.Stats     `json:"stats"`
+		Watermark uint64            `json:"watermark"`
+		Plans     map[string]string `json:"plans"`
+		Graph     lineage.Trace     `json:"graph"`
+	}
+	var doc struct {
+		Stores []storeDoc `json:"stores"`
+	}
+	rec := get(t, h, "/debug/lineage")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(doc.Stores) != 1 {
+		t.Fatalf("stores = %d, want 1", len(doc.Stores))
+	}
+	st := doc.Stores[0]
+	if st.Stats.Nodes == 0 || len(st.Graph.Nodes) == 0 {
+		t.Fatalf("empty provenance document: stats %+v, %d graph nodes", st.Stats, len(st.Graph.Nodes))
+	}
+	if st.Stats.DistinctFingerprints != 1 || len(st.Plans) != 1 {
+		t.Fatalf("fingerprints = %d, plans = %d, want one canonical plan", st.Stats.DistinctFingerprints, len(st.Plans))
+	}
+	var fp string
+	for k := range st.Plans {
+		fp = k
+	}
+
+	// The fingerprint filter keeps every derivation (one plan), a bogus
+	// one keeps none; batch nodes ride along only with included panes.
+	var filtered struct {
+		Stores []storeDoc `json:"stores"`
+	}
+	rec = get(t, h, "/debug/lineage?query=q1&fingerprint="+fp)
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(filtered.Stores[0].Graph.Nodes); got != len(st.Graph.Nodes) {
+		t.Errorf("matching fingerprint filter dropped nodes: %d != %d", got, len(st.Graph.Nodes))
+	}
+	rec = get(t, h, "/debug/lineage?query=nope")
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(filtered.Stores[0].Graph.Nodes); got != 0 {
+		t.Errorf("query=nope still returned %d nodes", got)
+	}
+
+	// ?id= traces one node; pick any derivation from the full graph.
+	var id string
+	for _, n := range st.Graph.Nodes {
+		if n.Kind != "batch" {
+			id = n.ID
+			break
+		}
+	}
+	rec = get(t, h, "/debug/lineage?id="+url.QueryEscape(id))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("?id= status = %d", rec.Code)
+	}
+	var tr lineage.Trace
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != id || len(tr.Nodes) == 0 {
+		t.Fatalf("trace root = %q with %d nodes, want %q", tr.Root, len(tr.Nodes), id)
+	}
+
+	// DOT rendering, both whole-graph and single-trace.
+	rec = get(t, h, "/debug/lineage?format=dot")
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "digraph lineage {") {
+		t.Fatalf("DOT render: status %d body %.40q", rec.Code, rec.Body.String())
+	}
+	rec = get(t, h, "/debug/lineage?format=dot&id="+url.QueryEscape(id))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "penwidth=2") {
+		t.Fatalf("DOT trace: status %d, root should be bold", rec.Code)
+	}
+
+	// Error paths.
+	if rec := get(t, h, "/debug/lineage?id=no/such/node"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id status = %d, want 404", rec.Code)
+	}
+	if rec := get(t, h, "/debug/lineage?pane=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad pane status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/debug/lineage?format=xml"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad format status = %d, want 400", rec.Code)
 	}
 }

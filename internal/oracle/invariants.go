@@ -20,6 +20,7 @@ func (o *Oracle) checkInvariants(res *core.RecurrenceResult, v *Verdict) {
 	o.checkRegistries(v)
 	o.checkHeaders(res, v)
 	o.checkAccounting(v)
+	o.checkLineage(v)
 }
 
 // drainTransitions moves illegal ready transitions recorded by the

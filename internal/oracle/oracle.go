@@ -20,7 +20,13 @@
 //   - window coverage: every pane in the window is consumed exactly
 //     once per recurrence (pane and pane-tuple counts add up), and
 //     shared-file headers attribute each consumed segment to the pane
-//     the engine charged it to.
+//     the engine charged it to;
+//   - when a lineage store is attached, provenance closure — every
+//     resident cache copy has a live derivation and every claimed
+//     batch or input edge resolves (or was legitimately evicted) —
+//     plus sampled derivation audits that recompute pane bytes
+//     strictly from the lineage-claimed input records and assert
+//     SHA-256 equality with what the store recorded at build time.
 //
 // ReStore (VLDB 2012) frames why this matters: result-reuse systems
 // are only as good as the equivalence of reused sub-results with
@@ -93,6 +99,13 @@ type Oracle struct {
 	recs     [][]records.Record // retained raw records per source
 	illegal  []string           // illegal ready transitions since last Check
 	excluded map[string]bool    // paths with deliberately damaged bytes
+	// batches retains each non-empty ingested batch separately, indexed
+	// by (source, seq − batchBase[source]); the seq axis is aligned with
+	// the lineage store's per-source batch numbering because both count
+	// the same serial Ingest calls. The lineage audit replays a
+	// derivation's claimed record ranges from here.
+	batches   [][][]records.Record
+	batchBase []int
 }
 
 // New builds an oracle bound to one engine and installs its ready-
@@ -105,11 +118,13 @@ func New(eng *core.Engine) (*Oracle, error) {
 		return nil, err
 	}
 	o := &Oracle{
-		eng:      eng,
-		q:        q,
-		frames:   frames,
-		recs:     make([][]records.Record, len(q.Sources)),
-		excluded: map[string]bool{},
+		eng:       eng,
+		q:         q,
+		frames:    frames,
+		recs:      make([][]records.Record, len(q.Sources)),
+		excluded:  map[string]bool{},
+		batches:   make([][][]records.Record, len(q.Sources)),
+		batchBase: make([]int, len(q.Sources)),
 	}
 	eng.Controller().SetTransitionHook(func(pid string, typ core.CacheType, from, to core.Ready) {
 		if to < from && !(from == core.CacheAvailable && to == core.HDFSAvailable) {
@@ -129,6 +144,11 @@ func (o *Oracle) Observe(src int, recs []records.Record) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.recs[src] = append(o.recs[src], recs...)
+	if len(recs) > 0 {
+		// Empty batches are skipped to stay seq-aligned with the
+		// lineage store, which records only non-empty ingests.
+		o.batches[src] = append(o.batches[src], append([]records.Record(nil), recs...))
+	}
 }
 
 // WrapIngest tees batches into the oracle on their way to inner.
@@ -252,5 +272,22 @@ func (o *Oracle) prune(r int) {
 			}
 		}
 		o.recs[d] = kept
+		// Batch retention drops only a fully-expired prefix: a batch
+		// straddling the cutoff must stay whole because lineage claims
+		// reference record indexes within the original batch.
+		for len(o.batches[d]) > 0 {
+			all := true
+			for _, rec := range o.batches[d][0] {
+				if rec.Ts >= start {
+					all = false
+					break
+				}
+			}
+			if !all {
+				break
+			}
+			o.batches[d] = o.batches[d][1:]
+			o.batchBase[d]++
+		}
 	}
 }

@@ -7,7 +7,7 @@
 //
 //	redoop-bench [-fig 6|7|8|9|all] [-windows N] [-records N]
 //	             [-nodes N] [-reducers N] [-seed N]
-//	             [-workers N] [-par-bench N]
+//	             [-workers N] [-par-bench N] [-reuse]
 //	             [-chaos SEED[:profile]] [-chaos-report]
 //	             [-metrics-out FILE] [-trace-out FILE]
 //	             [-json-out FILE] [-serve ADDR]
@@ -20,6 +20,17 @@
 // is byte-identical across settings. -par-bench N additionally runs the
 // Figure-6-scale workload serially and at N pool workers, prints the
 // measured wall-clock speedup, and records it in the run summary.
+//
+// -reuse additionally runs the cross-query reuse workload — two
+// identical Figure-6 aggregations plus a 2x tumbling roll-up over one
+// shared WCC stream — twice, with the fingerprint-keyed reuse index
+// (internal/reuse) detached and attached, the differential oracle on
+// every window. The comparison is folded into the -json-out summary as
+// a "reuse" block (map tasks off/on, index hit counters, per-query
+// cross-query savings); outputs that differ byte-for-byte between the
+// variants, or a sibling that still computed panes of its own with
+// reuse enabled, exit 4. The block holds only virtual quantities, so
+// it is byte-identical across -workers settings.
 //
 // -metrics-out writes the Prometheus text exposition of every metric
 // the run produced (cache hits/misses, placement outcomes, shuffle
@@ -95,6 +106,7 @@ func main() {
 		reducers = flag.Int("reducers", 0, "reduce partitions (default 20)")
 		workers  = flag.Int("workers", 0, "parallel compute pool per engine: 0 = GOMAXPROCS, 1 = serial (virtual results are identical either way)")
 		parBench = flag.Int("par-bench", 0, "also measure wall-clock speedup of the Figure-6 workload at this many pool workers vs serial")
+		reuseRun = flag.Bool("reuse", false, "also run the cross-query reuse workload (two identical Figure-6 aggregations + a 2x tumbling roll-up over one shared stream) with the reuse index off and on, verify byte-identical outputs, and fold the comparison into -json-out")
 		chaosArg = flag.String("chaos", "", "run chaos verification instead of figures: SEED[:profile] seeds a deterministic fault schedule, the oracle verifies every window (profiles: mixed, crash, cacheloss, corrupt, delay, straggle, speculative, none)")
 		chaosRep = flag.Bool("chaos-report", false, "with -chaos and -json-out: include the fault schedule and every per-recurrence oracle verdict in the summary")
 		seed     = flag.Int64("seed", 0, "generator seed (default 42)")
@@ -337,8 +349,53 @@ func main() {
 			par.SerialWall.Round(time.Millisecond), par.ParallelWall.Round(time.Millisecond),
 			par.VirtualEqual)
 	}
+	// The cross-query reuse comparison runs on a clean config (its own
+	// ledger, no shared observer) so its off/on runs do not bleed into
+	// the figures' shared accounting; the resulting block holds only
+	// virtual quantities metered at serial commit points, so it is
+	// byte-identical across -workers settings.
+	var reuseOff, reuseOn *experiments.ReuseReport
+	if *reuseRun {
+		rCfg := cfg
+		rCfg.Obs = nil
+		rCfg.Health = nil
+		rCfg.OnEngine = nil
+		rCfg.Account = nil
+		rCfg.Lineage = nil
+		rCfg.OracleCheck = true
+		start := time.Now()
+		var err error
+		if reuseOff, err = experiments.RunCrossQueryReuse(rCfg, false); err == nil {
+			reuseOn, err = experiments.RunCrossQueryReuse(rCfg, true)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redoop-bench: reuse: %v\n", err)
+			writeArtifacts()
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[reuse comparison measured in %v]\n", time.Since(start).Round(time.Millisecond))
+		}
+		for i := range reuseOff.Queries {
+			if reuseOff.Queries[i].OutputDigest != reuseOn.Queries[i].OutputDigest {
+				fmt.Fprintf(os.Stderr, "redoop-bench: reuse: query %s window outputs diverged between reuse off and on\n",
+					reuseOff.Queries[i].Query)
+				writeArtifacts()
+				os.Exit(4)
+			}
+		}
+		if n := reuseOn.Queries[1].MapTasks; n != 0 {
+			fmt.Fprintf(os.Stderr, "redoop-bench: reuse: sibling %s ran %d map tasks with reuse enabled; want 0\n",
+				reuseOn.Queries[1].Query, n)
+			writeArtifacts()
+			os.Exit(4)
+		}
+		fmt.Printf("reuse: %d map tasks without index, %d with (sibling computes nothing; outputs byte-identical off/on)\n",
+			reuseOff.TotalMapTasks(), reuseOn.TotalMapTasks())
+	}
 	if *jsonOut != "" || *benchDir != "" {
 		sum := buildSummary(cfg, results, headline, ob.Metrics)
+		sum.Reuse = reuseSummary(reuseOff, reuseOn)
 		sum.Health = healthSummary(mon)
 		sum.Parallel = parallelSummary(par)
 		sum.Profile = profileSummary(ob, par)
@@ -436,7 +493,8 @@ func runTrajectory(w io.Writer, dir, rev string, sum summaryJSON, softPct, hardP
 	pnotes := compareProfile(old, sum)
 	cnotes := compareCosts(old, sum)
 	lnotes := compareLineage(old, sum)
-	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, cnotes, lnotes, softPct, hardPct)
+	rnotes := compareReuse(old, sum)
+	_, hard := regressReport(w, old.Rev, rev, rows, hrows, pnotes, cnotes, lnotes, rnotes, softPct, hardPct)
 	return hard, nil
 }
 

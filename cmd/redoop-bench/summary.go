@@ -173,6 +173,69 @@ type lineageJSON struct {
 	Faults               int `json:"faults"`
 }
 
+// reuseQueryJSON is one query's share of the -reuse comparison: map
+// tasks with the cross-query reuse index detached and attached, the
+// reuse-on pane accounting, the ledger's cross-query attribution, and
+// whether the two variants' window outputs were byte-identical.
+type reuseQueryJSON struct {
+	Query          string `json:"query"`
+	MapTasksOff    int    `json:"mapTasksOff"`
+	MapTasksOn     int    `json:"mapTasksOn"`
+	NewPanesOn     int    `json:"newPanesOn"`
+	ReusedPanesOn  int    `json:"reusedPanesOn"`
+	CrossQueryHits int    `json:"crossQueryHits"`
+	CrossSavedNS   int64  `json:"crossSavedNS"`
+	OutputsEqual   bool   `json:"outputsEqual"`
+}
+
+// reuseJSON folds the -reuse cross-query reuse comparison into the
+// trajectory: the shared-stream workload's map-task totals with the
+// index off and on, the index counters, and per-query rows. Every
+// field is a virtual quantity metered at serial commit points, so the
+// block is byte-identical across -workers settings — the CI smoke step
+// diffs exactly that.
+type reuseJSON struct {
+	TotalMapTasksOff int              `json:"totalMapTasksOff"`
+	TotalMapTasksOn  int              `json:"totalMapTasksOn"`
+	ExactHits        int              `json:"exactHits"`
+	SubsumHits       int              `json:"subsumHits"`
+	Published        int              `json:"published"`
+	Entries          int              `json:"entries"`
+	Queries          []reuseQueryJSON `json:"queries"`
+}
+
+// reuseSummary folds an off/on pair of reuse runs into the summary
+// schema; nil in, nil out.
+func reuseSummary(off, on *experiments.ReuseReport) *reuseJSON {
+	if off == nil || on == nil {
+		return nil
+	}
+	rj := &reuseJSON{
+		TotalMapTasksOff: off.TotalMapTasks(),
+		TotalMapTasksOn:  on.TotalMapTasks(),
+	}
+	if on.Index != nil {
+		rj.ExactHits = on.Index.ExactHits
+		rj.SubsumHits = on.Index.SubsumHits
+		rj.Published = on.Index.Published
+		rj.Entries = on.Index.Entries
+	}
+	for i := range on.Queries {
+		o, n := off.Queries[i], on.Queries[i]
+		rj.Queries = append(rj.Queries, reuseQueryJSON{
+			Query:          n.Query,
+			MapTasksOff:    o.MapTasks,
+			MapTasksOn:     n.MapTasks,
+			NewPanesOn:     n.NewPanes,
+			ReusedPanesOn:  n.ReusedPanes,
+			CrossQueryHits: n.CrossQueryHits,
+			CrossSavedNS:   n.CrossSavedNS,
+			OutputsEqual:   o.OutputDigest == n.OutputDigest,
+		})
+	}
+	return rj
+}
+
 type summaryJSON struct {
 	Tool string `json:"tool"`
 	// Rev identifies the revision a trajectory entry was measured at
@@ -197,6 +260,10 @@ type summaryJSON struct {
 	// before the store existed, which the trajectory comparison
 	// tolerates.
 	Lineage *lineageJSON `json:"lineage,omitempty"`
+	// Reuse is the -reuse cross-query reuse block; absent unless the
+	// flag was set (and in entries written before the block existed,
+	// which the trajectory comparison tolerates).
+	Reuse *reuseJSON `json:"reuse,omitempty"`
 }
 
 func seriesSummary(s experiments.Series) seriesJSON {

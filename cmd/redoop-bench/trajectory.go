@@ -299,9 +299,47 @@ func compareLineage(old, cur summaryJSON) []string {
 	return out
 }
 
+// compareReuse reports movements in the cross-query reuse block
+// between two trajectory entries. A broken invariant in the new entry
+// — off/on outputs that diverged, or the identical-geometry sibling
+// computing its own map tasks — is surfaced loudly; map-task and
+// hit-count movements are informational. Entries written before the
+// block existed lack the key; a missing old block is "nothing to
+// compare against", so trajectories spanning the schema change keep
+// working.
+func compareReuse(old, cur summaryJSON) []string {
+	if cur.Reuse == nil {
+		return nil
+	}
+	var out []string
+	for _, q := range cur.Reuse.Queries {
+		if !q.OutputsEqual {
+			out = append(out, fmt.Sprintf("%s outputs DIVERGED between reuse off and on", q.Query))
+		}
+	}
+	if len(cur.Reuse.Queries) > 1 && cur.Reuse.Queries[1].MapTasksOn != 0 {
+		out = append(out, fmt.Sprintf("sibling %s ran %d map tasks with reuse on (want 0)",
+			cur.Reuse.Queries[1].Query, cur.Reuse.Queries[1].MapTasksOn))
+	}
+	if old.Reuse == nil {
+		return out
+	}
+	if old.Reuse.TotalMapTasksOn != cur.Reuse.TotalMapTasksOn ||
+		old.Reuse.TotalMapTasksOff != cur.Reuse.TotalMapTasksOff {
+		out = append(out, fmt.Sprintf("map tasks off/on %d/%d -> %d/%d",
+			old.Reuse.TotalMapTasksOff, old.Reuse.TotalMapTasksOn,
+			cur.Reuse.TotalMapTasksOff, cur.Reuse.TotalMapTasksOn))
+	}
+	if old.Reuse.ExactHits != cur.Reuse.ExactHits || old.Reuse.SubsumHits != cur.Reuse.SubsumHits {
+		out = append(out, fmt.Sprintf("index hits exact/subsume %d/%d -> %d/%d",
+			old.Reuse.ExactHits, old.Reuse.SubsumHits, cur.Reuse.ExactHits, cur.Reuse.SubsumHits))
+	}
+	return out
+}
+
 // regressReport writes the comparison and returns whether any timing
 // row regressed past the soft or the hard threshold (in percent).
-func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes, cnotes, lnotes []string, softPct, hardPct float64) (soft, hard bool) {
+func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []healthDelta, pnotes, cnotes, lnotes, rnotes []string, softPct, hardPct float64) (soft, hard bool) {
 	fmt.Fprintf(w, "\ntrajectory: %s -> %s\n", revLabel(oldRev), revLabel(curRev))
 	if len(rows) == 0 {
 		fmt.Fprintf(w, "  no comparable series (different figure subsets?)\n")
@@ -348,6 +386,9 @@ func regressReport(w io.Writer, oldRev, curRev string, rows []deltaRow, hrows []
 	}
 	for _, n := range lnotes {
 		fmt.Fprintf(w, "  lineage: %s\n", n)
+	}
+	for _, n := range rnotes {
+		fmt.Fprintf(w, "  reuse: %s\n", n)
 	}
 	switch {
 	case hard:

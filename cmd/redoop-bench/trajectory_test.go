@@ -108,7 +108,7 @@ func TestRegressReportThresholds(t *testing.T) {
 		{Key: seriesKey{"Figure 6", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1000, NewNS: 1080, Pct: 8},
 	}
 	var buf bytes.Buffer
-	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, 5, 15)
+	soft, hard := regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, nil, 5, 15)
 	if !soft || hard {
 		t.Errorf("8%% over soft=5 hard=15: soft=%v hard=%v, want soft only", soft, hard)
 	}
@@ -118,7 +118,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = 20
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, nil, 5, 15)
 	if !hard {
 		t.Errorf("20%% over hard=15: hard=%v, want true", hard)
 	}
@@ -128,7 +128,7 @@ func TestRegressReportThresholds(t *testing.T) {
 
 	rows[0].Pct = -8
 	buf.Reset()
-	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, 5, 15)
+	soft, hard = regressReport(&buf, "a", "b", rows, nil, nil, nil, nil, nil, 5, 15)
 	if soft || hard {
 		t.Errorf("improvement flagged as regression: soft=%v hard=%v", soft, hard)
 	}
@@ -144,7 +144,7 @@ func TestRegressReportHealthLines(t *testing.T) {
 		StatusOld: "OK", StatusNew: "AT_RISK",
 	}}
 	var buf bytes.Buffer
-	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, nil, nil, 5, 15)
+	regressReport(&buf, "a", "b", []deltaRow{{Key: seriesKey{"f", 0.9, "Redoop"}, Metric: "makespan", OldNS: 1, NewNS: 1}}, hrows, nil, nil, nil, nil, 5, 15)
 	out := buf.String()
 	if !strings.Contains(out, "deadline misses 0 -> 2") || !strings.Contains(out, "status OK -> AT_RISK") {
 		t.Errorf("health lines missing:\n%s", out)
@@ -363,5 +363,42 @@ func TestRunTrajectoryEndToEnd(t *testing.T) {
 	hard, err = runTrajectory(&buf, dir, "rev3", mkSummary("", 1000, 100), 5, 15, true)
 	if err != nil || hard {
 		t.Errorf("recovery flagged: hard=%v err=%v\n%s", hard, err, buf.String())
+	}
+}
+
+func TestCompareReuse(t *testing.T) {
+	old := summaryJSON{Reuse: &reuseJSON{
+		TotalMapTasksOff: 72, TotalMapTasksOn: 48, ExactHits: 7, SubsumHits: 3,
+		Queries: []reuseQueryJSON{
+			{Query: "fig6-a", OutputsEqual: true},
+			{Query: "fig6-b", MapTasksOn: 0, OutputsEqual: true},
+		},
+	}}
+	cur := summaryJSON{Reuse: &reuseJSON{
+		TotalMapTasksOff: 72, TotalMapTasksOn: 60, ExactHits: 5, SubsumHits: 3,
+		Queries: []reuseQueryJSON{
+			{Query: "fig6-a", OutputsEqual: true},
+			{Query: "fig6-b", MapTasksOn: 4, OutputsEqual: false},
+		},
+	}}
+	notes := compareReuse(old, cur)
+	joined := strings.Join(notes, "\n")
+	for _, want := range []string{
+		"fig6-b outputs DIVERGED",
+		"sibling fig6-b ran 4 map tasks",
+		"map tasks off/on 72/48 -> 72/60",
+		"hits exact/subsume 7/3 -> 5/3",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	// A healthy new entry against a pre-schema old entry says nothing.
+	if notes := compareReuse(summaryJSON{}, old); len(notes) != 0 {
+		t.Errorf("healthy entry vs pre-schema old produced notes: %v", notes)
+	}
+	// No reuse block on the new side: nothing to say.
+	if notes := compareReuse(old, summaryJSON{}); notes != nil {
+		t.Errorf("nil reuse produced notes: %v", notes)
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	redoopctl [metrics|explain|health|profile|costs|lineage] [-query agg|join] [-overlap 0.9]
+//	redoopctl [metrics|explain|health|profile|costs|lineage|reuse] [-query agg|join] [-overlap 0.9]
 //	          [-windows 10] [-records 120000] [-adaptive] [-baseline]
 //	          [-failnode N] [-dropcaches] [-chaos SEED[:profile]]
 //	          [-top K] [-seed N]
@@ -95,6 +95,20 @@
 // also work outside the subcommand (they attach a provenance store to
 // any Redoop run) and are written even when the run fails partway.
 //
+// The "reuse" subcommand runs the cross-query reuse workload — two
+// identical Figure-6 aggregations plus a coarser tumbling roll-up over
+// one shared WCC stream — twice, with the fingerprint-keyed reuse
+// index (internal/reuse) detached and attached, the differential
+// oracle verifying every window of both runs. The report contrasts
+// per-query map tasks and pane accounting between the variants and
+// prints the cost ledger's cross-query savings attribution plus the
+// index counters. The invocation fails with a non-zero exit if any
+// query's window outputs differ byte-for-byte between reuse off and
+// on, or if the identical-geometry sibling still ran map tasks of its
+// own with reuse enabled (the CI smoke step relies on this). -chaos
+// composes: both variants then run under the same seeded fault
+// schedule.
+//
 // -chaos SEED[:profile] runs the query under a deterministic seeded
 // fault schedule (node crashes and revivals, cache losses, pane-file
 // corruption, delayed batches, stragglers — profile selects the fault
@@ -180,10 +194,11 @@ func main() {
 	profileMode := len(args) > 0 && args[0] == "profile"
 	costsMode := len(args) > 0 && args[0] == "costs"
 	lineageMode := len(args) > 0 && args[0] == "lineage"
-	if metricsMode || explainMode || healthMode || profileMode || costsMode || lineageMode {
+	reuseMode := len(args) > 0 && args[0] == "reuse"
+	if metricsMode || explainMode || healthMode || profileMode || costsMode || lineageMode || reuseMode {
 		args = args[1:]
 	} else if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
-		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health, profile, costs or lineage)\n", args[0])
+		fmt.Fprintf(os.Stderr, "redoopctl: unknown subcommand %q (want metrics, explain, health, profile, costs, lineage or reuse)\n", args[0])
 		os.Exit(2)
 	}
 	flag.CommandLine.Parse(args)
@@ -276,7 +291,7 @@ func main() {
 	// report owns stdout; the table moves to stderr so both remain
 	// usable.
 	tableOut := io.Writer(os.Stdout)
-	if metricsMode || explainMode || healthMode || profileMode || costsMode || lineageMode {
+	if metricsMode || explainMode || healthMode || profileMode || costsMode || lineageMode || reuseMode {
 		tableOut = os.Stderr
 	}
 
@@ -307,6 +322,8 @@ func main() {
 		runErr = runCosts(tableOut, os.Stdout, cfg, *overlap, *adaptive, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched)
 	case lineageMode:
 		runErr = runLineage(tableOut, os.Stdout, cfg, *overlap, *adaptive, *failNode, *dropCache, *spikeWin, *spikeFac, chaosSched)
+	case reuseMode:
+		runErr = runReuse(os.Stdout, cfg, chaosSched)
 	default:
 		_, runErr = run(tableOut, cfg, *queryKind, *overlap, *adaptive, *useBase, *failNode, *dropCache, *topK, *spikeWin, *spikeFac, chaosSched, false, "")
 	}

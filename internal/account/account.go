@@ -112,8 +112,12 @@ type queryAcct struct {
 	peakResident int64
 
 	saved simtime.Duration // recompute saved by hits, net of load paid
+	// crossSaved is the subset of saved credited by cross-query reuse
+	// hits (another query's cache satisfying this query's pane build).
+	crossSaved simtime.Duration
 
 	hits       int
+	crossHits  int
 	registered int
 	expired    int
 }
@@ -143,8 +147,14 @@ type QueryCosts struct {
 	// SavedNS is recompute time cache hits avoided, net of the cache
 	// loads actually paid — the profiler's pane-benefit, per query.
 	SavedNS int64 `json:"savedNS"`
+	// CrossSavedNS is the subset of SavedNS credited by cross-query
+	// reuse hits (gross: the net-of-load adjustment lands on SavedNS).
+	CrossSavedNS int64 `json:"crossSavedNS,omitempty"`
 
-	CacheHits       int `json:"cacheHits"`
+	CacheHits int `json:"cacheHits"`
+	// CrossQueryHits counts hits satisfied from another query's cache
+	// via the reuse index; they also count in CacheHits.
+	CrossQueryHits  int `json:"crossQueryHits,omitempty"`
 	CacheRegistered int `json:"cacheRegistered"`
 	CacheExpired    int `json:"cacheExpired"`
 	OpenResidencies int `json:"openResidencies"`
@@ -352,6 +362,18 @@ func (l *Ledger) CacheExpired(pid string, typ int, at simtime.Time) {
 // the work the hit avoided — and arms the net-of-load adjustment: the
 // next CacheLoaded for the same key subtracts the load actually paid.
 func (l *Ledger) CacheHit(query, pid string, typ int, at simtime.Time) {
+	l.cacheHit(query, pid, typ, at, false)
+}
+
+// CacheHitCross is CacheHit for a cross-query reuse hit: the consumer
+// query is credited with the producer's stored recompute cost exactly
+// as on an ordinary hit, and the hit is additionally attributed to the
+// consumer's cross-query counters so reuse savings are separable.
+func (l *Ledger) CacheHitCross(query, pid string, typ int, at simtime.Time) {
+	l.cacheHit(query, pid, typ, at, true)
+}
+
+func (l *Ledger) cacheHit(query, pid string, typ int, at simtime.Time, cross bool) {
 	if l == nil {
 		return
 	}
@@ -364,6 +386,10 @@ func (l *Ledger) CacheHit(query, pid string, typ int, at simtime.Time) {
 		a := l.acct(query)
 		a.saved += r.recompute
 		a.hits++
+		if cross {
+			a.crossSaved += r.recompute
+			a.crossHits++
+		}
 		l.pending[key] = query
 		saved = a.saved
 		o = l.obs
@@ -374,6 +400,9 @@ func (l *Ledger) CacheHit(query, pid string, typ int, at simtime.Time) {
 	l.mu.Unlock()
 	if ok {
 		o.Gauge("redoop_query_saved_seconds", obs.L("query", query)).Set(saved.Seconds())
+		if cross {
+			o.Counter("redoop_query_cross_reuse_hits_total", obs.L("query", query)).Inc()
+		}
 	}
 }
 
@@ -451,6 +480,27 @@ func (l *Ledger) ByteSeconds(query string) float64 {
 		return 0
 	}
 	return l.byteSecondsLocked(a)
+}
+
+// CacheROI returns query's saved recompute per resident byte·second —
+// the cost signal the reuse index's keep/evict policy ranks producers
+// by. 0 for unknown queries, queries that never held cache bytes, or a
+// nil ledger. Deterministic: reads only serial-commit-path state.
+func (l *Ledger) CacheROI(query string) float64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, ok := l.queries[query]
+	if !ok {
+		return 0
+	}
+	bs := l.byteSecondsLocked(a)
+	if bs <= 0 {
+		return 0
+	}
+	return float64(int64(a.saved)) / bs
 }
 
 // SavedNS returns query's net recompute saving; 0 for unknown queries
@@ -594,7 +644,9 @@ func (l *Ledger) Snapshot() []QueryCosts {
 			PeakResidentBytes: a.peakResident,
 			CurResidentBytes:  a.curResident,
 			SavedNS:           int64(a.saved),
+			CrossSavedNS:      int64(a.crossSaved),
 			CacheHits:         a.hits,
+			CrossQueryHits:    a.crossHits,
 			CacheRegistered:   a.registered,
 			CacheExpired:      a.expired,
 			OpenResidencies:   openBy[a.name],

@@ -82,6 +82,17 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 		}
 		recovered = true
 	}
+	// Cross-query reuse probe (ReStore-style): before walking the §5
+	// recovery ladder, ask the reuse index whether another query over
+	// the same shared stream already materialized this pane — exactly,
+	// or at a finer pane unit the Merge can compose. A hit
+	// short-circuits map+shuffle+reduce into a cheap copy/merge task
+	// and counts as a reused pane, not a rebuild.
+	if refs, hit, err := e.tryReuseAggPane(p, trigger, stats); err != nil {
+		return nil, false, recovered, err
+	} else if hit {
+		return refs, true, recovered, nil
+	}
 	// Before re-mapping, try building the outputs from reduce-input
 	// caches: they survive output-cache loss (§5's cheap recovery
 	// rung) and may have been created by a sibling query sharing this
@@ -179,6 +190,7 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 				inputs: []lineage.InputRef{e.linInput(rinPID, ReduceInput)}}
 		}
 		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, node, readyAt, routData[part], routMeta)
+		e.publishPaneRout(p, part, refs[part], routMeta.recompute)
 	}
 	if err := e.matrix.Update(p); err != nil {
 		return nil, false, recovered, err
@@ -264,6 +276,7 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 					inputs: []lineage.InputRef{e.linInput(rinPID, ReduceInput)}}
 			}
 			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, home.ID, trigger, nil, routMeta)
+			e.publishPaneRout(p, part, refs[part], 0)
 			continue
 		}
 		inBytes := records.PairsSize(subOut[part])
@@ -290,6 +303,7 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 				inputs: []lineage.InputRef{e.linInput(rinPID, ReduceInput)}}
 		}
 		refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, routData[part], routMeta)
+		e.publishPaneRout(p, part, refs[part], routMeta.recompute)
 		if ct.end > stats.End {
 			stats.End = ct.end
 		}
@@ -331,6 +345,7 @@ func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins [
 			}
 			if rin.bytes == 0 {
 				refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, rin.node, simtime.Max(rin.readyAt, trigger), nil, routMeta)
+				e.publishPaneRout(p, part, refs[part], 0)
 				return nil
 			}
 			outData := rebuilt[part]
@@ -342,6 +357,7 @@ func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins [
 			routMeta.span = ct.span
 			routMeta.recompute = ct.dur
 			refs[part] = e.registerCache(q.routPanePID(p, part), ReduceOutput, ct.node, ct.end, outData, routMeta)
+			e.publishPaneRout(p, part, refs[part], routMeta.recompute)
 			if ct.end > stats.End {
 				stats.End = ct.end
 			}

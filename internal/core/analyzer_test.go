@@ -213,3 +213,63 @@ func TestPlanMultiFilePacking(t *testing.T) {
 		t.Errorf("panes per file = %d, want 5", plan.PanesPerFile)
 	}
 }
+
+// TestPlanMultiTable audits the §3.1 shared-pane path across
+// tumbling/overlapping mixes: the shared pane must divide every
+// query's window AND slide (one physical partitioning serves all
+// without re-splitting) and must be maximal — it equals the GCD over
+// all window constraints, not something finer.
+func TestPlanMultiTable(t *testing.T) {
+	a, _ := NewAnalyzer(64 << 20)
+	cases := []struct {
+		name  string
+		specs []window.Spec
+		pane  int64
+	}{
+		{"identical overlapping", []window.Spec{
+			window.NewCountSpec(60, 15), window.NewCountSpec(60, 15)}, 15},
+		{"tumbling pair", []window.Spec{
+			window.NewCountSpec(30, 30), window.NewCountSpec(45, 45)}, 15},
+		{"tumbling x overlapping", []window.Spec{
+			window.NewCountSpec(60, 15), window.NewCountSpec(30, 30)}, 15},
+		{"coarse multiple of fine", []window.Spec{
+			window.NewCountSpec(60, 15), window.NewCountSpec(120, 60)}, 15},
+		{"coprime slides", []window.Spec{
+			window.NewCountSpec(21, 7), window.NewCountSpec(10, 5)}, 1},
+		{"three queries", []window.Spec{
+			window.NewCountSpec(60, 20), window.NewCountSpec(60, 12), window.NewCountSpec(30, 30)}, 2},
+		{"reuse workload geometry (minutes)", []window.Spec{
+			window.NewTimeSpec(time.Hour, 15*time.Minute),
+			window.NewTimeSpec(time.Hour, 15*time.Minute),
+			window.NewTimeSpec(30*time.Minute, 30*time.Minute)}, int64(15 * time.Minute)},
+	}
+	for _, tc := range cases {
+		plan, err := a.PlanMulti(tc.specs, 1000)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if plan.PaneUnit != tc.pane {
+			t.Errorf("%s: shared pane = %d, want %d", tc.name, plan.PaneUnit, tc.pane)
+		}
+		for i, s := range tc.specs {
+			if s.Win%plan.PaneUnit != 0 || s.Slide%plan.PaneUnit != 0 {
+				t.Errorf("%s: pane %d does not divide query %d (win %d slide %d)",
+					tc.name, plan.PaneUnit, i, s.Win, s.Slide)
+			}
+		}
+		if err := plan.Validate(); err != nil {
+			t.Errorf("%s: plan invalid: %v", tc.name, err)
+		}
+	}
+	// Degenerate slides must be rejected per-spec, not absorbed by GCD.
+	for _, slide := range []int64{0, -5} {
+		bad := []window.Spec{
+			window.NewCountSpec(60, 15),
+			{Kind: window.CountBased, Win: 30, Slide: slide},
+		}
+		if _, err := a.PlanMulti(bad, 100); err == nil {
+			t.Errorf("slide %d accepted", slide)
+		}
+	}
+}

@@ -94,6 +94,14 @@ type Controller struct {
 	// controller lock held: the hook must record and return, never
 	// call back into the controller.
 	onTransition func(pid string, typ CacheType, from, to Ready)
+
+	// onPurge, when set, observes every signature removal — the purge
+	// notification of MarkQueryDone and the silent Drop — so layers
+	// advertising caches by signature (the cross-query reuse index) can
+	// invalidate immediately. Invoked with the controller lock held:
+	// the hook must record and return, never call back into the
+	// controller.
+	onPurge func(pid string, typ CacheType)
 }
 
 // NewController builds an empty controller.
@@ -115,6 +123,17 @@ func (c *Controller) SetTransitionHook(fn func(pid string, typ CacheType, from, 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onTransition = fn
+}
+
+// SetPurgeHook installs (or, with nil, removes) an observer of every
+// signature removal — MarkQueryDone's purge notification and Drop. The
+// hook runs under the controller lock and must not call back into the
+// controller. Engines sharing one controller install equivalent hooks
+// (the last install wins), mirroring SetTransitionHook's semantics.
+func (c *Controller) SetPurgeHook(fn func(pid string, typ CacheType)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPurge = fn
 }
 
 // SetObserver attaches the observability layer; nil detaches it.
@@ -320,10 +339,19 @@ func (c *Controller) MarkQueryDone(pid string, typ CacheType, q int) bool {
 	if !s.allDone() {
 		return false
 	}
-	if reg := c.registries[s.NID]; reg != nil {
+	// Notify every node holding a copy, not just the signature's
+	// current home: re-homing and cross-query copies can leave sibling
+	// replicas of the same pid on other nodes, and a purge notice that
+	// reaches only s.NID would strand them — unexpired, resident, and
+	// invisible to every future notification once the signature is
+	// gone (the oracle flags exactly that as orphaned bytes).
+	for _, reg := range c.registries {
 		reg.MarkExpired(pid, typ)
 	}
 	delete(c.sigs, entryKey(pid, typ))
+	if c.onPurge != nil {
+		c.onPurge(pid, typ)
+	}
 	c.obs.Counter("redoop_cache_purge_notices_total", obs.L("type", typ.String())).Inc()
 	c.obs.Emit(s.ReadyAt, eventlog.CachePurge, "", eventlog.CacheData{
 		PID: pid, CacheType: typ.String(), Node: s.NID,
@@ -343,6 +371,9 @@ func (c *Controller) Drop(pid string, typ CacheType) {
 	defer c.mu.Unlock()
 	if _, ok := c.sigs[entryKey(pid, typ)]; ok {
 		c.obs.Counter("redoop_cache_drops_total", obs.L("type", typ.String())).Inc()
+		if c.onPurge != nil {
+			c.onPurge(pid, typ)
+		}
 	}
 	delete(c.sigs, entryKey(pid, typ))
 }

@@ -14,6 +14,7 @@ import (
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/parallel"
 	"redoop/internal/records"
+	"redoop/internal/reuse"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
 )
@@ -85,6 +86,15 @@ type Config struct {
 	// MapReduce runtime (task attempts) and DFS (replica history). Nil
 	// disables provenance at ~zero cost.
 	Lineage *lineage.Store
+	// Reuse optionally attaches a cross-query pane reuse index, shared
+	// between engines over the same controller. Eligible engines
+	// (single-source aggregations over a CacheKey-shared stream with a
+	// Merge) publish every freshly built pane reduce-output into it and
+	// probe it — by operator fingerprint and pane range — before
+	// computing a pane, copying an exact hit or composing a
+	// finer-grained subsumption hit with Merge instead of re-running
+	// map+shuffle+reduce. Nil disables cross-query reuse at ~zero cost.
+	Reuse *reuse.Index
 }
 
 // RecurrenceResult reports one execution of the recurring query.
@@ -172,9 +182,15 @@ type Engine struct {
 
 	// lin is the (possibly shared, possibly nil) provenance store;
 	// planFP is the query's canonical plan fingerprint, computed even
-	// when lineage is disabled so callers can always read it.
+	// when lineage is disabled so callers can always read it; opFP the
+	// geometry-independent operator fingerprint the reuse index keys on.
 	lin    *lineage.Store
 	planFP string
+	opFP   string
+
+	// reuseIdx is the (possibly shared, possibly nil) cross-query
+	// reuse index.
+	reuseIdx *reuse.Index
 
 	// lastForecast is the profiler's previous next-recurrence forecast,
 	// compared against the realized response time to expose the Holt
@@ -321,6 +337,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	// is the reuse seam — but only recorded when a store is attached.
 	plan := lineagePlan(q, frames)
 	e.planFP = lineage.Fingerprint(plan)
+	e.opFP = lineage.OpFingerprint(plan)
 	e.lin = cfg.Lineage
 	if e.lin != nil {
 		e.lin.RecordPlan(e.planFP, plan)
@@ -329,6 +346,22 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		cfg.MR.DFS.SetLineage(e.lin)
 		cfg.MR.DFS.LineagePrefix(dataDir + "/")
+	}
+	// The reuse index follows the controller's sharing rules: engines
+	// sharing one controller share one index, and each install of the
+	// purge hook / ROI signal replaces an equivalent closure. The hook
+	// keeps the index honest — a purged or dropped signature can never
+	// linger as an advertised reuse source.
+	if cfg.Reuse != nil {
+		e.reuseIdx = cfg.Reuse
+		idx := cfg.Reuse
+		ctrl.SetPurgeHook(func(pid string, typ CacheType) {
+			idx.DropPID(pid, int(typ))
+		})
+		if e.acct != nil {
+			ledger := e.acct
+			idx.SetROI(func(query string) float64 { return ledger.CacheROI(query) })
+		}
 	}
 	matrix.SetObserver(e.obs, q.Name)
 	e.qIdx = ctrl.RegisterQuery(q.Name)
@@ -447,6 +480,15 @@ func (e *Engine) Lineage() *lineage.Store { return e.lin }
 // and recurrences. It is always available, even without a lineage
 // store.
 func (e *Engine) PlanFingerprint() string { return e.planFP }
+
+// OpFingerprint returns the query's geometry-independent operator
+// fingerprint — the reuse index's matching key. Always available, even
+// without a reuse index.
+func (e *Engine) OpFingerprint() string { return e.opFP }
+
+// ReuseIndex returns the engine's cross-query reuse index (nil when
+// reuse is disabled).
+func (e *Engine) ReuseIndex() *reuse.Index { return e.reuseIdx }
 
 // Scheduler returns the query's cache-aware scheduler.
 func (e *Engine) Scheduler() *Scheduler { return e.sched }
@@ -932,6 +974,10 @@ func (e *Engine) lookupCache(pid string, typ CacheType) (cacheRef, bool) {
 		// rebuild that follows can name its cause.
 		e.acct.CacheExpired(pid, int(typ), e.curTrigger)
 		e.lin.MarkLost(lineage.DerivID(pid, int(typ)), sig.NID, int64(e.curTrigger))
+		// The §5 rollback is not a signature removal, so the purge hook
+		// never fires for it — retract any reuse advertisement of the
+		// lost bytes explicitly.
+		e.reuseIdx.DropPID(pid, int(typ))
 		return cacheRef{}, false
 	}
 	e.obs.Counter("redoop_cache_lookups_total",

@@ -249,3 +249,68 @@ func TestSignaturesSorted(t *testing.T) {
 		t.Errorf("Signatures order wrong: %v", sigs)
 	}
 }
+
+// TestPurgeNotificationReachesSiblingCopies is the regression test for
+// stranded replicas: cross-query reuse (and recovery re-homing) leaves
+// copies of one pid on several nodes, and the purge notification used
+// to reach only the signature's current home — the other copies stayed
+// resident forever, invisible to any future notice once the signature
+// was gone. MarkQueryDone must expire the pid on every attached
+// registry.
+func TestPurgeNotificationReachesSiblingCopies(t *testing.T) {
+	cl := twoNodeCluster(t)
+	ctrl := NewController()
+	q := ctrl.RegisterQuery("Q1")
+	reg0, reg1 := NewRegistry(cl.Node(0)), NewRegistry(cl.Node(1))
+	ctrl.AttachRegistry(reg0)
+	ctrl.AttachRegistry(reg1)
+
+	reg0.Add("p", ReduceOutput, []byte("data"))
+	reg1.Add("p", ReduceOutput, []byte("data"))
+	// The signature's home is node 1 — the copy on node 0 is a sibling.
+	ctrl.Register("p", ReduceOutput, 1, CacheAvailable, 0, 4, []int{q})
+
+	if !ctrl.MarkQueryDone("p", ReduceOutput, q) {
+		t.Fatal("purge notification should fire")
+	}
+	if reg0.PurgeExpired() != 1 {
+		t.Error("sibling copy on node 0 was stranded by the purge notification")
+	}
+	if reg1.PurgeExpired() != 1 {
+		t.Error("home copy on node 1 was not expired")
+	}
+	if reg0.CachedBytes() != 0 || reg1.CachedBytes() != 0 {
+		t.Errorf("orphaned bytes after purge: node0=%d node1=%d", reg0.CachedBytes(), reg1.CachedBytes())
+	}
+}
+
+// TestControllerPurgeHook pins the invalidation seam the reuse index
+// hangs on: both the MarkQueryDone purge and the silent Drop must
+// report the removed (pid, type) to the installed hook.
+func TestControllerPurgeHook(t *testing.T) {
+	ctrl := NewController()
+	q := ctrl.RegisterQuery("Q1")
+	type rm struct {
+		pid string
+		typ CacheType
+	}
+	var got []rm
+	ctrl.SetPurgeHook(func(pid string, typ CacheType) { got = append(got, rm{pid, typ}) })
+
+	ctrl.Register("a", ReduceOutput, 0, CacheAvailable, 0, 1, []int{q})
+	ctrl.Register("b", ReduceInput, 0, CacheAvailable, 0, 1, []int{q})
+	ctrl.MarkQueryDone("a", ReduceOutput, q)
+	ctrl.Drop("b", ReduceInput)
+	ctrl.Drop("ghost", ReduceInput) // unknown pid must not fire the hook
+
+	want := []rm{{"a", ReduceOutput}, {"b", ReduceInput}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("purge hook observed %v, want %v", got, want)
+	}
+	ctrl.SetPurgeHook(nil)
+	ctrl.Register("c", ReduceOutput, 0, CacheAvailable, 0, 1, []int{q})
+	ctrl.Drop("c", ReduceOutput)
+	if len(got) != 2 {
+		t.Fatal("removed hook still fired")
+	}
+}

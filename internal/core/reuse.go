@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"redoop/internal/account"
+	"redoop/internal/lineage"
+	"redoop/internal/mapreduce"
+	"redoop/internal/obs"
+	"redoop/internal/obs/eventlog"
+	"redoop/internal/records"
+	"redoop/internal/reuse"
+	"redoop/internal/simtime"
+	"redoop/internal/window"
+)
+
+// Cross-query pane reuse (engine side). The reuse index
+// (internal/reuse) advertises pane reduce-output caches by operator
+// fingerprint; this file holds the engine's two halves of the
+// protocol:
+//
+//   - publish: every freshly built pane rout of an eligible query is
+//     advertised right after its serial cache registration;
+//   - probe: before computing a pane, the engine asks for an exact hit
+//     (same pane unit — copy the producer's bytes) or a subsumption
+//     hit (finer unit dividing ours — compose with Merge, the same
+//     decomposition contract the proactive sub-pane path relies on).
+//
+// All of it runs at the serial per-pane commit point inside
+// ensureAggPane, so index contents and reuse decisions are
+// byte-identical across -workers settings.
+
+// reuseEligible reports whether this engine participates in cross-query
+// reuse: an index is attached, reuse is not ablated away, and the query
+// is a single-source aggregation over a CacheKey-shared stream with a
+// Merge. The CacheKey is the data-identity anchor — without it, two
+// queries with identical plans over *different* private streams would
+// falsely match. Joins never publish or probe: tuple outputs depend on
+// the pane pairing, not a single pane.
+func (e *Engine) reuseEligible() bool {
+	return e.reuseIdx != nil && !e.noReuse &&
+		len(e.query.Sources) == 1 && e.query.Sources[0].CacheKey != "" &&
+		e.query.Merge != nil
+}
+
+// publishPaneRout advertises one freshly built pane reduce-output in
+// the reuse index. Called right after the serial cache registration
+// that produced ref, with the same recompute figure the ledger stores.
+func (e *Engine) publishPaneRout(p window.PaneID, part int, ref cacheRef, recompute simtime.Duration) {
+	if !e.reuseEligible() {
+		return
+	}
+	e.reuseIdx.Publish(reuse.Entry{
+		OpFP: e.opFP, Unit: int64(e.frames[0].Pane), Pane: int64(p), Part: part,
+		Query: e.acctName, PID: ref.pid, Type: int(ref.typ), Node: ref.node,
+		Bytes: ref.bytes, ReadyAtNS: int64(ref.readyAt), RecomputeNS: int64(recompute),
+	})
+}
+
+// verifyReuseEntry cross-checks one advertised entry against the
+// controller and the node registry: the signature must still vouch for
+// cache-available bytes that are really resident. A stale
+// advertisement is retracted and reported as unusable — the *producer*
+// discovers the §5 loss at its own next lookup; a consumer never rolls
+// back another query's signature.
+func (e *Engine) verifyReuseEntry(en reuse.Entry) (cacheRef, bool) {
+	typ := CacheType(en.Type)
+	sig, ok := e.ctrl.Lookup(en.PID, typ)
+	if !ok || sig.Ready != CacheAvailable {
+		e.reuseIdx.DropPID(en.PID, en.Type)
+		return cacheRef{}, false
+	}
+	reg := e.ctrl.Registry(sig.NID)
+	if reg == nil || !reg.Has(en.PID, typ) {
+		e.reuseIdx.DropPID(en.PID, en.Type)
+		return cacheRef{}, false
+	}
+	return cacheRef{pid: en.PID, typ: typ, node: sig.NID, readyAt: sig.ReadyAt, bytes: sig.Bytes}, true
+}
+
+// tryReuseAggPane probes the reuse index for pane p and, on a hit,
+// materializes the consumer's own per-partition reduce-output caches
+// from the producer's — a copy task for an exact hit, a Merge task
+// over the finer panes for a subsumption hit. Returns hit=false (and
+// no side effects beyond retracting stale advertisements) when the
+// index has nothing usable, sending the caller down the ordinary
+// recovery ladder.
+func (e *Engine) tryReuseAggPane(p window.PaneID, trigger simtime.Time, stats *mapreduce.Stats) ([]cacheRef, bool, error) {
+	if !e.reuseEligible() {
+		return nil, false, nil
+	}
+	q := e.query
+	R := q.NumReducers
+	unit := int64(e.frames[0].Pane)
+
+	if entries, ok := e.reuseIdx.ProbeExact(e.opFP, unit, int64(p), R, e.acctName); ok {
+		prods := make([]cacheRef, R)
+		valid := true
+		for part := range entries {
+			ref, ok := e.verifyReuseEntry(entries[part])
+			if !ok {
+				valid = false
+				break
+			}
+			prods[part] = ref
+		}
+		if valid {
+			refs, err := e.copyReusedPane(p, trigger, entries, prods, stats)
+			if err != nil {
+				return nil, false, err
+			}
+			return refs, true, nil
+		}
+	}
+
+	if rows, u, ok := e.reuseIdx.ProbeSubsume(e.opFP, unit, int64(p), R, e.acctName); ok {
+		prods := make([][]cacheRef, R)
+		valid := true
+		for part := 0; valid && part < R; part++ {
+			prods[part] = make([]cacheRef, len(rows[part]))
+			for i := range rows[part] {
+				ref, ok := e.verifyReuseEntry(rows[part][i])
+				if !ok {
+					valid = false
+					break
+				}
+				prods[part][i] = ref
+			}
+		}
+		if valid {
+			refs, err := e.composeReusedPane(p, u, trigger, rows, prods, stats)
+			if err != nil {
+				return nil, false, err
+			}
+			return refs, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// copyReusedPane satisfies an exact hit: each partition's bytes are
+// read from the producer's cache and registered under the consumer's
+// own pane-rout PID. The consumer credits the producer's recompute
+// cost as a cross-query saving (net of the copy's load, via the usual
+// CacheLoaded adjustment) and records the new derivation as a reuse
+// edge — its input is the producer's derivation, not raw batches.
+func (e *Engine) copyReusedPane(p window.PaneID, trigger simtime.Time, entries []reuse.Entry, prods []cacheRef, stats *mapreduce.Stats) ([]cacheRef, error) {
+	q := e.query
+	refs := make([]cacheRef, q.NumReducers)
+	for part := 0; part < q.NumReducers; part++ {
+		en, prod := entries[part], prods[part]
+		routPID := q.routPanePID(p, part)
+		routMeta := cacheMeta{recompute: simtime.Duration(en.RecomputeNS)}
+		if e.lin != nil {
+			routMeta.lin = &linMeta{kind: "pane-rout", pane: int64(p), part: part,
+				inputs: []lineage.InputRef{e.linInput(prod.pid, ReduceOutput)}}
+		}
+		if prod.bytes == 0 {
+			refs[part] = e.registerCache(routPID, ReduceOutput, prod.node, simtime.Max(prod.readyAt, trigger), nil, routMeta)
+			e.recordReuseEdge(routPID, prod, prod.node, simtime.Max(prod.readyAt, trigger), "exact")
+			continue
+		}
+		data, ok := e.ctrl.Registry(prod.node).Get(prod.pid, ReduceOutput)
+		if !ok {
+			return nil, fmt.Errorf("core: reused cache %s lost from node %d mid-recurrence", prod.pid, prod.node)
+		}
+		e.acct.CacheHitCross(e.acctName, prod.pid, int(prod.typ), e.curTrigger)
+		ct := e.runCacheTask(fmt.Sprintf("reuse pane %d p%d", int64(p), part), account.PhaseReduce,
+			trigger, []cacheRef{prod}, e.mr.Cost.DiskWrite(prod.bytes))
+		stats.ReduceTime += ct.dur
+		stats.BytesCacheRead += prod.bytes
+		routMeta.span = ct.span
+		refs[part] = e.registerCache(routPID, ReduceOutput, ct.node, ct.end, data, routMeta)
+		e.recordReuseEdge(routPID, prod, ct.node, ct.end, "exact")
+		if ct.end > stats.End {
+			stats.End = ct.end
+		}
+	}
+	if err := e.matrix.Update(p); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// composeReusedPane satisfies a subsumption hit: each partition's
+// unit/u finer pane routs are loaded and folded with the query's Merge
+// — the same partial-aggregate decomposition the proactive sub-pane
+// path applies — into the consumer's pane rout. Only single-source
+// queries with a Merge reach here (reuseEligible), and the engine
+// already requires Merge∘Reduce ≡ Reduce over concatenated inputs for
+// such queries, so composed bytes equal recomputed bytes.
+func (e *Engine) composeReusedPane(p window.PaneID, u int64, trigger simtime.Time, rows [][]reuse.Entry, prods [][]cacheRef, stats *mapreduce.Stats) ([]cacheRef, error) {
+	q := e.query
+	refs := make([]cacheRef, q.NumReducers)
+	for part := 0; part < q.NumReducers; part++ {
+		var pairs []records.Pair
+		var caches []cacheRef
+		var inBytes int64
+		var recompute simtime.Duration
+		readyAt := trigger
+		for i, prod := range prods[part] {
+			recompute += simtime.Duration(rows[part][i].RecomputeNS)
+			if prod.readyAt > readyAt {
+				readyAt = prod.readyAt
+			}
+			if prod.bytes == 0 {
+				continue
+			}
+			ps, err := e.readCache(prod)
+			if err != nil {
+				return nil, err
+			}
+			e.acct.CacheHitCross(e.acctName, prod.pid, int(prod.typ), e.curTrigger)
+			pairs = append(pairs, ps...)
+			caches = append(caches, prod)
+			inBytes += prod.bytes
+		}
+		routPID := q.routPanePID(p, part)
+		routMeta := cacheMeta{recompute: recompute}
+		if e.lin != nil {
+			inputs := make([]lineage.InputRef, 0, len(prods[part]))
+			for _, prod := range prods[part] {
+				inputs = append(inputs, e.linInput(prod.pid, ReduceOutput))
+			}
+			routMeta.lin = &linMeta{kind: "pane-rout", pane: int64(p), part: part, inputs: inputs}
+		}
+		if len(caches) == 0 {
+			refs[part] = e.registerCache(routPID, ReduceOutput, prods[part][0].node, readyAt, nil, routMeta)
+			e.recordReuseEdge(routPID, prods[part][0], prods[part][0].node, readyAt, "subsume")
+			continue
+		}
+		merged := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
+		outData := records.EncodePairs(merged)
+		ct := e.runCacheTask(fmt.Sprintf("reuse-merge pane %d p%d", int64(p), part), account.PhaseReduce,
+			trigger, caches, e.mr.Cost.MergeTask(inBytes, int64(len(outData))))
+		stats.ReduceTime += ct.dur
+		stats.BytesCacheRead += inBytes
+		routMeta.span = ct.span
+		refs[part] = e.registerCache(routPID, ReduceOutput, ct.node, ct.end, outData, routMeta)
+		e.recordReuseEdge(routPID, caches[0], ct.node, ct.end, "subsume")
+		if ct.end > stats.End {
+			stats.End = ct.end
+		}
+	}
+	if err := e.matrix.Update(p); err != nil {
+		return nil, err
+	}
+	return refs, nil
+}
+
+// recordReuseEdge stamps the consumer derivation's copy history with a
+// reuse event (the derivation itself was just recorded by
+// registerCache, with the producer derivation as its input) and emits
+// the observability event. kind is "exact" or "subsume".
+func (e *Engine) recordReuseEdge(routPID string, prod cacheRef, node int, at simtime.Time, kind string) {
+	if e.lin != nil {
+		e.lin.AddCopy(lineage.DerivID(routPID, int(ReduceOutput)),
+			lineage.CopyEvent{Kind: "reuse", Node: node, From: prod.node, AtNS: int64(at)})
+		e.lin.AddCopy(lineage.DerivID(prod.pid, int(ReduceOutput)),
+			lineage.CopyEvent{Kind: "hit", Node: prod.node, AtNS: int64(at)})
+	}
+	e.obs.Counter("redoop_reuse_hits_total",
+		obs.L("query", e.query.Name), obs.L("kind", kind)).Inc()
+	e.obs.Emit(at, eventlog.CacheHit, e.query.Name, eventlog.CacheData{
+		PID: routPID, CacheType: ReduceOutput.String(), Node: node,
+		Bytes: prod.bytes, Recurrence: e.NextRecurrence(),
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"redoop/internal/obs"
 	"redoop/internal/oracle"
 	"redoop/internal/records"
+	"redoop/internal/reuse"
 	"redoop/internal/simtime"
 	"redoop/internal/workload"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// introspection server uses to attach its /debug endpoints to
 	// runs in flight.
 	OnEngine func(*core.Engine)
+	// Reuse optionally attaches a cross-query pane reuse index to
+	// every Redoop engine an experiment builds. Single-query runs
+	// publish into it but never hit (there is no sibling to reuse
+	// from); the shared-stream reuse workload builds its own index.
+	Reuse *reuse.Index
 	// Chaos, when non-nil, replays the deterministic fault schedule
 	// against every Redoop run an experiment performs: its actions
 	// land between a window's batches and its trigger, its task-
@@ -378,7 +384,7 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 	if lin == nil && c.OracleCheck {
 		lin = lineage.New(0)
 	}
-	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account, Lineage: lin})
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account, Lineage: lin, Reuse: c.Reuse})
 	if err != nil {
 		return Series{}, err
 	}

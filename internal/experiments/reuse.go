@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"redoop/internal/account"
+	"redoop/internal/chaos"
+	"redoop/internal/core"
+	"redoop/internal/lineage"
+	"redoop/internal/mapreduce"
+	"redoop/internal/oracle"
+	"redoop/internal/queries"
+	"redoop/internal/records"
+	"redoop/internal/reuse"
+	"redoop/internal/simtime"
+	"redoop/internal/workload"
+)
+
+// This file measures cross-query pane reuse (internal/reuse): the two
+// Figure-6 aggregation workloads plus a coarser tumbling roll-up share
+// one WCC stream through the SourceHub, and the reuse index lets the
+// later queries satisfy their pane builds from the first query's
+// reduce-output caches — an exact copy for the identical-geometry
+// sibling, a Merge composition for the tumbling consumer whose pane
+// unit is a multiple of the producer's.
+
+// ReuseQueryStats is one query's share of a shared-stream reuse run.
+type ReuseQueryStats struct {
+	Query string `json:"query"`
+	// Windows is how many recurrences the query completed.
+	Windows int `json:"windows"`
+	// MapTasks counts the map tasks the query ran across all windows —
+	// the quantity cross-query reuse drives to zero for queries that
+	// can consume a sibling's panes.
+	MapTasks int `json:"mapTasks"`
+	// NewPanes/ReusedPanes aggregate the engine's per-window pane
+	// accounting (a cross-query hit counts as reused, not new).
+	NewPanes    int `json:"newPanes"`
+	ReusedPanes int `json:"reusedPanes"`
+	// CrossQueryHits / CrossSavedNS are the ledger's cross-query reuse
+	// attribution for the query (0 when reuse is disabled).
+	CrossQueryHits int   `json:"crossQueryHits"`
+	CrossSavedNS   int64 `json:"crossSavedNS"`
+	// OutputDigest is a SHA-256 over the query's canonicalized window
+	// outputs, in window order — the byte-equality anchor between
+	// reuse-on and reuse-off runs.
+	OutputDigest string `json:"outputDigest"`
+	// Timings carries the per-window measurements for figure series.
+	Timings []WindowTiming `json:"-"`
+}
+
+// ReuseReport summarizes one shared-stream run of the reuse workload.
+type ReuseReport struct {
+	// Enabled records whether the reuse index was attached.
+	Enabled bool `json:"enabled"`
+	// Queries reports per-query stats in engine-creation order: the
+	// producer first, its exact-geometry sibling second, the coarser
+	// tumbling consumer third.
+	Queries []ReuseQueryStats `json:"queries"`
+	// Index is the reuse index's counters at end of run (nil when
+	// disabled).
+	Index *reuse.Stats `json:"index,omitempty"`
+	// Snapshot is the index's surviving entries in canonical order,
+	// for determinism checks across -workers settings.
+	Snapshot []reuse.Entry `json:"-"`
+}
+
+// TotalMapTasks sums map tasks across the run's queries.
+func (r *ReuseReport) TotalMapTasks() int {
+	t := 0
+	for _, q := range r.Queries {
+		t += q.MapTasks
+	}
+	return t
+}
+
+// reuseWorkloadQueries builds the shared-stream reuse trio: two
+// identical-geometry Figure-6 aggregations (exact reuse) and a
+// tumbling roll-up whose pane unit is twice theirs (subsumption).
+// All three opt into the shared source via CacheKey.
+func reuseWorkloadQueries(cfg Config, slide simtime.Duration) []*core.Query {
+	mk := func(name string, win, sl simtime.Duration) *core.Query {
+		q := queries.WCCAggregation(name, win, sl, cfg.Reducers)
+		q.Sources[0].CacheKey = "wcc"
+		return q
+	}
+	return []*core.Query{
+		mk("fig6-a", cfg.WindowDur, slide),
+		mk("fig6-b", cfg.WindowDur, slide),
+		mk("rollup-2x", 2*slide, 2*slide),
+	}
+}
+
+// RunCrossQueryReuse executes the shared-stream reuse workload once,
+// with or without the reuse index attached, and reports per-query map
+// task counts, pane accounting, savings attribution and output
+// digests. With cfg.OracleCheck set, every recurrence of every query
+// is additionally verified against the differential oracle.
+func RunCrossQueryReuse(cfg Config, enabled bool) (*ReuseReport, error) {
+	cfg = cfg.withDefaults()
+	slide := cfg.SlideFor(0.75)
+	wcc := workload.DefaultWCC(cfg.Seed)
+	paneUnit := int64(slide)
+	perPane := int(float64(cfg.RecordsPerWindow) / (float64(cfg.WindowDur) / float64(slide)))
+
+	mr := cfg.NewRuntime(3)
+	ctrl := core.NewController()
+	hub := core.NewSourceHub(mr.DFS, mr.DFS.BlockSize())
+	hub.SetObserver(cfg.Obs)
+	qs := reuseWorkloadQueries(cfg, slide)
+	if err := hub.Share("wcc", "wcc", qs[0].Sources[0].Spec, 0); err != nil {
+		return nil, err
+	}
+
+	var idx *reuse.Index
+	if enabled {
+		idx = reuse.NewIndex(0)
+	}
+	acct := cfg.Account
+	if acct == nil {
+		acct = account.New()
+	}
+	lin := cfg.Lineage
+	if lin == nil && cfg.OracleCheck {
+		lin = lineage.New(0)
+	}
+
+	engines := make([]*core.Engine, len(qs))
+	oracles := make([]*oracle.Oracle, len(qs))
+	for i, q := range qs {
+		eng, err := core.NewEngine(core.Config{
+			MR: mr, Query: q, Controller: ctrl, Hub: hub,
+			Reuse: idx, Account: acct, Lineage: lin, Health: cfg.Health,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.notifyEngine(eng)
+		engines[i] = eng
+		if cfg.OracleCheck {
+			oracles[i], err = oracle.New(eng)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// One hub feed; every engine's oracle observes the same batches.
+	deliver := func(_ int, batch []records.Record) error {
+		for _, ora := range oracles {
+			if ora != nil {
+				ora.Observe(0, batch)
+			}
+		}
+		return hub.Ingest("wcc", batch)
+	}
+	fedPanes := 0
+	feed := func(throughUnit int64) error {
+		for ; int64(fedPanes)*paneUnit < throughUnit; fedPanes++ {
+			start := int64(fedPanes) * paneUnit
+			batch := workload.WCC(wcc, start, start+paneUnit, perPane)
+			if err := deliver(0, batch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Chaos composes with the shared stream: node crashes, cache drops
+	// and pane corruptions land between a window's batches and its
+	// trigger, exactly as in the single-engine soak. (Batch-delay
+	// actions are ingest-path gates and do not apply to the hub's
+	// single shared feed.)
+	var inj *chaos.Injector
+	if cfg.Chaos != nil {
+		inj = chaos.NewInjector(cfg.Chaos, mr)
+		inj.OnCorrupt = func(path string) {
+			for _, ora := range oracles {
+				if ora != nil {
+					ora.ExcludePath(path)
+				}
+			}
+		}
+	}
+
+	// Engines sharing one runtime execute in global window-close order
+	// (slot timelines are monotonic); the strict < keeps ties on the
+	// lowest engine index, so fig6-a always leads its identical sibling
+	// and the reuse direction is deterministic.
+	closes := make([]func(int) int64, len(engines))
+	for i, eng := range engines {
+		frames, err := eng.Query().Frames()
+		if err != nil {
+			return nil, err
+		}
+		closes[i] = frames[0].WindowClose
+	}
+	report := &ReuseReport{Enabled: enabled, Queries: make([]ReuseQueryStats, len(engines))}
+	digests := make([]*digestWriter, len(engines))
+	for i, q := range qs {
+		report.Queries[i].Query = q.Name
+		digests[i] = newDigestWriter()
+	}
+	for done := 0; done < len(engines)*cfg.Windows; done++ {
+		best := -1
+		var bestClose int64
+		for i, eng := range engines {
+			r := eng.NextRecurrence()
+			if r >= cfg.Windows {
+				continue
+			}
+			if c := closes[i](r); best < 0 || c < bestClose {
+				best, bestClose = i, c
+			}
+		}
+		if err := feed(bestClose); err != nil {
+			return nil, err
+		}
+		if inj != nil {
+			if err := inj.BeforeRecurrence(engines[best].NextRecurrence(), engines[best], deliver); err != nil {
+				return nil, fmt.Errorf("%s: %w", qs[best].Name, err)
+			}
+		}
+		res, err := engines[best].RunNext()
+		if err != nil {
+			return nil, fmt.Errorf("%s window %d: %w", qs[best].Name, res.Recurrence+1, err)
+		}
+		if ora := oracles[best]; ora != nil {
+			ver := ora.Check(res)
+			if cfg.OnVerdict != nil {
+				cfg.OnVerdict(qs[best].Name, ver)
+			}
+			if verr := ver.Err(); verr != nil {
+				return nil, fmt.Errorf("%s window %d: %w", qs[best].Name, res.Recurrence+1, verr)
+			}
+		}
+		st := &report.Queries[best]
+		st.Windows++
+		st.MapTasks += res.Stats.MapTasks
+		st.NewPanes += res.NewPanes
+		st.ReusedPanes += res.ReusedPanes
+		digests[best].addWindow(res.Output)
+		st.Timings = append(st.Timings, WindowTiming{
+			Window:   res.Recurrence + 1,
+			Response: res.ResponseTime,
+			Shuffle:  res.Stats.ShuffleTime,
+			Reduce:   res.Stats.ReduceTime,
+		})
+	}
+	for i := range report.Queries {
+		report.Queries[i].OutputDigest = digests[i].sum()
+	}
+	for _, qc := range acct.Snapshot() {
+		for i := range report.Queries {
+			if report.Queries[i].Query == qc.Query {
+				report.Queries[i].CrossQueryHits = qc.CrossQueryHits
+				report.Queries[i].CrossSavedNS = qc.CrossSavedNS
+			}
+		}
+	}
+	if idx != nil {
+		s := idx.Stats()
+		report.Index = &s
+		report.Snapshot = idx.Snapshot()
+	}
+	return report, nil
+}
+
+// digestWriter folds canonicalized window outputs into one SHA-256.
+type digestWriter struct{ h [32]byte; any bool }
+
+func newDigestWriter() *digestWriter { return &digestWriter{} }
+
+func (d *digestWriter) addWindow(out []records.Pair) {
+	cp := append([]records.Pair(nil), out...)
+	mapreduce.SortPairs(cp)
+	payload := append(d.h[:], records.EncodePairs(cp)...)
+	d.h = sha256.Sum256(payload)
+	d.any = true
+}
+
+func (d *digestWriter) sum() string { return hex.EncodeToString(d.h[:]) }
+
+// CrossQueryReuse is the figure-style experiment: the shared-stream
+// workload runs twice — reuse index detached, then attached — and the
+// panel contrasts each query's response times. The run fails if any
+// query's window outputs differ between the two variants (byte-level,
+// canonical order) or, with reuse on, if the identical-geometry
+// sibling still ran map tasks of its own.
+func CrossQueryReuse(cfg Config) (*FigResult, error) {
+	off, err := RunCrossQueryReuse(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := RunCrossQueryReuse(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	for i := range off.Queries {
+		if off.Queries[i].OutputDigest != on.Queries[i].OutputDigest {
+			return nil, fmt.Errorf("reuse: query %s output digest diverged: off=%s on=%s",
+				off.Queries[i].Query, off.Queries[i].OutputDigest, on.Queries[i].OutputDigest)
+		}
+	}
+	if n := on.Queries[1].MapTasks; n != 0 {
+		return nil, fmt.Errorf("reuse: sibling %s ran %d map tasks with reuse enabled; want 0 (every shared pane computed once)",
+			on.Queries[1].Query, n)
+	}
+	res := &FigResult{
+		Name:  "Cross-query pane reuse",
+		Query: "two identical Figure-6 aggregations + a 2x tumbling roll-up over one shared WCC stream",
+	}
+	mkSeries := func(r *ReuseReport, label string) []Series {
+		out := make([]Series, len(r.Queries))
+		for i, qs := range r.Queries {
+			out[i] = Series{System: fmt.Sprintf("%s %s", qs.Query, label), Windows: qs.Timings}
+		}
+		return out
+	}
+	res.Panels = append(res.Panels, Panel{Series: append(mkSeries(off, "reuse-off"), mkSeries(on, "reuse-on")...)})
+	return res, nil
+}

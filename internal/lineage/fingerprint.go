@@ -108,3 +108,43 @@ func Fingerprint(p Plan) string {
 	sum := sha256.Sum256([]byte(p.canonical()))
 	return hex.EncodeToString(sum[:])
 }
+
+// opCanonical renders only the plan's operator lineage plus data
+// identity: window kind, per-source (CacheKey, Map) — deliberately not
+// the source *name*, which is query-private labeling — and the
+// combine/reduce/merge/partition symbols with the reducer arity.
+// Window geometry (win, slide, pane) is excluded: two plans with equal
+// opCanonical produce byte-identical pane contents for any pane range
+// both materialize, which is exactly the equivalence a cross-query
+// reuse index needs (geometry only decides *which* panes exist).
+func (p Plan) opCanonical() string {
+	var b strings.Builder
+	field := func(s string) {
+		fmt.Fprintf(&b, "%d:%s;", len(s), s)
+	}
+	b.WriteString("op;")
+	field(p.WindowKind)
+	fmt.Fprintf(&b, "srcs%d;", len(p.Sources))
+	for _, s := range p.Sources {
+		field(s.CacheKey)
+		field(s.Map)
+	}
+	field(p.Combine)
+	field(p.Reduce)
+	field(p.Merge)
+	field(p.Partition)
+	fmt.Fprintf(&b, "r%d;", p.NumReducers)
+	return b.String()
+}
+
+// OpFingerprint returns the geometry-independent operator fingerprint:
+// a hex SHA-256 over the plan's operator lineage and data identity
+// (source CacheKeys), excluding win/slide/pane units and source names.
+// Two queries with equal OpFingerprints over the same shared stream
+// derive byte-identical pane caches for any pane unit they share — the
+// matching key of the ReStore-style cross-query reuse index
+// (internal/reuse).
+func OpFingerprint(p Plan) string {
+	sum := sha256.Sum256([]byte(p.opCanonical()))
+	return hex.EncodeToString(sum[:])
+}

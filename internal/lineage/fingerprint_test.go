@@ -107,3 +107,60 @@ func FuzzPlanFingerprint(f *testing.F) {
 		}
 	})
 }
+
+// TestOpFingerprintGeometryIndependent pins the reuse-index matching
+// key's contract: window geometry and source *names* are excluded —
+// two queries over the same shared stream with the same operators
+// match regardless of win/slide — while everything that changes pane
+// bytes (operators, CacheKey, arity, window kind) still separates.
+func TestOpFingerprintGeometryIndependent(t *testing.T) {
+	base := basePlan()
+	op := OpFingerprint(base)
+	if len(op) != 64 {
+		t.Fatalf("op fingerprint %q is not a hex sha256", op)
+	}
+	if op == Fingerprint(base) {
+		t.Fatalf("op fingerprint must be domain-separated from the plan fingerprint")
+	}
+
+	ignored := map[string]func(*Plan){
+		"window size": func(p *Plan) { p.WinUnits = 7200 },
+		"slide":       func(p *Plan) { p.SlideUnits = 1800 },
+		"pane size":   func(p *Plan) { p.PaneUnits = 450 },
+		"source name": func(p *Plan) { p.Sources[0].Name = "S2" },
+	}
+	for name, mutate := range ignored {
+		p := basePlan()
+		mutate(&p)
+		if got := OpFingerprint(p); got != op {
+			t.Errorf("%s changed the op fingerprint; reuse would never match across geometries", name)
+		}
+		if Fingerprint(p) == Fingerprint(base) {
+			t.Errorf("%s must still change the full plan fingerprint", name)
+		}
+	}
+
+	separated := map[string]func(*Plan){
+		"window kind":      func(p *Plan) { p.WindowKind = "count" },
+		"combiner dropped": func(p *Plan) { p.Combine = "-" },
+		"reduce changed":   func(p *Plan) { p.Reduce = "redoop/internal/queries.maxReduce" },
+		"merge added":      func(p *Plan) { p.Merge = "redoop/internal/queries.mergeTopK" },
+		"partitioner":      func(p *Plan) { p.Partition = "custom" },
+		"reducer arity":    func(p *Plan) { p.NumReducers = 10 },
+		"source map":       func(p *Plan) { p.Sources[0].Map = "redoop/internal/queries.joinMap" },
+		"cache key":        func(p *Plan) { p.Sources[0].CacheKey = "views" },
+		"second source": func(p *Plan) {
+			p.Sources = append(p.Sources, PlanSource{Name: "S2", Map: "m"})
+		},
+	}
+	seen := map[string]string{op: "base"}
+	for name, mutate := range separated {
+		p := basePlan()
+		mutate(&p)
+		got := OpFingerprint(p)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("op-fingerprint near-miss %q collides with %q", name, prev)
+		}
+		seen[got] = name
+	}
+}

@@ -67,10 +67,10 @@ type Attempt struct {
 }
 
 // CopyEvent is one step of a cache copy's history: registration,
-// re-homing to another node, a consumer hit, loss discovery, or
-// retirement.
+// re-homing to another node, a consumer hit, a cross-query reuse copy,
+// loss discovery, or retirement.
 type CopyEvent struct {
-	// Kind is register | rehome | hit | lost | expire.
+	// Kind is register | rehome | hit | reuse | lost | expire.
 	Kind string `json:"kind"`
 	Node int    `json:"node"`
 	// From is the previous home on a rehome (0 otherwise).
@@ -184,6 +184,10 @@ type Store struct {
 	batchOrder []string
 	batchSeq   map[string]int // per query|source: next seq
 	batchFloor map[string]int // per query|source: lowest retained seq
+	// batchClaims counts, per BatchID, how many live (unexpired)
+	// derivations claim the batch; claimed batches are never evicted
+	// by the bound, mirroring evictLocked's stop-at-resident rule.
+	batchClaims map[string]int
 
 	attempts map[string][]Attempt // per job, bounded
 	jobOrder []string
@@ -207,14 +211,15 @@ func New(cap int) *Store {
 		cap = DefaultCap
 	}
 	return &Store{
-		cap:        cap,
-		derivs:     map[string]*Derivation{},
-		batches:    map[string]*Batch{},
-		batchSeq:   map[string]int{},
-		batchFloor: map[string]int{},
-		attempts:   map[string][]Attempt{},
-		files:      map[string][]FileEvent{},
-		plans:      map[string]string{},
+		cap:         cap,
+		derivs:      map[string]*Derivation{},
+		batches:     map[string]*Batch{},
+		batchSeq:    map[string]int{},
+		batchFloor:  map[string]int{},
+		batchClaims: map[string]int{},
+		attempts:    map[string][]Attempt{},
+		files:       map[string][]FileEvent{},
+		plans:       map[string]string{},
 	}
 }
 
@@ -238,6 +243,14 @@ func (s *Store) RecordBatch(query, source string, records int, panes []PaneRange
 	s.batchOrder = append(s.batchOrder, id)
 	for len(s.batchOrder) > s.cap {
 		oldID := s.batchOrder[0]
+		if s.batchClaims[oldID] > 0 {
+			// The oldest batch is still claimed by a live derivation:
+			// evicting it would turn a provable claim into a silent
+			// hole the floor check masks as a legitimate eviction.
+			// Closure must keep it; the bound resumes once the claim
+			// expires.
+			break
+		}
 		s.batchOrder = s.batchOrder[1:]
 		old := s.batches[oldID]
 		delete(s.batches, oldID)
@@ -248,6 +261,20 @@ func (s *Store) RecordBatch(query, source string, records int, panes []PaneRange
 		s.evicted++
 	}
 	return seq
+}
+
+// adjustBatchClaimsLocked shifts the live-derivation claim count of
+// each referenced batch by delta. Caller holds s.mu.
+func (s *Store) adjustBatchClaimsLocked(query string, refs []BatchRef, delta int) {
+	for _, b := range refs {
+		id := BatchID(query, b.Source, b.Seq)
+		n := s.batchClaims[id] + delta
+		if n <= 0 {
+			delete(s.batchClaims, id)
+			continue
+		}
+		s.batchClaims[id] = n
+	}
 }
 
 // BatchesForPane returns the claims of every retained batch of
@@ -358,6 +385,9 @@ func (s *Store) RecordDerivation(d Derivation) (rebuilt bool, cause string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if old, ok := s.derivs[d.ID]; ok {
+		if !old.Expired {
+			s.adjustBatchClaimsLocked(old.Query, old.Batches, -1)
+		}
 		old.Recurrence = d.Recurrence
 		old.Bytes = d.Bytes
 		old.SHA = d.SHA
@@ -366,6 +396,7 @@ func (s *Store) RecordDerivation(d Derivation) (rebuilt bool, cause string) {
 		old.Batches = append([]BatchRef(nil), d.Batches...)
 		old.Inputs = append([]InputRef(nil), d.Inputs...)
 		old.Expired = false
+		s.adjustBatchClaimsLocked(d.Query, d.Batches, 1)
 		if old.Query != d.Query {
 			old.Query = d.Query
 			old.Cause = ""
@@ -388,6 +419,9 @@ func (s *Store) RecordDerivation(d Derivation) (rebuilt bool, cause string) {
 	nd.Consumers = append([]string(nil), d.Consumers...)
 	s.derivs[d.ID] = &nd
 	s.order = append(s.order, d.ID)
+	if !nd.Expired {
+		s.adjustBatchClaimsLocked(nd.Query, nd.Batches, 1)
+	}
 	s.linkConsumersLocked(d)
 	s.evictLocked()
 	return false, ""
@@ -470,6 +504,7 @@ func (s *Store) MarkExpired(id string, atNS int64) {
 	defer s.mu.Unlock()
 	if d, ok := s.derivs[id]; ok && !d.Expired {
 		d.Expired = true
+		s.adjustBatchClaimsLocked(d.Query, d.Batches, -1)
 		d.Copies = append(d.Copies, CopyEvent{Kind: "expire", AtNS: atNS})
 	}
 }
@@ -487,6 +522,9 @@ func (s *Store) MarkLost(id string, node int, atNS int64) (cause string) {
 	d, ok := s.derivs[id]
 	if !ok {
 		return ""
+	}
+	if !d.Expired {
+		s.adjustBatchClaimsLocked(d.Query, d.Batches, -1)
 	}
 	d.Expired = true
 	d.Copies = append(d.Copies, CopyEvent{Kind: "lost", Node: node, AtNS: atNS})

@@ -214,3 +214,57 @@ func TestSnapshotDeepEqualAndIndependence(t *testing.T) {
 		t.Fatal("snapshot aliases store memory")
 	}
 }
+
+// TestBatchEvictionFloorHonorsLiveClaims is the regression test for a
+// silent provenance hole: the batch bound used to evict the oldest
+// batch unconditionally, and when a live derivation still claimed it,
+// the floor advance made Closure treat the claim as a legitimate
+// eviction — the audit trail lied. Claimed batches must hold the
+// eviction line until the claim expires.
+func TestBatchEvictionFloorHonorsLiveClaims(t *testing.T) {
+	s := New(4)
+	s.RecordBatch("q", "S1", 1, []PaneRange{{Pane: 0, R: Range{0, 1}}})
+	claims := s.BatchesForPane("q", "S1", 0)
+	if len(claims) != 1 {
+		t.Fatalf("claims = %+v", claims)
+	}
+	s.RecordDerivation(Derivation{ID: "d0", Kind: "pane-rin", Query: "q", Pane: 0, Batches: claims})
+
+	// Push well past the bound: the oldest batch is claimed, so the
+	// bound must stop at it rather than punch a hole under d0.
+	for i := 0; i < 10; i++ {
+		s.RecordBatch("q", "S1", 1, nil)
+	}
+	st := s.Stats()
+	if st.Evicted != 0 {
+		t.Fatalf("evicted %d batches past a live claim", st.Evicted)
+	}
+	if st.Batches != 11 {
+		t.Fatalf("Batches = %d, want all 11 retained while the claim is live", st.Batches)
+	}
+	if bad := s.Closure([]ResidentRef{{ID: "d0"}}); len(bad) != 0 {
+		t.Fatalf("closure violations with claimed batch retained: %v", bad)
+	}
+
+	// Once the claim expires the bound resumes on the next ingest.
+	s.MarkExpired("d0", 100)
+	s.RecordBatch("q", "S1", 1, nil)
+	st = s.Stats()
+	if st.Batches != 4 {
+		t.Fatalf("Batches = %d after claim expiry, want cap 4", st.Batches)
+	}
+	if st.Evicted != 8 {
+		t.Fatalf("Evicted = %d, want 8", st.Evicted)
+	}
+
+	// A rebuild that re-records the derivation shifts its claims, not
+	// leaks them: expiring the rebuild must leave no residual claim.
+	s.RecordBatch("q2", "S1", 1, []PaneRange{{Pane: 0, R: Range{0, 1}}})
+	c2 := s.BatchesForPane("q2", "S1", 0)
+	s.RecordDerivation(Derivation{ID: "d2", Kind: "pane-rin", Query: "q2", Pane: 0, Batches: c2})
+	s.RecordDerivation(Derivation{ID: "d2", Kind: "pane-rin", Query: "q2", Pane: 0, Batches: c2})
+	s.MarkLost("d2", 1, 200)
+	if n := s.batchClaims[BatchID("q2", "S1", 0)]; n != 0 {
+		t.Fatalf("claim count leaked across rebuild: %d", n)
+	}
+}

@@ -29,6 +29,10 @@
 //	                    fingerprints, batch claims and rebuild history
 //	                    (?query=&pane=&fingerprint= filter, ?id= traces
 //	                    one node, ?format=dot renders Graphviz)
+//	GET /debug/reuse    cross-query reuse index: published entries with
+//	                    their operator fingerprints, hit/miss/eviction
+//	                    counters, per-engine fingerprints (?query=
+//	                    filters the entries to one producer)
 //	GET /debug/         HTML index of the mounted debug endpoints
 //	GET /debug/stream   Server-Sent Events feed of the flight recorder:
 //	                    replays retained events (?since=SEQ resumes)
@@ -58,6 +62,7 @@ import (
 	"redoop/internal/obs"
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/profile"
+	"redoop/internal/reuse"
 )
 
 // DefaultKeepAlive is the idle interval after which /debug/stream
@@ -133,6 +138,7 @@ func (s *Server) endpoints() []endpoint {
 		{"/debug/critpath", "critical-path segment tilings (?query=&recurrence=)", s.handleCritPath},
 		{"/debug/costs", "per-query resource costs, cache ROI and tenant rollups", s.handleCosts},
 		{"/debug/lineage", "provenance store: derivation DAG, plans, stats (?query=&pane=&fingerprint=&id=&format=dot)", s.handleLineage},
+		{"/debug/reuse", "cross-query reuse index: entries, hit/eviction counters (?query= filters entries)", s.handleReuse},
 		{"/debug/stream", "Server-Sent Events live feed (?since=SEQ resumes)", s.handleStream},
 	}
 }
@@ -340,6 +346,64 @@ func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, map[string]any{"stores": docs})
+}
+
+// handleReuse serves the cross-query reuse layer: the distinct reuse
+// indexes the attached engines share (usually one), each with its
+// counters and surviving entries in canonical order, plus every
+// engine's geometry-independent operator fingerprint so entries can be
+// matched back to the queries that could consume them. ?query= narrows
+// the entries to one producer.
+func (s *Server) handleReuse(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	engines := append([]*core.Engine(nil), s.engines...)
+	s.mu.Unlock()
+	var indexes []*reuse.Index
+	type engineFP struct {
+		Query string `json:"query"`
+		OpFP  string `json:"opFingerprint"`
+	}
+	fps := []engineFP{}
+	for _, e := range engines {
+		fps = append(fps, engineFP{Query: e.Query().Name, OpFP: e.OpFingerprint()})
+		idx := e.ReuseIndex()
+		if idx == nil {
+			continue
+		}
+		seen := false
+		for _, have := range indexes {
+			if have == idx {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			indexes = append(indexes, idx)
+		}
+	}
+	query := r.URL.Query().Get("query")
+	type indexDoc struct {
+		Stats   reuse.Stats   `json:"stats"`
+		Entries []reuse.Entry `json:"entries"`
+	}
+	docs := []indexDoc{}
+	for _, idx := range indexes {
+		entries := idx.Snapshot()
+		if query != "" {
+			kept := entries[:0]
+			for _, en := range entries {
+				if en.Query == query {
+					kept = append(kept, en)
+				}
+			}
+			entries = kept
+		}
+		if entries == nil {
+			entries = []reuse.Entry{}
+		}
+		docs = append(docs, indexDoc{Stats: idx.Stats(), Entries: entries})
+	}
+	writeJSON(w, map[string]any{"indexes": docs, "engines": fps})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -26,6 +26,7 @@ import (
 	"redoop/internal/obs/eventlog"
 	"redoop/internal/obsserver"
 	"redoop/internal/records"
+	"redoop/internal/reuse"
 	"redoop/internal/simtime"
 	"redoop/internal/window"
 )
@@ -880,5 +881,88 @@ func TestLineageEndpoint(t *testing.T) {
 	}
 	if rec := get(t, h, "/debug/lineage?format=xml"); rec.Code != http.StatusBadRequest {
 		t.Errorf("bad format status = %d, want 400", rec.Code)
+	}
+}
+
+// TestReuseEndpoint drives two engines that share a cross-query reuse
+// index and checks /debug/reuse exposes the deduplicated index with its
+// counters, canonical entries, and per-engine operator fingerprints.
+func TestReuseEndpoint(t *testing.T) {
+	ob := obs.New()
+	idx := reuse.NewIndex(1 << 20)
+	qa, qb := countQuery("qa"), countQuery("qb")
+	qa.Sources[0].CacheKey = "words"
+	qb.Sources[0].CacheKey = "words"
+	// countQuery inlines at each call site, splitting the anonymous Map
+	// closure's symbol; share the func value so the fingerprints agree.
+	qb.Maps = qa.Maps
+	e1, err := core.NewEngine(core.Config{MR: newRig(2, ob), Query: qa, Reuse: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.NewEngine(core.Config{MR: newRig(2, ob), Query: qb, Reuse: idx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []*core.Engine{e1, e2} {
+		for fed := 0; fed < int(testWin/testSlide); fed++ {
+			if err := eng.Ingest(0, genWords(7, fed, 120)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := eng.RunNext(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := obsserver.New(ob)
+	srv.Attach(e1, e2)
+	h := srv.Handler()
+
+	rec := get(t, h, "/debug/reuse")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc struct {
+		Indexes []struct {
+			Stats   reuse.Stats `json:"stats"`
+			Entries []reuse.Entry    `json:"entries"`
+		} `json:"indexes"`
+		Engines []struct {
+			Query string `json:"query"`
+			OpFP  string `json:"opFingerprint"`
+		} `json:"engines"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Indexes) != 1 {
+		t.Fatalf("indexes = %d, want the shared index deduplicated to 1", len(doc.Indexes))
+	}
+	if doc.Indexes[0].Stats.Published == 0 || len(doc.Indexes[0].Entries) == 0 {
+		t.Fatalf("shared index saw no published panes: %+v", doc.Indexes[0].Stats)
+	}
+	if len(doc.Engines) != 2 {
+		t.Fatalf("engines = %+v, want qa and qb", doc.Engines)
+	}
+	if doc.Engines[0].OpFP == "" || doc.Engines[0].OpFP != doc.Engines[1].OpFP {
+		t.Errorf("identical queries disagree on op fingerprint: %+v", doc.Engines)
+	}
+
+	// ?query= keeps only the named producer's entries.
+	rec = get(t, h, "/debug/reuse?query=qa")
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, en := range doc.Indexes[0].Entries {
+		if en.Query != "qa" {
+			t.Fatalf("query=qa filter leaked entry from %q", en.Query)
+		}
+	}
+	rec = get(t, h, "/debug/reuse?query=nope")
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.Indexes[0].Entries); got != 0 {
+		t.Errorf("query=nope still returned %d entries", got)
 	}
 }

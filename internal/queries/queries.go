@@ -56,6 +56,20 @@ func field(payload []byte, i int) ([]byte, bool) {
 	}
 }
 
+// WCCMap is Q1's mapper: emit (requested object, 1) per log line. It
+// is a named package-level function — not a closure — because the
+// lineage plan identifies operators by function symbol, and the
+// compiler names an inlined closure after its call site, which would
+// give two otherwise-identical queries different plan fingerprints
+// and defeat fingerprint-keyed cross-query reuse.
+func WCCMap(_ int64, payload []byte, emit mapreduce.Emitter) {
+	obj, ok := field(payload, 1)
+	if !ok {
+		return // malformed log line; Hadoop jobs skip these too
+	}
+	emit(append([]byte(nil), obj...), []byte("1"))
+}
+
 // WCCAggregation builds Q1: count clicks per requested object over the
 // sliding window. win and slide are virtual-time window constraints;
 // cacheKey optionally opts into cross-query cache sharing.
@@ -66,13 +80,7 @@ func WCCAggregation(name string, win, slide simtime.Duration, reducers int) *cor
 			Name: "S1",
 			Spec: window.NewTimeSpec(win, slide),
 		}},
-		Maps: []mapreduce.MapFunc{func(_ int64, payload []byte, emit mapreduce.Emitter) {
-			obj, ok := field(payload, 1)
-			if !ok {
-				return // malformed log line; Hadoop jobs skip these too
-			}
-			emit(append([]byte(nil), obj...), []byte("1"))
-		}},
+		Maps:   []mapreduce.MapFunc{WCCMap},
 		Reduce: SumCounts,
 		// No combiner: the paper's aggregation shuffles its full map
 		// output (Figure 6(b) shows a substantial shuffle phase),
@@ -87,32 +95,40 @@ func WCCAggregation(name string, win, slide simtime.Duration, reducers int) *cor
 // the reducer can separate the sides; each output pairs one reading
 // with one event of the same sensor.
 func FFGJoin(name string, win, slide simtime.Duration, reducers int) *core.Query {
-	tag := func(prefix byte) mapreduce.MapFunc {
-		return func(_ int64, payload []byte, emit mapreduce.Emitter) {
-			sensor, ok := field(payload, 0)
-			if !ok {
-				return
-			}
-			key := append([]byte(nil), sensor...)
-			val := make([]byte, 0, len(payload)+2)
-			val = append(val, prefix, '|')
-			val = append(val, payload...)
-			emit(key, val)
-		}
-	}
 	return &core.Query{
 		Name: name,
 		Sources: []core.Source{
 			{Name: "S1", Spec: window.NewTimeSpec(win, slide)},
 			{Name: "S2", Spec: window.NewTimeSpec(win, slide)},
 		},
-		Maps:        []mapreduce.MapFunc{tag('R'), tag('E')},
+		Maps:        []mapreduce.MapFunc{FFGTagReadings, FFGTagEvents},
 		Reduce:      JoinReduce,
 		NumReducers: reducers,
 		// Merge nil: the window's join result is the union of its
 		// pane pairs' results.
 	}
 }
+
+// ffgTag emits (sensor id, prefix|payload) — the shared body of Q2's
+// two side-tagging mappers.
+func ffgTag(prefix byte, payload []byte, emit mapreduce.Emitter) {
+	sensor, ok := field(payload, 0)
+	if !ok {
+		return
+	}
+	key := append([]byte(nil), sensor...)
+	val := make([]byte, 0, len(payload)+2)
+	val = append(val, prefix, '|')
+	val = append(val, payload...)
+	emit(key, val)
+}
+
+// FFGTagReadings / FFGTagEvents are Q2's mappers, named package-level
+// functions for stable plan-fingerprint symbols (see WCCMap).
+func FFGTagReadings(_ int64, payload []byte, emit mapreduce.Emitter) { ffgTag('R', payload, emit) }
+
+// FFGTagEvents tags game events (see FFGTagReadings).
+func FFGTagEvents(_ int64, payload []byte, emit mapreduce.Emitter) { ffgTag('E', payload, emit) }
 
 // JoinReduce is Q2's reducer: an in-memory cross join of the R-tagged
 // and E-tagged values of one key.

@@ -1,0 +1,176 @@
+package reuse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func publishPane(x *Index, query string, unit, pane int64, parts int, bytes int64) {
+	for part := 0; part < parts; part++ {
+		x.Publish(Entry{
+			OpFP: "fp", Unit: unit, Pane: pane, Part: part,
+			Query: query, PID: pidFor(query, unit, pane, part), Type: 1,
+			Node: part % 3, Bytes: bytes, RecomputeNS: 1000,
+		})
+	}
+}
+
+func pidFor(query string, unit, pane int64, part int) string {
+	return query + "/" + string(rune('0'+unit)) + "/" + string(rune('0'+pane)) + "/" + string(rune('0'+part))
+}
+
+func TestExactProbe(t *testing.T) {
+	x := NewIndex(0)
+	publishPane(x, "a", 2, 5, 4, 100)
+	if _, ok := x.ProbeExact("fp", 2, 5, 4, "a"); ok {
+		t.Fatal("self-probe must miss")
+	}
+	ents, ok := x.ProbeExact("fp", 2, 5, 4, "b")
+	if !ok {
+		t.Fatal("want exact hit")
+	}
+	for part, e := range ents {
+		if e.Part != part || e.Query != "a" || e.Pane != 5 || e.Unit != 2 {
+			t.Fatalf("part %d: wrong entry %+v", part, e)
+		}
+	}
+	if _, ok := x.ProbeExact("fp", 2, 6, 4, "b"); ok {
+		t.Fatal("unpublished pane must miss")
+	}
+	if _, ok := x.ProbeExact("other", 2, 5, 4, "b"); ok {
+		t.Fatal("foreign fingerprint must miss")
+	}
+	// A single missing partition fails the whole probe.
+	x.DropPID(pidFor("a", 2, 5, 2), 1)
+	if _, ok := x.ProbeExact("fp", 2, 5, 4, "b"); ok {
+		t.Fatal("partial pane must miss")
+	}
+	s := x.Stats()
+	if s.ExactHits != 1 || s.Dropped != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestSubsumeProbe(t *testing.T) {
+	x := NewIndex(0)
+	// Producer at unit 2: consumer unit 6 pane 1 covers producer panes 3,4,5.
+	for p := int64(3); p <= 5; p++ {
+		publishPane(x, "a", 2, p, 2, 10)
+	}
+	rows, u, ok := x.ProbeSubsume("fp", 6, 1, 2, "b")
+	if !ok || u != 2 {
+		t.Fatalf("want subsume hit at unit 2, got ok=%v u=%d", ok, u)
+	}
+	for part, row := range rows {
+		if len(row) != 3 {
+			t.Fatalf("part %d: want 3 finer panes, got %d", part, len(row))
+		}
+		for i, e := range row {
+			if e.Pane != 3+int64(i) || e.Part != part {
+				t.Fatalf("part %d slot %d: wrong entry %+v", part, i, e)
+			}
+		}
+	}
+	// Coarsest qualifying unit wins: publish unit 3 covering panes 2,3
+	// of the same span — fewer merge inputs than unit 2's three.
+	publishPane(x, "c", 3, 2, 2, 10)
+	publishPane(x, "c", 3, 3, 2, 10)
+	if _, u, ok = x.ProbeSubsume("fp", 6, 1, 2, "b"); !ok || u != 3 {
+		t.Fatalf("want coarsest unit 3, got ok=%v u=%d", ok, u)
+	}
+	// Units that do not divide the prober's never qualify.
+	if _, _, ok := x.ProbeSubsume("fp", 5, 1, 2, "b"); ok {
+		t.Fatal("unit 5 has no divisor units published (2 and 3 do not divide 5 into present panes)")
+	}
+	// The prober's own entries cannot subsume for it.
+	if _, u, ok := x.ProbeSubsume("fp", 6, 1, 2, "c"); !ok || u != 2 {
+		t.Fatalf("self entries excluded: want fallback to unit 2, got ok=%v u=%d", ok, u)
+	}
+}
+
+func TestPublishRefreshReplacesEntry(t *testing.T) {
+	x := NewIndex(0)
+	x.Publish(Entry{OpFP: "fp", Unit: 1, Pane: 0, Part: 0, Query: "a", PID: "old", Type: 1, Bytes: 5})
+	x.Publish(Entry{OpFP: "fp", Unit: 1, Pane: 0, Part: 0, Query: "a", PID: "new", Type: 1, Bytes: 9})
+	ents, ok := x.ProbeExact("fp", 1, 0, 1, "b")
+	if !ok || ents[0].PID != "new" || ents[0].Bytes != 9 {
+		t.Fatalf("refresh did not replace: %+v", ents)
+	}
+	// The old PID's reverse link is gone: dropping it must not disturb
+	// the refreshed entry.
+	x.DropPID("old", 1)
+	if _, ok := x.ProbeExact("fp", 1, 0, 1, "b"); !ok {
+		t.Fatal("dropping the stale PID removed the live entry")
+	}
+	x.DropPID("new", 1)
+	if _, ok := x.ProbeExact("fp", 1, 0, 1, "b"); ok {
+		t.Fatal("entry survived DropPID of its backing cache")
+	}
+}
+
+func TestEvictionROIOrder(t *testing.T) {
+	x := NewIndex(4)
+	roi := map[string]float64{"cheap": 0.1, "rich": 9.9}
+	x.SetROI(func(q string) float64 { return roi[q] })
+	publishPane(x, "cheap", 1, 0, 2, 10) // seq 1,2
+	publishPane(x, "rich", 1, 1, 2, 10)  // seq 3,4
+	// Fifth entry exceeds cap: the lowest-ROI producer's oldest entry
+	// (cheap, seq 1) must be the victim.
+	x.Publish(Entry{OpFP: "fp", Unit: 1, Pane: 2, Part: 0, Query: "rich", PID: "r2", Type: 1})
+	if s := x.Stats(); s.Evicted != 1 || s.Entries != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if _, ok := x.ProbeExact("fp", 1, 0, 2, "z"); ok {
+		t.Fatal("cheap producer's pane should be partially evicted")
+	}
+	if _, ok := x.ProbeExact("fp", 1, 1, 2, "z"); !ok {
+		t.Fatal("high-ROI producer's pane must survive")
+	}
+	// Without an ROI signal eviction is oldest-first.
+	y := NewIndex(2)
+	y.Publish(Entry{OpFP: "fp", Unit: 1, Pane: 0, Part: 0, Query: "a", PID: "p0", Type: 1})
+	y.Publish(Entry{OpFP: "fp", Unit: 1, Pane: 1, Part: 0, Query: "a", PID: "p1", Type: 1})
+	y.Publish(Entry{OpFP: "fp", Unit: 1, Pane: 2, Part: 0, Query: "a", PID: "p2", Type: 1})
+	snap := y.Snapshot()
+	if len(snap) != 2 || snap[0].Pane != 1 || snap[1].Pane != 2 {
+		t.Fatalf("oldest-first eviction broken: %+v", snap)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	mk := func(order []int64) []Entry {
+		x := NewIndex(0)
+		for _, p := range order {
+			publishPane(x, "a", 2, p, 2, 10)
+		}
+		snap := x.Snapshot()
+		for i := range snap {
+			snap[i].Seq = 0 // insertion order intentionally differs
+		}
+		return snap
+	}
+	a := mk([]int64{0, 1, 2, 3})
+	b := mk([]int64{3, 1, 0, 2})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshot order depends on insertion order:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestNilIndexSafe(t *testing.T) {
+	var x *Index
+	x.Publish(Entry{})
+	x.DropPID("p", 1)
+	x.SetROI(nil)
+	if _, ok := x.ProbeExact("fp", 1, 0, 1, "q"); ok {
+		t.Fatal("nil index hit")
+	}
+	if _, _, ok := x.ProbeSubsume("fp", 2, 0, 1, "q"); ok {
+		t.Fatal("nil index subsume hit")
+	}
+	if s := x.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats: %+v", s)
+	}
+	if snap := x.Snapshot(); snap != nil {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+}

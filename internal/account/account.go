@@ -88,6 +88,21 @@ type residency struct {
 	bytes     int64
 	since     simtime.Time
 	recompute simtime.Duration
+	// hits counts cache hits served by this residency interval — an
+	// access-frequency feature for cost-based replacement; it resets
+	// when the interval closes (a rebuilt cache re-earns its keep).
+	hits int
+}
+
+// ResidencyFeatures is the per-entry feature vector cost-based cache
+// replacement ranks on: size, modeled recompute cost, and the access
+// frequency of the current residency interval.
+type ResidencyFeatures struct {
+	Query       string
+	Bytes       int64
+	RecomputeNS int64
+	Hits        int
+	Since       simtime.Time
 }
 
 // Residency is the exported view of one still-open cache interval.
@@ -358,6 +373,26 @@ func (l *Ledger) CacheExpired(pid string, typ int, at simtime.Time) {
 	l.closeLocked(resKey(pid, typ), at)
 }
 
+// Residency returns the feature vector of pid/typ's still-open
+// residency interval; ok is false when none is open. Deterministic
+// given the ledger's (serially recorded) event stream, so replacement
+// decisions ranked on it are byte-identical across -workers settings.
+func (l *Ledger) Residency(pid string, typ int) (ResidencyFeatures, bool) {
+	if l == nil {
+		return ResidencyFeatures{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.open[resKey(pid, typ)]
+	if !ok {
+		return ResidencyFeatures{}, false
+	}
+	return ResidencyFeatures{
+		Query: r.owner, Bytes: r.bytes,
+		RecomputeNS: int64(r.recompute), Hits: r.hits, Since: r.since,
+	}, true
+}
+
 // CacheHit credits query with the stored recompute cost of pid/typ —
 // the work the hit avoided — and arms the net-of-load adjustment: the
 // next CacheLoaded for the same key subtracts the load actually paid.
@@ -386,6 +421,7 @@ func (l *Ledger) cacheHit(query, pid string, typ int, at simtime.Time, cross boo
 		a := l.acct(query)
 		a.saved += r.recompute
 		a.hits++
+		r.hits++
 		if cross {
 			a.crossSaved += r.recompute
 			a.crossHits++

@@ -16,6 +16,7 @@ package baseline
 import (
 	"fmt"
 
+	"redoop/internal/colfmt"
 	"redoop/internal/core"
 	"redoop/internal/mapreduce"
 	"redoop/internal/records"
@@ -113,7 +114,7 @@ func (d *Driver) Ingest(src int, recs []records.Record) error {
 	}
 	path := fmt.Sprintf("%s/%s/batch%06d", d.dir, d.query.Sources[src].Name, d.batchSeq)
 	d.batchSeq++
-	if err := d.mr.DFS.Write(path, records.Encode(recs)); err != nil {
+	if err := d.mr.DFS.Write(path, colfmt.EncodeRecords(recs)); err != nil {
 		return err
 	}
 	d.batches[src] = append(d.batches[src], batchFile{path: path, loUnit: lo, hiUnit: hi + 1})

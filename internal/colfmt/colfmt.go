@@ -1,0 +1,439 @@
+// Package colfmt is the columnar pane encoding: the zero-copy
+// successor to the row-oriented internal/records framing for pane
+// files and cached reduce intermediates.
+//
+// A row-encoded pane interleaves per-record headers with payloads, so
+// decoding allocates and copies once per record. The columnar layout
+// instead groups each field into one contiguous block — timestamps,
+// then cumulative payload offsets, then one payload blob — so a
+// decoder materializes records as slices aliasing the encoded buffer:
+// no per-record allocation, no copies, and the whole segment is
+// validated up front by fixed-width arithmetic plus a trailing CRC.
+//
+// Record segment ("RCR1"):
+//
+//	magic   [4]byte  "RCR1"
+//	count   uint32   little-endian record count (> 0)
+//	ts      [count]int64      little-endian timestamps
+//	off     [count+1]uint32   cumulative payload offsets, off[0] == 0
+//	payload [off[count]]byte  concatenated record payloads
+//	crc     uint32   IEEE CRC-32 of everything above
+//
+// Pair segment ("RCP1"):
+//
+//	magic   [4]byte  "RCP1"
+//	count   uint32   little-endian pair count (> 0)
+//	koff    [count+1]uint32   cumulative key offsets, koff[0] == 0
+//	voff    [count+1]uint32   cumulative value offsets, voff[0] == 0
+//	keys    [koff[count]]byte concatenated keys
+//	values  [voff[count]]byte concatenated values
+//	crc     uint32   IEEE CRC-32 of everything above
+//
+// An empty batch encodes to zero bytes (the packer's empty-pane
+// invariant), and a file may concatenate any number of segments: each
+// segment states its own length, so the shared group files of §3.2 —
+// several panes packed into one DFS file — remain walkable pane by
+// pane, and PaneSlice over the packer's header yields exactly one
+// decodable segment per pane.
+//
+// Zero-copy lifetime rule: decoded records, pairs and visited payloads
+// alias the input buffer. The buffer must stay immutable and live for
+// as long as any view into it; in particular a pooled buffer must
+// never be recycled while decoded views escape (see PutBuf).
+package colfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"redoop/internal/records"
+)
+
+// Magic prefixes of the two segment kinds.
+var (
+	magicRecords = [4]byte{'R', 'C', 'R', '1'}
+	magicPairs   = [4]byte{'R', 'C', 'P', '1'}
+)
+
+// ErrCorrupt reports a structurally invalid or checksum-failing
+// segment. Callers treat it exactly like a row-decode error: the pane
+// is unusable and the recovery ladder recomputes it.
+var ErrCorrupt = errors.New("colfmt: corrupt segment")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// IsColumnar reports whether data begins with a columnar segment
+// magic. Empty data is columnar by convention: both encoders emit zero
+// bytes for zero records, so an empty pane decodes on either path.
+func IsColumnar(data []byte) bool {
+	if len(data) == 0 {
+		return true
+	}
+	if len(data) < 4 {
+		return false
+	}
+	var m [4]byte
+	copy(m[:], data)
+	return m == magicRecords || m == magicPairs
+}
+
+// AppendRecords appends one record segment holding recs to dst and
+// returns the extended slice. Zero records append nothing.
+func AppendRecords(dst []byte, recs []records.Record) []byte {
+	if len(recs) == 0 {
+		return dst
+	}
+	var blob int
+	for _, r := range recs {
+		blob += len(r.Data)
+	}
+	base := len(dst)
+	need := 8 + 8*len(recs) + 4*(len(recs)+1) + blob + 4
+	dst = grow(dst, need)
+	copy(dst[base:], magicRecords[:])
+	binary.LittleEndian.PutUint32(dst[base+4:], uint32(len(recs)))
+	p := base + 8
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(dst[p:], uint64(r.Ts))
+		p += 8
+	}
+	off := uint32(0)
+	binary.LittleEndian.PutUint32(dst[p:], 0)
+	p += 4
+	for _, r := range recs {
+		off += uint32(len(r.Data))
+		binary.LittleEndian.PutUint32(dst[p:], off)
+		p += 4
+	}
+	for _, r := range recs {
+		p += copy(dst[p:], r.Data)
+	}
+	binary.LittleEndian.PutUint32(dst[p:], crc32.ChecksumIEEE(dst[base:p]))
+	return dst
+}
+
+// EncodeRecords encodes recs as one columnar segment.
+func EncodeRecords(recs []records.Record) []byte {
+	return AppendRecords(nil, recs)
+}
+
+// AppendPairs appends one pair segment holding pairs to dst and
+// returns the extended slice. Zero pairs append nothing.
+func AppendPairs(dst []byte, pairs []records.Pair) []byte {
+	if len(pairs) == 0 {
+		return dst
+	}
+	var kb, vb int
+	for _, pr := range pairs {
+		kb += len(pr.Key)
+		vb += len(pr.Value)
+	}
+	base := len(dst)
+	need := 8 + 2*4*(len(pairs)+1) + kb + vb + 4
+	dst = grow(dst, need)
+	copy(dst[base:], magicPairs[:])
+	binary.LittleEndian.PutUint32(dst[base+4:], uint32(len(pairs)))
+	p := base + 8
+	off := uint32(0)
+	binary.LittleEndian.PutUint32(dst[p:], 0)
+	p += 4
+	for _, pr := range pairs {
+		off += uint32(len(pr.Key))
+		binary.LittleEndian.PutUint32(dst[p:], off)
+		p += 4
+	}
+	off = 0
+	binary.LittleEndian.PutUint32(dst[p:], 0)
+	p += 4
+	for _, pr := range pairs {
+		off += uint32(len(pr.Value))
+		binary.LittleEndian.PutUint32(dst[p:], off)
+		p += 4
+	}
+	for _, pr := range pairs {
+		p += copy(dst[p:], pr.Key)
+	}
+	for _, pr := range pairs {
+		p += copy(dst[p:], pr.Value)
+	}
+	binary.LittleEndian.PutUint32(dst[p:], crc32.ChecksumIEEE(dst[base:p]))
+	return dst
+}
+
+// EncodePairs encodes pairs as one columnar segment.
+func EncodePairs(pairs []records.Pair) []byte {
+	return AppendPairs(nil, pairs)
+}
+
+// grow extends dst by need bytes, reallocating only when capacity
+// falls short (pooled buffers amortize this to zero). The segment
+// size is known exactly up front, so a miss allocates exactly — the
+// common one-shot Encode call never over-commits.
+func grow(dst []byte, need int) []byte {
+	if n := len(dst) + need; n <= cap(dst) {
+		return dst[:n]
+	}
+	out := make([]byte, len(dst)+need)
+	copy(out, dst)
+	return out
+}
+
+// recSegment validates the record segment at the head of data and
+// returns its count, column views and total length. Every bound is
+// checked before any column is touched, so malformed input yields
+// ErrCorrupt, never a panic.
+func recSegment(data []byte) (count int, ts, offs, blob []byte, segLen int, err error) {
+	if len(data) < 8 {
+		return 0, nil, nil, nil, 0, corruptf("record segment header truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	if n == 0 {
+		return 0, nil, nil, nil, 0, corruptf("record segment with zero count")
+	}
+	// Fixed-width prefix: magic+count, ts column, offset column.
+	fixed := uint64(8) + 8*uint64(n) + 4*(uint64(n)+1)
+	if fixed+4 > uint64(len(data)) {
+		return 0, nil, nil, nil, 0, corruptf("record columns truncated: need %d fixed bytes, have %d", fixed+4, len(data))
+	}
+	offs = data[8+8*n:]
+	blobLen := binary.LittleEndian.Uint32(offs[4*n:])
+	total := fixed + uint64(blobLen) + 4
+	if total > uint64(len(data)) {
+		return 0, nil, nil, nil, 0, corruptf("record payload truncated: need %d bytes, have %d", total, len(data))
+	}
+	seg := data[:total]
+	if got, want := crc32.ChecksumIEEE(seg[:total-4]), binary.LittleEndian.Uint32(seg[total-4:]); got != want {
+		return 0, nil, nil, nil, 0, corruptf("record segment checksum mismatch (%08x != %08x)", got, want)
+	}
+	if binary.LittleEndian.Uint32(offs) != 0 {
+		return 0, nil, nil, nil, 0, corruptf("record offsets do not start at zero")
+	}
+	prev := uint32(0)
+	for i := uint32(1); i <= n; i++ {
+		o := binary.LittleEndian.Uint32(offs[4*i:])
+		if o < prev {
+			return 0, nil, nil, nil, 0, corruptf("record offsets decrease at %d", i)
+		}
+		prev = o
+	}
+	return int(n), data[8 : 8+8*n], offs[:4*(n+1)], seg[fixed : fixed+uint64(blobLen)], int(total), nil
+}
+
+// pairSegment validates the pair segment at the head of data and
+// returns its count, column views and total length.
+func pairSegment(data []byte) (count int, koff, voff, keys, vals []byte, segLen int, err error) {
+	if len(data) < 8 {
+		return 0, nil, nil, nil, nil, 0, corruptf("pair segment header truncated (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	if n == 0 {
+		return 0, nil, nil, nil, nil, 0, corruptf("pair segment with zero count")
+	}
+	fixed := uint64(8) + 2*4*(uint64(n)+1)
+	if fixed+4 > uint64(len(data)) {
+		return 0, nil, nil, nil, nil, 0, corruptf("pair columns truncated: need %d fixed bytes, have %d", fixed+4, len(data))
+	}
+	koff = data[8:]
+	voff = data[8+4*(n+1):]
+	kb := binary.LittleEndian.Uint32(koff[4*n:])
+	vb := binary.LittleEndian.Uint32(voff[4*n:])
+	total := fixed + uint64(kb) + uint64(vb) + 4
+	if total > uint64(len(data)) {
+		return 0, nil, nil, nil, nil, 0, corruptf("pair payload truncated: need %d bytes, have %d", total, len(data))
+	}
+	seg := data[:total]
+	if got, want := crc32.ChecksumIEEE(seg[:total-4]), binary.LittleEndian.Uint32(seg[total-4:]); got != want {
+		return 0, nil, nil, nil, nil, 0, corruptf("pair segment checksum mismatch (%08x != %08x)", got, want)
+	}
+	for _, c := range []struct {
+		name string
+		col  []byte
+	}{{"key", koff[:4*(n+1)]}, {"value", voff[:4*(n+1)]}} {
+		name, col := c.name, c.col
+		if binary.LittleEndian.Uint32(col) != 0 {
+			return 0, nil, nil, nil, nil, 0, corruptf("pair %s offsets do not start at zero", name)
+		}
+		prev := uint32(0)
+		for i := uint32(1); i <= n; i++ {
+			o := binary.LittleEndian.Uint32(col[4*i:])
+			if o < prev {
+				return 0, nil, nil, nil, nil, 0, corruptf("pair %s offsets decrease at %d", name, i)
+			}
+			prev = o
+		}
+	}
+	keys = seg[fixed : fixed+uint64(kb)]
+	vals = seg[fixed+uint64(kb) : fixed+uint64(kb)+uint64(vb)]
+	return int(n), koff[:4*(n+1)], voff[:4*(n+1)], keys, vals, int(total), nil
+}
+
+// DecodeRecords decodes a file of concatenated record segments. The
+// returned records alias data (zero-copy): each Data slice is a
+// three-index view into the payload blob, so appends by callers cannot
+// clobber neighbouring records.
+func DecodeRecords(data []byte) ([]records.Record, error) {
+	var out []records.Record
+	for len(data) > 0 {
+		if len(data) >= 4 {
+			var m [4]byte
+			copy(m[:], data)
+			if m != magicRecords {
+				return nil, corruptf("bad record segment magic %q", m[:])
+			}
+		}
+		n, ts, offs, blob, segLen, err := recSegment(data)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = make([]records.Record, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			lo := binary.LittleEndian.Uint32(offs[4*i:])
+			hi := binary.LittleEndian.Uint32(offs[4*(i+1):])
+			out = append(out, records.Record{
+				Ts:   int64(binary.LittleEndian.Uint64(ts[8*i:])),
+				Data: blob[lo:hi:hi],
+			})
+		}
+		data = data[segLen:]
+	}
+	return out, nil
+}
+
+// DecodePairs decodes a file of concatenated pair segments. The
+// returned pairs alias data (zero-copy) via three-index views.
+func DecodePairs(data []byte) ([]records.Pair, error) {
+	var out []records.Pair
+	for len(data) > 0 {
+		if len(data) >= 4 {
+			var m [4]byte
+			copy(m[:], data)
+			if m != magicPairs {
+				return nil, corruptf("bad pair segment magic %q", m[:])
+			}
+		}
+		n, koff, voff, keys, vals, segLen, err := pairSegment(data)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = make([]records.Pair, 0, n)
+		}
+		for i := 0; i < n; i++ {
+			klo := binary.LittleEndian.Uint32(koff[4*i:])
+			khi := binary.LittleEndian.Uint32(koff[4*(i+1):])
+			vlo := binary.LittleEndian.Uint32(voff[4*i:])
+			vhi := binary.LittleEndian.Uint32(voff[4*(i+1):])
+			out = append(out, records.Pair{
+				Key:   keys[klo:khi:khi],
+				Value: vals[vlo:vhi:vhi],
+			})
+		}
+		data = data[segLen:]
+	}
+	return out, nil
+}
+
+// DecodeRecordsAny decodes columnar data zero-copy and falls back to
+// the row format for legacy bytes (the row path copies, as it always
+// did). The dispatch is by magic prefix; the columnar magics are not
+// valid row framing for any pane this system writes.
+func DecodeRecordsAny(data []byte) ([]records.Record, error) {
+	if IsColumnar(data) {
+		return DecodeRecords(data)
+	}
+	return records.Decode(data)
+}
+
+// DecodePairsAny decodes columnar pair data zero-copy, falling back to
+// the row format for legacy bytes.
+func DecodePairsAny(data []byte) ([]records.Pair, error) {
+	if IsColumnar(data) {
+		return DecodePairs(data)
+	}
+	return records.DecodePairs(data)
+}
+
+// VisitRecords walks a file of concatenated record segments calling
+// fn(off, ts, payload) per record, where off is the file offset of the
+// record's payload start — the columnar analogue of the row format's
+// record offset, used for Hadoop-convention split bucketing ("a record
+// belongs to the split containing its first byte"). Offsets are
+// non-decreasing and always lie inside the record's own segment, so a
+// record is never attributed outside its pane. payload aliases data.
+// fn returning false stops the walk early.
+func VisitRecords(data []byte, fn func(off int, ts int64, payload []byte) bool) error {
+	base := 0
+	for base < len(data) {
+		rest := data[base:]
+		if len(rest) >= 4 {
+			var m [4]byte
+			copy(m[:], rest)
+			if m != magicRecords {
+				return corruptf("bad record segment magic %q at offset %d", m[:], base)
+			}
+		}
+		n, ts, offs, blob, segLen, err := recSegment(rest)
+		if err != nil {
+			return err
+		}
+		blobBase := base + segLen - 4 - len(blob)
+		for i := 0; i < n; i++ {
+			lo := binary.LittleEndian.Uint32(offs[4*i:])
+			hi := binary.LittleEndian.Uint32(offs[4*(i+1):])
+			if !fn(blobBase+int(lo), int64(binary.LittleEndian.Uint64(ts[8*i:])), blob[lo:hi:hi]) {
+				return nil
+			}
+		}
+		base += segLen
+	}
+	return nil
+}
+
+// CountRecords returns the number of records in a columnar file
+// without materializing views.
+func CountRecords(data []byte) (int, error) {
+	total := 0
+	for len(data) > 0 {
+		n, _, _, _, segLen, err := recSegment(data)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		data = data[segLen:]
+	}
+	return total, nil
+}
+
+// bufPool recycles encode scratch buffers for the hot encode paths
+// whose sinks copy (DFS writes, node-local cache stores). Pooled
+// buffers hold no references after PutBuf resets their length.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
+// GetBuf returns a zero-length scratch buffer from the pool. Append
+// into it (AppendRecords/AppendPairs), hand the result to a sink that
+// copies, then release it with PutBuf.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a scratch buffer to the pool. The caller must
+// guarantee no decoded view or retained slice still aliases the
+// buffer: sinks that copy (dfs.Write/WriteAt, Node.PutLocal) satisfy
+// this; decoded pane views handed to user map functions do not — those
+// buffers must never be pooled (see the aliasing regression test).
+func PutBuf(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

@@ -1,0 +1,412 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"redoop/internal/records"
+)
+
+// genRecords builds a random batch in the shapes the packer actually
+// writes: empty payloads, long payloads, negative and duplicate
+// timestamps all occur in real pane files.
+func genRecords(rng *rand.Rand, n int) []records.Record {
+	recs := make([]records.Record, n)
+	for i := range recs {
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		recs[i] = records.Record{Ts: rng.Int63n(1<<40) - 1<<20, Data: data}
+	}
+	return recs
+}
+
+// genPairs builds a random batch over both cache schemas: the agg
+// schema (textual key, fixed-width value) and the join schema
+// (composite key, variable tuple value) reduce to arbitrary byte
+// strings at this layer, so arbitrary bytes cover both.
+func genPairs(rng *rand.Rand, n int) []records.Pair {
+	pairs := make([]records.Pair, n)
+	for i := range pairs {
+		k := make([]byte, 1+rng.Intn(24))
+		v := make([]byte, rng.Intn(48))
+		rng.Read(k)
+		rng.Read(v)
+		pairs[i] = records.Pair{Key: k, Value: v}
+	}
+	return pairs
+}
+
+// TestRecordsRoundTrip is the round-trip property: for random batches
+// — including the zero-record and single-record panes the packer's
+// edge cases produce — encode→decode returns byte- and order-identical
+// records, and the columnar bytes decode to exactly what the row
+// format's decode of the row encoding yields.
+func TestRecordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 0
+		switch trial % 4 {
+		case 1:
+			n = 1
+		case 2:
+			n = 1 + rng.Intn(8)
+		case 3:
+			n = 1 + rng.Intn(200)
+		}
+		recs := genRecords(rng, n)
+		enc := EncodeRecords(recs)
+		if n == 0 && len(enc) != 0 {
+			t.Fatalf("empty batch encoded to %d bytes, want 0", len(enc))
+		}
+		got, err := DecodeRecords(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		rowGot, err := records.Decode(records.Encode(recs))
+		if err != nil {
+			t.Fatalf("trial %d: row decode: %v", trial, err)
+		}
+		if len(got) != len(recs) || len(rowGot) != len(recs) {
+			t.Fatalf("trial %d: decoded %d columnar / %d row records, want %d", trial, len(got), len(rowGot), n)
+		}
+		for i := range recs {
+			if got[i].Ts != recs[i].Ts || !bytes.Equal(got[i].Data, recs[i].Data) {
+				t.Fatalf("trial %d: record %d mismatch: got (%d,%q) want (%d,%q)",
+					trial, i, got[i].Ts, got[i].Data, recs[i].Ts, recs[i].Data)
+			}
+			if rowGot[i].Ts != got[i].Ts || !bytes.Equal(rowGot[i].Data, got[i].Data) {
+				t.Fatalf("trial %d: record %d: columnar and row paths disagree", trial, i)
+			}
+		}
+		// Concatenated segments (one per pane in a shared group file)
+		// decode to the concatenation of the batches.
+		double, err := DecodeRecords(append(append([]byte(nil), enc...), enc...))
+		if err != nil {
+			t.Fatalf("trial %d: concatenated decode: %v", trial, err)
+		}
+		if len(double) != 2*n {
+			t.Fatalf("trial %d: concatenated decode yields %d records, want %d", trial, len(double), 2*n)
+		}
+	}
+}
+
+// TestPairsRoundTrip is the pair-schema half of the round-trip
+// property, against the row path's DecodePairs as the reference.
+func TestPairsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 0
+		switch trial % 4 {
+		case 1:
+			n = 1
+		case 2:
+			n = 1 + rng.Intn(8)
+		case 3:
+			n = 1 + rng.Intn(200)
+		}
+		pairs := genPairs(rng, n)
+		enc := EncodePairs(pairs)
+		if n == 0 && len(enc) != 0 {
+			t.Fatalf("empty batch encoded to %d bytes, want 0", len(enc))
+		}
+		got, err := DecodePairs(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		rowGot, err := records.DecodePairs(records.EncodePairs(pairs))
+		if err != nil {
+			t.Fatalf("trial %d: row decode: %v", trial, err)
+		}
+		if len(got) != len(pairs) || len(rowGot) != len(pairs) {
+			t.Fatalf("trial %d: decoded %d columnar / %d row pairs, want %d", trial, len(got), len(rowGot), n)
+		}
+		for i := range pairs {
+			if !bytes.Equal(got[i].Key, pairs[i].Key) || !bytes.Equal(got[i].Value, pairs[i].Value) {
+				t.Fatalf("trial %d: pair %d mismatch", trial, i)
+			}
+			if !bytes.Equal(rowGot[i].Key, got[i].Key) || !bytes.Equal(rowGot[i].Value, got[i].Value) {
+				t.Fatalf("trial %d: pair %d: columnar and row paths disagree", trial, i)
+			}
+		}
+	}
+}
+
+// TestEncodeDeterministic pins that the encoding is a pure function of
+// the batch — the cache SHA audit and the oracle's re-encode comparison
+// both depend on byte-stable output.
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := genRecords(rng, 50)
+	pairs := genPairs(rng, 50)
+	if !bytes.Equal(EncodeRecords(recs), EncodeRecords(recs)) {
+		t.Fatal("EncodeRecords is not deterministic")
+	}
+	if !bytes.Equal(EncodePairs(pairs), EncodePairs(pairs)) {
+		t.Fatal("EncodePairs is not deterministic")
+	}
+}
+
+// TestVisitRecordsOffsets pins the split-bucketing contract: visited
+// offsets are non-decreasing, lie inside the file, and each record's
+// payload is readable at its offset — so a record can never be
+// attributed to a byte range outside its own segment (pane).
+func TestVisitRecordsOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var file []byte
+	var bounds []int // segment boundaries, ascending
+	for seg := 0; seg < 4; seg++ {
+		bounds = append(bounds, len(file))
+		file = AppendRecords(file, genRecords(rng, 1+rng.Intn(20)))
+	}
+	bounds = append(bounds, len(file))
+	prev := -1
+	seg := 0
+	count := 0
+	err := VisitRecords(file, func(off int, ts int64, payload []byte) bool {
+		if off < prev {
+			t.Fatalf("offsets decrease: %d after %d", off, prev)
+		}
+		prev = off
+		for seg+1 < len(bounds)-1 && off >= bounds[seg+1] {
+			seg++
+		}
+		if off < bounds[seg] || off+len(payload) > bounds[seg+1] {
+			t.Fatalf("record at %d (%d bytes) escapes segment [%d,%d)", off, len(payload), bounds[seg], bounds[seg+1])
+		}
+		if !bytes.Equal(file[off:off+len(payload)], payload) {
+			t.Fatalf("payload at %d does not match file bytes", off)
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("visit: %v", err)
+	}
+	n, err := CountRecords(file)
+	if err != nil || n != count {
+		t.Fatalf("CountRecords = %d, %v; visit saw %d", n, err, count)
+	}
+}
+
+// TestDecodeRejectsCorruption pins the validator's error cases the way
+// TestParsePaneHeaderRejections does for the §3.2 header: every
+// corruption class chaos can produce — truncation and byte-flips, plus
+// structural damage — yields ErrCorrupt, never success or panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	recEnc := EncodeRecords(genRecords(rng, 20))
+	pairEnc := EncodePairs(genPairs(rng, 20))
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, err := DecodeRecords(data); err == nil && !IsColumnar(data) {
+			t.Errorf("%s: DecodeRecords accepted non-columnar bytes", name)
+		} else if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: DecodeRecords error %v does not wrap ErrCorrupt", name, err)
+		}
+		if _, err := DecodePairs(data); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: DecodePairs error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+
+	// Chaos PaneTruncate: data[:len/2].
+	if _, err := DecodeRecords(recEnc[:len(recEnc)/2]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated record segment: got %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodePairs(pairEnc[:len(pairEnc)/2]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated pair segment: got %v, want ErrCorrupt", err)
+	}
+	// Chaos PaneCorrupt: XOR 0xA5 over the middle third.
+	for name, enc := range map[string][]byte{"records": recEnc, "pairs": pairEnc} {
+		flipped := append([]byte(nil), enc...)
+		for i := len(flipped) / 3; i < 2*len(flipped)/3; i++ {
+			flipped[i] ^= 0xA5
+		}
+		check("xor-"+name, flipped)
+		if _, err := DecodeRecords(flipped); name == "records" && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("xor-corrupted record segment: got %v, want ErrCorrupt", err)
+		}
+	}
+	// Single bit flips anywhere in the segment: the CRC (or a bounds
+	// check) must catch every one of them.
+	for i := 0; i < len(recEnc); i++ {
+		mut := append([]byte(nil), recEnc...)
+		mut[i] ^= 1 << uint(i%8)
+		if _, err := DecodeRecords(mut); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+	check("zero count", append(append([]byte(nil), "RCR1"...), 0, 0, 0, 0))
+	check("short header", []byte("RCR1\x01"))
+	check("trailing garbage", append(append([]byte(nil), recEnc...), 'x'))
+}
+
+// FuzzColumnarPane mirrors FuzzParsePaneHeader for the columnar
+// decoders: arbitrary bytes may be rejected but must never panic, and
+// any input a decoder accepts must be internally consistent — records
+// re-encode to the identical bytes, and visited offsets stay inside
+// the file in non-decreasing order, so a damaged pane can never be
+// silently mis-attributed or misread. Corrupt inputs must fail with
+// ErrCorrupt so the recovery ladder (not garbage output) handles them.
+func FuzzColumnarPane(f *testing.F) {
+	rng := rand.New(rand.NewSource(17))
+	good := EncodeRecords(genRecords(rng, 5))
+	goodPairs := EncodePairs(genPairs(rng, 5))
+	f.Add(good)
+	f.Add(goodPairs)
+	f.Add(append(append([]byte(nil), good...), goodPairs...)) // mixed magics
+	f.Add(good[:len(good)/2])                                 // chaos PaneTruncate
+	xored := append([]byte(nil), good...)
+	for i := len(xored) / 3; i < 2*len(xored)/3; i++ {
+		xored[i] ^= 0xA5 // chaos PaneCorrupt
+	}
+	f.Add(xored)
+	f.Add([]byte{})
+	f.Add([]byte("RCR1"))
+	f.Add([]byte("RCR1\xff\xff\xff\xff"))
+	f.Add([]byte("RCP1\x00\x00\x00\x00"))
+	f.Add(records.Encode(genRecords(rng, 3))) // legacy row bytes
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeRecords(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeRecords error %v does not wrap ErrCorrupt", err)
+			}
+		} else {
+			// Accepted input round-trips semantically: re-encoding the
+			// decoded records (a concatenated file re-encodes as one
+			// segment) and decoding again yields identical records.
+			again, err := DecodeRecords(EncodeRecords(recs))
+			if err != nil || len(again) != len(recs) {
+				t.Fatalf("re-encode of accepted input fails: %v (%d vs %d records)", err, len(again), len(recs))
+			}
+			for i := range recs {
+				if again[i].Ts != recs[i].Ts || !bytes.Equal(again[i].Data, recs[i].Data) {
+					t.Fatalf("record %d does not survive re-encode", i)
+				}
+			}
+		}
+		if pairs, err := DecodePairs(data); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodePairs error %v does not wrap ErrCorrupt", err)
+			}
+		} else {
+			again, err := DecodePairs(EncodePairs(pairs))
+			if err != nil || len(again) != len(pairs) {
+				t.Fatalf("re-encode of accepted pairs fails: %v", err)
+			}
+			for i := range pairs {
+				if !bytes.Equal(again[i].Key, pairs[i].Key) || !bytes.Equal(again[i].Value, pairs[i].Value) {
+					t.Fatalf("pair %d does not survive re-encode", i)
+				}
+			}
+		}
+		prev := -1
+		visitErr := VisitRecords(data, func(off int, ts int64, payload []byte) bool {
+			if off < prev || off < 0 || off+len(payload) > len(data) {
+				t.Fatalf("visit offset %d (payload %d) out of order or bounds (prev %d, len %d)",
+					off, len(payload), prev, len(data))
+			}
+			prev = off
+			return true
+		})
+		if (visitErr == nil) != (err == nil) {
+			t.Fatalf("VisitRecords and DecodeRecords disagree: %v vs %v", visitErr, err)
+		}
+		// The Any dispatchers must never panic either; row-fallback
+		// errors need not wrap ErrCorrupt.
+		_, _ = DecodeRecordsAny(data)
+		_, _ = DecodePairsAny(data)
+		_, _ = CountRecords(data)
+	})
+}
+
+// TestPooledBufferAliasing is the zero-copy lifetime regression test:
+// a buffer returned to the pool must never be observable through a
+// previously decoded pane view. The safe pattern — encode into a
+// pooled buffer, hand it to a sink that copies, decode from the copy,
+// then PutBuf — leaves every decoded view aliasing the copy, so later
+// reuse of the pooled buffer cannot change what the views read. Run
+// under -race in CI: a violation of the rule (decoding from the pooled
+// buffer itself and releasing it) would surface as both a data race
+// and the corruption this test asserts never happens.
+func TestPooledBufferAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	recs := genRecords(rng, 40)
+
+	buf := GetBuf()
+	*buf = AppendRecords((*buf)[:0], recs)
+	// The sink copies — exactly what dfs.Write and Node.PutLocal do.
+	stored := append([]byte(nil), *buf...)
+	PutBuf(buf)
+
+	views, err := DecodeRecords(stored)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := make([][]byte, len(views))
+	for i, v := range views {
+		want[i] = append([]byte(nil), v.Data...)
+	}
+
+	// Hammer the pool from concurrent encoders, overwriting whatever
+	// backing arrays it hands back. If any view aliased pooled memory,
+	// -race flags the write and the comparison below catches the
+	// corruption.
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			r := rand.New(rand.NewSource(seed))
+			for iter := 0; iter < 200; iter++ {
+				b := GetBuf()
+				*b = AppendRecords((*b)[:0], genRecords(r, 30))
+				PutBuf(b)
+			}
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+
+	for i, v := range views {
+		if !bytes.Equal(v.Data, want[i]) {
+			t.Fatalf("view %d changed after pool reuse: %q != %q", i, v.Data, want[i])
+		}
+	}
+
+	// And the three-index views really are views: they share the
+	// stored buffer's memory, which is the whole point of the format.
+	if len(views) > 0 && len(views[0].Data) > 0 {
+		found := false
+		for i := range stored {
+			if &stored[i] == &views[0].Data[0] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("decoded view does not alias the stored buffer — zero-copy contract broken")
+		}
+	}
+}
+
+// TestPutBufResets pins that a recycled buffer comes back empty so no
+// stale segment can leak into a later encode.
+func TestPutBufResets(t *testing.T) {
+	b := GetBuf()
+	*b = AppendRecords(*b, []records.Record{{Ts: 1, Data: []byte("x")}})
+	PutBuf(b)
+	for i := 0; i < 8; i++ {
+		nb := GetBuf()
+		if len(*nb) != 0 {
+			t.Fatalf("pooled buffer has %d residual bytes", len(*nb))
+		}
+		PutBuf(nb)
+	}
+}

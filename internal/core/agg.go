@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redoop/internal/account"
+	"redoop/internal/colfmt"
 	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/parallel"
@@ -149,8 +150,8 @@ func (e *Engine) ensureAggPane(p window.PaneID, trigger simtime.Time, stats *map
 	routData := make([][]byte, R)
 	parallel.For(e.mr.WorkerCount(), R, func(part int) {
 		if rr, ok := byPart[part]; ok {
-			rinData[part] = records.EncodePairs(rr.Input)
-			routData[part] = records.EncodePairs(rr.Output)
+			rinData[part] = colfmt.EncodePairs(rr.Input)
+			routData[part] = colfmt.EncodePairs(rr.Output)
 		}
 	})
 	// Recompute attribution for the benefit ledger: the map phase (and
@@ -253,8 +254,8 @@ func (e *Engine) processAggPaneProactive(p window.PaneID, trigger simtime.Time, 
 			return
 		}
 		combined := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(subOut[part]))
-		routData[part] = records.EncodePairs(combined)
-		rinData[part] = records.EncodePairs(subIn[part])
+		routData[part] = colfmt.EncodePairs(combined)
+		rinData[part] = colfmt.EncodePairs(subIn[part])
 	})
 
 	refs := make([]cacheRef, R)
@@ -333,7 +334,7 @@ func (e *Engine) rebuildAggOutputs(p window.PaneID, trigger simtime.Time, rins [
 				return err
 			}
 			out := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
-			rebuilt[part] = records.EncodePairs(out)
+			rebuilt[part] = colfmt.EncodePairs(out)
 			return nil
 		},
 		func(part int) error {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"redoop/internal/account"
+	"redoop/internal/colfmt"
 	"redoop/internal/health"
 	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
@@ -95,6 +96,15 @@ type Config struct {
 	// finer-grained subsumption hit with Merge instead of re-running
 	// map+shuffle+reduce. Nil disables cross-query reuse at ~zero cost.
 	Reuse *reuse.Index
+	// CacheDiskLimit bounds each node's local bytes (panes + caches).
+	// When a recurrence's periodic purge cannot bring a node under the
+	// limit with expired entries alone, the engine evicts unexpired
+	// reduce-input caches of single-source queries — the only caches
+	// rebuildable from retained pane files without violating the
+	// published window — ranked by ascending benefit density
+	// (recompute·(1+hits)/bytes) from the cost ledger. 0 disables the
+	// limit and keeps pure-expiry purging only.
+	CacheDiskLimit int64
 }
 
 // RecurrenceResult reports one execution of the recurring query.
@@ -203,6 +213,14 @@ type Engine struct {
 	// call sites have no better notion of "now".
 	curTrigger simtime.Time
 
+	// cacheLimit mirrors Config.CacheDiskLimit; evictable tracks the
+	// pids this engine registered that cost-based replacement may
+	// target (unexpired agg reduce-input caches); evictLog records
+	// every replacement decision in order, for determinism audits.
+	cacheLimit int64
+	evictable  map[string]bool
+	evictLog   []string
+
 	qIdx      int
 	adaptive  bool
 	proactive bool
@@ -266,6 +284,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		frames:   frames,
 		adaptive: cfg.Adaptive,
 		noReuse:  cfg.DisableCacheReuse,
+
+		cacheLimit: cfg.CacheDiskLimit,
+		evictable:  make(map[string]bool),
 	}
 	// Retirement scans start at pane zero: a source whose window is
 	// smaller than the query's largest (positive frame offset) may
@@ -376,7 +397,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 			reg = NewRegistry(n)
 			ctrl.AttachRegistry(reg)
 		}
-		e.managers = append(e.managers, NewCacheManager(reg))
+		m := NewCacheManager(reg)
+		m.DiskLimit = cfg.CacheDiskLimit
+		e.managers = append(e.managers, m)
 	}
 	for i, src := range q.Sources {
 		if cfg.Hub != nil && src.CacheKey != "" && cfg.Hub.Has(src.CacheKey) {
@@ -674,6 +697,12 @@ func (e *Engine) RunNext() (*RecurrenceResult, error) {
 	if e.log != nil && purged > 0 {
 		e.log.Debug("purged expired caches", "query", e.query.Name, "count", purged)
 	}
+	if evicted := e.evictOverCap(r, res.CompletedAt); evicted > 0 {
+		e.obs.Counter("redoop_cache_evictions_total").Add(float64(evicted))
+		if e.log != nil {
+			e.log.Debug("evicted caches over disk limit", "query", e.query.Name, "count", evicted)
+		}
+	}
 	// Move the ledger's accrual watermark to the recurrence's end so
 	// open residencies accrue byte·seconds through the work just done.
 	e.acct.Advance(res.CompletedAt)
@@ -874,6 +903,14 @@ func (e *Engine) registerCacheFor(pid string, typ CacheType, node int, readyAt s
 	reg := e.ctrl.Registry(node)
 	reg.Add(pid, typ, data)
 	e.ctrl.Register(pid, typ, node, CacheAvailable, readyAt, int64(len(data)), usedBy)
+	// Only single-source reduce-input caches are replacement
+	// candidates: the oracle pins the window's routs (and a join's
+	// rins and tuple routs) as resident after every recurrence, while
+	// an agg rin is rebuildable from its retained pane files via
+	// map+shuffle, exactly like a §5 cache loss.
+	if typ == ReduceInput && len(e.query.Sources) == 1 {
+		e.evictable[pid] = true
+	}
 	e.obs.Emit(readyAt, eventlog.CacheRegister, e.query.Name, eventlog.CacheData{
 		PID: pid, CacheType: typ.String(), Node: node,
 		Bytes: int64(len(data)), Recurrence: e.NextRecurrence(),
@@ -1005,7 +1042,11 @@ func (e *Engine) readCache(ref cacheRef) ([]records.Pair, error) {
 		}
 		return nil, fmt.Errorf("core: cache %s (%v) lost from node %d mid-recurrence", ref.pid, ref.typ, ref.node)
 	}
-	return records.DecodePairs(data)
+	// Cache bytes are columnar; the decode is zero-copy over the
+	// registry's private copy (Registry.Get copies out of the node
+	// store, so the views cannot observe later cache mutations). The
+	// Any dispatch keeps legacy row-encoded test fixtures readable.
+	return colfmt.DecodePairsAny(data)
 }
 
 // runPaneMapPhase maps one pane's physical segments. In proactive mode
@@ -1260,7 +1301,7 @@ func (e *Engine) linRecordWindow(r int, res *RecurrenceResult) {
 			}
 		})
 	}
-	data := records.EncodePairs(res.Output)
+	data := colfmt.EncodePairs(res.Output)
 	e.lin.RecordDerivation(lineage.Derivation{
 		ID: lineage.WindowID(e.acctName, r), Kind: "window", Query: e.acctName,
 		Fingerprint: e.planFP, Recurrence: r, Pane: int64(res.WindowLo),

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"redoop/internal/account"
+	"redoop/internal/colfmt"
 	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
@@ -179,7 +180,7 @@ func (e *Engine) ensureJoinPaneInputs(src int, p window.PaneID, trigger simtime.
 		}
 		sorted := append([]records.Pair(nil), input...)
 		mapreduce.SortPairs(sorted)
-		sortedData[part] = records.EncodePairs(sorted)
+		sortedData[part] = colfmt.EncodePairs(sorted)
 	})
 
 	// Map cost is paid once for the whole pane; each live partition's
@@ -399,7 +400,7 @@ func (e *Engine) joinTupleGroup(group tupleGroup, trigger simtime.Time, rins []m
 				continue
 			}
 			joined := mapreduce.ReduceGroups(q.Reduce, mapreduce.GroupPairs(pairs))
-			data := records.EncodePairs(joined)
+			data := colfmt.EncodePairs(joined)
 			pc.inBytes += tupleIn
 			pc.outBytes += int64(len(data))
 			pc.outs = append(pc.outs, tupleOut{key: t.key(), inBytes: tupleIn, data: data})

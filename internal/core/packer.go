@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"redoop/internal/colfmt"
 	"redoop/internal/dfs"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
@@ -268,7 +269,11 @@ func (p *Packer) flushPane(pane window.PaneID) error {
 
 	if p.plan.PanesPerFile <= 1 || sub > 1 {
 		// Oversize case (or adaptively subdivided): one file per pane
-		// segment, named S#P# — with a sub-pane suffix when split.
+		// segment, named S#P# — with a sub-pane suffix when split. The
+		// encode buffer is pooled: WriteAt copies, so the scratch is
+		// free for the next flush the moment the write returns.
+		buf := colfmt.GetBuf()
+		defer colfmt.PutBuf(buf)
 		for s := 0; s < sub; s++ {
 			recs := bySub[s]
 			if len(recs) == 0 {
@@ -279,7 +284,8 @@ func (p *Packer) flushPane(pane window.PaneID) error {
 			if sub > 1 {
 				path = fmt.Sprintf("%s.%d", path, s)
 			}
-			data := records.Encode(recs)
+			*buf = colfmt.AppendRecords((*buf)[:0], recs)
+			data := *buf
 			availUnit := p.frame.PaneStart(pane) + (int64(s)+1)*p.frame.Pane/int64(sub)
 			if s == sub-1 {
 				availUnit = p.frame.PaneEnd(pane)
@@ -409,20 +415,24 @@ func (p *Packer) flushGroup() error {
 		path = fmt.Sprintf("%s/%sP%d", p.dir, p.name, int64(lo))
 	}
 
-	var body []byte
+	// Each pane becomes one self-delimiting columnar segment of the
+	// shared body, so PaneSlice yields independently decodable bytes.
+	// The body buffer is pooled: both writes below copy.
+	bodyBuf := colfmt.GetBuf()
+	defer colfmt.PutBuf(bodyBuf)
+	body := (*bodyBuf)[:0]
 	var hdr []HeaderEntry
 	ranges := make(map[window.PaneID][2]int64)
 	for _, pane := range panes {
 		recs := p.groupRecs[pane]
 		delete(p.groupRecs, pane)
 		start := int64(len(body))
-		for _, r := range recs {
-			body = r.Append(body)
-		}
+		body = colfmt.AppendRecords(body, recs)
 		length := int64(len(body)) - start
 		ranges[pane] = [2]int64{start, length}
 		hdr = append(hdr, HeaderEntry{Pane: int64(pane), Offset: start, Length: length})
 	}
+	*bodyBuf = body
 	// The shared file is complete when its newest pane's data is — its
 	// replication fan-out is stamped at that instant.
 	if err := p.dfs.WriteAt(path, body, p.timeOfUnit(p.frame.PaneEnd(hi))); err != nil {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 
+	"redoop/internal/colfmt"
 	"redoop/internal/dfs"
 	"redoop/internal/records"
 	"redoop/internal/simtime"
@@ -66,7 +68,7 @@ func TestOversizePaneFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := records.Decode(data)
+	recs, err := colfmt.DecodeRecords(data)
 	if err != nil || len(recs) != 3 {
 		t.Errorf("pane 0 should hold 3 records, got %d (%v)", len(recs), err)
 	}
@@ -118,12 +120,12 @@ func TestUndersizedMultiPaneFileWithHeader(t *testing.T) {
 	// that pane's records.
 	body, _ := d.Read(ins1[0].Input.Path)
 	seg := body[ins1[0].Input.Offset : ins1[0].Input.Offset+ins1[0].Input.Length]
-	recs, err := records.Decode(seg)
+	recs, err := colfmt.DecodeRecords(seg)
 	if err != nil || len(recs) != 1 || recs[0].Ts != 11 {
 		t.Errorf("pane 1 range decode = %v, %v", recs, err)
 	}
 	seg2 := body[ins2[0].Input.Offset : ins2[0].Input.Offset+ins2[0].Input.Length]
-	recs2, _ := records.Decode(seg2)
+	recs2, _ := colfmt.DecodeRecords(seg2)
 	if len(recs2) != 2 {
 		t.Errorf("pane 2 should hold 2 records, got %d", len(recs2))
 	}
@@ -265,4 +267,83 @@ func TestDropPaneFiles(t *testing.T) {
 	if err := pk.DropPaneFiles(99); err != nil {
 		t.Error("dropping an unknown pane is a no-op")
 	}
+}
+
+// TestPaneSliceColumnarRowAgreement is the shared-file half of the
+// round-trip property: a §3.2 group file built from columnar segments
+// and one built from row segments over the same per-pane batches must
+// agree pane by pane — PaneSlice over each header yields bytes that
+// decode to identical records, including an empty pane (zero bytes in
+// both framings) and a single-record pane.
+func TestPaneSliceColumnarRowAgreement(t *testing.T) {
+	batches := map[int64][]records.Record{
+		0: mkRecs([]int64{1, 3, 7}),
+		1: nil,                 // empty pane: zero-length range
+		2: mkRecs([]int64{21}), // single-record pane
+		3: mkRecs([]int64{30, 31, 32, 33}),
+	}
+	build := func(enc func([]records.Record) []byte) ([]byte, []HeaderEntry) {
+		var body []byte
+		var hdr []HeaderEntry
+		for pane := int64(0); pane < 4; pane++ {
+			start := int64(len(body))
+			body = append(body, enc(batches[pane])...)
+			hdr = append(hdr, HeaderEntry{Pane: pane, Offset: start, Length: int64(len(body)) - start})
+		}
+		return body, hdr
+	}
+	colBody, colHdr := build(colfmt.EncodeRecords)
+	rowBody, rowHdr := build(records.Encode)
+	colEntries, err := ParsePaneHeader(mustJSON(t, colHdr), int64(len(colBody)))
+	if err != nil {
+		t.Fatalf("columnar header: %v", err)
+	}
+	rowEntries, err := ParsePaneHeader(mustJSON(t, rowHdr), int64(len(rowBody)))
+	if err != nil {
+		t.Fatalf("row header: %v", err)
+	}
+	for pane := int64(0); pane < 4; pane++ {
+		colSeg, ok := PaneSlice(colBody, colEntries, pane)
+		if !ok {
+			t.Fatalf("pane %d missing from columnar slice", pane)
+		}
+		rowSeg, ok := PaneSlice(rowBody, rowEntries, pane)
+		if !ok {
+			t.Fatalf("pane %d missing from row slice", pane)
+		}
+		colRecs, err := colfmt.DecodeRecordsAny(colSeg)
+		if err != nil {
+			t.Fatalf("pane %d columnar decode: %v", pane, err)
+		}
+		rowRecs, err := colfmt.DecodeRecordsAny(rowSeg)
+		if err != nil {
+			t.Fatalf("pane %d row decode: %v", pane, err)
+		}
+		if len(colRecs) != len(rowRecs) || len(colRecs) != len(batches[pane]) {
+			t.Fatalf("pane %d: %d columnar vs %d row records, want %d",
+				pane, len(colRecs), len(rowRecs), len(batches[pane]))
+		}
+		for i := range colRecs {
+			if colRecs[i].Ts != rowRecs[i].Ts || string(colRecs[i].Data) != string(rowRecs[i].Data) {
+				t.Fatalf("pane %d record %d: columnar (%d,%q) vs row (%d,%q)",
+					pane, i, colRecs[i].Ts, colRecs[i].Data, rowRecs[i].Ts, rowRecs[i].Data)
+			}
+		}
+	}
+	// A pane neither header mentions is attributed no bytes by either.
+	if _, ok := PaneSlice(colBody, colEntries, 9); ok {
+		t.Error("columnar PaneSlice produced bytes for an absent pane")
+	}
+	if _, ok := PaneSlice(rowBody, rowEntries, 9); ok {
+		t.Error("row PaneSlice produced bytes for an absent pane")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }

@@ -149,6 +149,29 @@ func (r *Registry) PurgeExpired() int {
 	return n
 }
 
+// Evict removes one unexpired entry's bytes and registry row — the
+// targeted form of PurgeExpired that cost-based replacement uses once
+// the controller has rolled the victim's signature back to
+// HDFSAvailable. Returns the bytes freed; 0 when the entry or its
+// bytes were already gone.
+func (r *Registry) Evict(pid string, typ CacheType) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sz := r.node.LocalSize(localKey(pid, typ))
+	r.node.DeleteLocal(localKey(pid, typ))
+	delete(r.entries, entryKey(pid, typ))
+	if sz < 0 {
+		return 0
+	}
+	return sz
+}
+
+// LocalBytes returns the owning node's total local-file-system bytes —
+// the quantity a CacheManager's DiskLimit bounds.
+func (r *Registry) LocalBytes() int64 {
+	return r.node.LocalBytes()
+}
+
 // CachedBytes returns the total bytes of unexpired caches present on
 // the local file system.
 func (r *Registry) CachedBytes() int64 {
@@ -210,3 +233,20 @@ func (m *CacheManager) Tick() int {
 
 // TotalPurged returns the cumulative number of purged caches.
 func (m *CacheManager) TotalPurged() int { return m.purged }
+
+// OverLimit reports how many bytes the node exceeds DiskLimit by; 0
+// with no limit set or a node within budget. A positive value after a
+// Tick means pure expiry could not fit the node: the engine answers it
+// with cost-based replacement of unexpired entries (lowest benefit
+// density first), the feature-ranked policy that supersedes purge-only
+// eviction under disk pressure.
+func (m *CacheManager) OverLimit() int64 {
+	if m.DiskLimit <= 0 {
+		return 0
+	}
+	over := m.Registry.LocalBytes() - m.DiskLimit
+	if over < 0 {
+		return 0
+	}
+	return over
+}

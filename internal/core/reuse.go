@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"redoop/internal/account"
+	"redoop/internal/colfmt"
 	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/obs"
@@ -230,7 +231,7 @@ func (e *Engine) composeReusedPane(p window.PaneID, u int64, trigger simtime.Tim
 			continue
 		}
 		merged := mapreduce.ReduceGroups(q.Merge, mapreduce.GroupPairs(pairs))
-		outData := records.EncodePairs(merged)
+		outData := colfmt.EncodePairs(merged)
 		ct := e.runCacheTask(fmt.Sprintf("reuse-merge pane %d p%d", int64(p), part), account.PhaseReduce,
 			trigger, caches, e.mr.Cost.MergeTask(inBytes, int64(len(outData))))
 		stats.ReduceTime += ct.dur

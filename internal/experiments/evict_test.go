@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"redoop/internal/account"
+	"redoop/internal/chaos"
+	"redoop/internal/core"
+)
+
+// evictLimit is a per-node cache budget small enough that the steady
+// state of the high-overlap aggregation workload cannot hold every
+// unexpired reduce-input cache, so cost-based replacement must fire.
+const evictLimit = 24 << 10
+
+// TestEvictionFiresAndStaysCorrect pins the replacement tier's
+// end-to-end contract on the aggregation workload: with a tight disk
+// limit evictions actually happen, every evicted cache is rebuilt on
+// demand through the §5 ladder (the oracle byte-checks every window
+// against independent recomputation), and the decision log carries the
+// ledger's feature vector for each victim.
+func TestEvictionFiresAndStaysCorrect(t *testing.T) {
+	cfg := detConfig()
+	cfg.RecordsPerWindow /= 4
+	cfg.Account = account.New()
+	cfg.CacheDiskLimit = evictLimit
+	cfg.OracleCheck = true
+	var engines []*core.Engine
+	cfg.OnEngine = func(e *core.Engine) { engines = append(engines, e) }
+	if _, err := cfg.runRedoop(aggSpec(cfg, 0.9), "evict"); err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != 1 {
+		t.Fatalf("captured %d engines, want 1", len(engines))
+	}
+	log := engines[0].EvictionLog()
+	if len(log) == 0 {
+		t.Fatalf("disk limit %d never triggered an eviction — the replacement tier is dead code at this scale", evictLimit)
+	}
+	for _, line := range log {
+		var r, node, bytes, recompute, hits int64
+		var pid string
+		if _, err := fmt.Sscanf(line, "r=%d node=%d pid=%s bytes=%d recompute=%d hits=%d",
+			&r, &node, &pid, &bytes, &recompute, &hits); err != nil {
+			t.Fatalf("malformed decision line %q: %v", line, err)
+		}
+		if bytes <= 0 {
+			t.Fatalf("evicted a zero-byte cache: %q", line)
+		}
+	}
+}
+
+// TestEvictionLogSerialParallelIdentical extends the two-phase
+// determinism contract to replacement decisions: the eviction sequence
+// — victims, order, features — must be byte-identical whether the
+// engine computes with one worker or a wide pool, because every
+// decision runs in RunNext's serial tail over ledger state that is
+// itself worker-invariant.
+func TestEvictionLogSerialParallelIdentical(t *testing.T) {
+	run := func(workers int) ([]string, []account.QueryCosts) {
+		cfg := detConfig()
+		cfg.RecordsPerWindow /= 4
+		cfg.ExecWorkers = workers
+		cfg.Account = account.New()
+		cfg.CacheDiskLimit = evictLimit
+		cfg.OracleCheck = true
+		var engines []*core.Engine
+		cfg.OnEngine = func(e *core.Engine) { engines = append(engines, e) }
+		if _, err := cfg.runRedoop(aggSpec(cfg, 0.9), "det"); err != nil {
+			t.Fatal(err)
+		}
+		if len(engines) != 1 {
+			t.Fatalf("captured %d engines, want 1", len(engines))
+		}
+		return engines[0].EvictionLog(), cfg.Account.Snapshot()
+	}
+	serialLog, serialCosts := run(1)
+	parLog, parCosts := run(parWorkers())
+	if len(serialLog) == 0 {
+		t.Fatal("no evictions fired; the determinism check is vacuous")
+	}
+	if !reflect.DeepEqual(serialLog, parLog) {
+		t.Errorf("eviction decisions diverge across worker counts:\nserial:   %v\nparallel: %v", serialLog, parLog)
+	}
+	if !reflect.DeepEqual(serialCosts, parCosts) {
+		t.Errorf("cost snapshots diverge under eviction:\nserial:   %+v\nparallel: %+v", serialCosts, parCosts)
+	}
+}
+
+// TestEvictionUnderChaos replays the seed-matrix fault storms with the
+// disk limit engaged: cache drops, node crashes and pane corruption
+// compose with policy evictions, and every window must still verify
+// against the oracle. The same schedule replayed twice must make the
+// same decisions — CI failures stay local repros.
+func TestEvictionUnderChaos(t *testing.T) {
+	for _, seed := range soakSeeds(t) {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runOnce := func() []string {
+				cfg := soakConfig(seed)
+				cfg.Windows = 4
+				sched, err := chaos.Generate(seed, chaos.ProfileMixed, cfg.Windows, cfg.Workers)
+				if err != nil {
+					t.Fatalf("generate schedule: %v", err)
+				}
+				cfg.Chaos = sched
+				cfg.Account = account.New()
+				cfg.CacheDiskLimit = evictLimit
+				var engines []*core.Engine
+				cfg.OnEngine = func(e *core.Engine) { engines = append(engines, e) }
+				verdicts, err := cfg.RunChaosRegime("agg")
+				if err != nil {
+					t.Fatalf("agg under %s: %v", sched, err)
+				}
+				for _, v := range verdicts {
+					if !v.OK() {
+						t.Errorf("window %d: match=%v violations=%v", v.Recurrence+1, v.Match, v.Violations)
+					}
+				}
+				var log []string
+				for _, e := range engines {
+					log = append(log, e.EvictionLog()...)
+				}
+				return log
+			}
+			a, b := runOnce(), runOnce()
+			if len(a) == 0 {
+				t.Fatal("no evictions under this schedule; the replay check is vacuous")
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("replayed schedule made different eviction decisions:\n%v\n%v", a, b)
+			}
+		})
+	}
+}

@@ -101,6 +101,11 @@ type Config struct {
 	// and OracleCheck is set, each Redoop run gets a private store so
 	// the oracle's lineage audit always has provenance to check.
 	Lineage *lineage.Store
+	// CacheDiskLimit bounds each node's local bytes on every Redoop
+	// engine an experiment builds (core.Config.CacheDiskLimit): over
+	// the limit, cost-based replacement evicts the lowest benefit-
+	// density reduce-input caches after the purge tick. 0 disables it.
+	CacheDiskLimit int64
 	// OracleCheck runs the differential window oracle after every
 	// Redoop recurrence: a divergence from baseline recomputation or
 	// a structural-invariant violation fails the run.
@@ -384,7 +389,7 @@ func (c Config) runRedoop(spec runSpec, systemName string) (Series, error) {
 	if lin == nil && c.OracleCheck {
 		lin = lineage.New(0)
 	}
-	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account, Lineage: lin, Reuse: c.Reuse})
+	eng, err := core.NewEngine(core.Config{MR: mr, Query: q, Adaptive: spec.adaptive, Health: c.Health, Account: c.Account, Lineage: lin, Reuse: c.Reuse, CacheDiskLimit: c.CacheDiskLimit})
 	if err != nil {
 		return Series{}, err
 	}

@@ -5,9 +5,11 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"sync"
 
 	"redoop/internal/account"
 	"redoop/internal/cluster"
+	"redoop/internal/colfmt"
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
 	"redoop/internal/lineage"
@@ -613,17 +615,37 @@ func (e *Engine) decodeForSplits(splits []Split) (map[string][]records.Record, e
 		if err != nil {
 			return err
 		}
+		// Split IDs are loop-invariant; formatting them per record
+		// would dominate the decode walk.
+		ids := make([]string, len(ss))
+		for j, s := range ss {
+			ids[j] = s.ID()
+		}
 		local := make(map[string][]records.Record)
-		err = records.VisitOffsets(data, func(off int, ts int64, payload []byte) bool {
-			for _, s := range ss {
+		visit := func(off int, ts int64, payload []byte) bool {
+			for j, s := range ss {
 				if int64(off) >= s.Lo && int64(off) < s.Hi {
-					p := make([]byte, len(payload))
-					copy(p, payload)
-					local[s.ID()] = append(local[s.ID()], records.Record{Ts: ts, Data: p})
+					local[ids[j]] = append(local[ids[j]], records.Record{Ts: ts, Data: payload})
 				}
 			}
 			return true
-		})
+		}
+		if colfmt.IsColumnar(data) {
+			// Columnar pane files decode zero-copy: the payload views
+			// alias data, which this call owns outright (DFS.Read
+			// returns a private copy), so no per-record copy is needed.
+			// The buffer is retained by the emitted records and must
+			// never be pooled or reused.
+			err = colfmt.VisitRecords(data, visit)
+		} else {
+			// Legacy row framing interleaves headers with payloads, so
+			// each payload is copied out of the walk buffer.
+			err = records.VisitOffsets(data, func(off int, ts int64, payload []byte) bool {
+				p := make([]byte, len(payload))
+				copy(p, payload)
+				return visit(off, ts, p)
+			})
+		}
 		if err != nil {
 			return err
 		}
@@ -640,6 +662,17 @@ func (e *Engine) decodeForSplits(splits []Split) (map[string][]records.Record, e
 		}
 	}
 	return out, nil
+}
+
+// pairScratch recycles the per-partition sort copies of
+// RunReducePhase: GroupPairs sorts in place, and nothing downstream
+// references the scratch array itself (only the byte slices its
+// entries point at), so the array is safe to reuse across tasks.
+var pairScratch = sync.Pool{
+	New: func() any {
+		s := make([]records.Pair, 0, 1024)
+		return &s
+	},
 }
 
 // ReducerResult is the outcome of one reduce partition's task.
@@ -699,8 +732,16 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, ready simtime.Time
 	computed := make([]reduceCompute, len(live))
 	parallel.ForWorker(e.WorkerCount(), len(live), func(worker, i int) {
 		input := mp.Parts[live[i]]
-		grouped := GroupPairs(append([]records.Pair(nil), input...))
+		// GroupPairs sorts its argument in place, so each partition
+		// sorts a scratch copy. The scratch array holds only slice
+		// headers — groups and reduce output alias the input's byte
+		// arrays, never the scratch — so it is pooled per task.
+		sp := pairScratch.Get().(*[]records.Pair)
+		scratch := append((*sp)[:0], input...)
+		grouped := GroupPairs(scratch)
 		output := ReduceGroups(job.Reduce, grouped)
+		*sp = scratch[:0]
+		pairScratch.Put(sp)
 		computed[i] = reduceCompute{
 			input:    input,
 			output:   output,
@@ -908,12 +949,18 @@ func (e *Engine) Run(job *Job, start simtime.Time) (*Result, error) {
 		res.Output = append(res.Output, rr.Output...)
 	}
 	if job.OutputPath != "" {
-		enc := records.EncodePairs(res.Output)
-		if err := e.DFS.Write(job.OutputPath, enc); err != nil {
-			return nil, err
-		}
+		// Pooled columnar encode: DFS.Write copies, freeing the
+		// scratch for the next job's commit.
+		buf := colfmt.GetBuf()
+		*buf = colfmt.AppendPairs((*buf)[:0], res.Output)
+		enc := *buf
+		err := e.DFS.Write(job.OutputPath, enc)
 		// Committing output to DFS costs a write charged to the span.
 		res.Stats.End = res.Stats.End.Add(e.Cost.DiskWrite(int64(len(enc))))
+		colfmt.PutBuf(buf)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

@@ -46,6 +46,10 @@ const (
 	CacheLoad     Type = "cache.load"
 	CachePurge    Type = "cache.purge"
 	CacheRollback Type = "cache.rollback"
+	// CacheEvict is one unexpired cache removed by cost-based
+	// replacement under a disk limit (CacheData): the signature rolls
+	// back to HDFS-available, so the entry is rebuildable, not lost.
+	CacheEvict Type = "cache.evict"
 	// Placement is one Equation 4 decision with its full per-candidate
 	// breakdown (PlacementData).
 	Placement Type = "placement"

@@ -3,6 +3,7 @@ package oracle
 import (
 	"fmt"
 
+	"redoop/internal/colfmt"
 	"redoop/internal/lineage"
 	"redoop/internal/mapreduce"
 	"redoop/internal/records"
@@ -183,10 +184,13 @@ func (o *Oracle) recomputePane(src int, recs []records.Record, kind string, part
 	for _, rec := range recs {
 		o.q.Maps[src](rec.Ts, rec.Data, emit)
 	}
+	// Cache bytes are columnar, so the audit re-encodes with the same
+	// columnar encoder the engine's cache registration uses — the SHA
+	// comparison is only meaningful when both sides share the framing.
 	if kind == "pane-rin" {
 		mapreduce.SortPairs(pairs)
-		return records.EncodePairs(pairs)
+		return colfmt.EncodePairs(pairs)
 	}
 	out := mapreduce.ReduceGroups(o.q.Reduce, mapreduce.GroupPairs(pairs))
-	return records.EncodePairs(out)
+	return colfmt.EncodePairs(out)
 }

@@ -43,6 +43,7 @@ import (
 
 	"redoop/internal/baseline"
 	"redoop/internal/cluster"
+	"redoop/internal/colfmt"
 	"redoop/internal/core"
 	"redoop/internal/dfs"
 	"redoop/internal/iocost"
@@ -529,7 +530,7 @@ func (h *QueryHandle) RunNext() (*Result, error) {
 	}
 	// Commit the recurrence's output for OutputPath consumers. The
 	// write itself was already charged by the finalization tasks.
-	enc := records.EncodePairs(res.Output)
+	enc := colfmt.EncodePairs(res.Output)
 	if err := h.sys.mr.DFS.Write(h.OutputPath(r), enc); err != nil {
 		return nil, err
 	}
@@ -588,7 +589,7 @@ func (h *QueryHandle) ReadOutput(recurrence int) ([]Pair, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps, err := records.DecodePairs(data)
+	ps, err := colfmt.DecodePairsAny(data)
 	if err != nil {
 		return nil, err
 	}
